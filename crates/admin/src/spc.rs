@@ -1,0 +1,473 @@
+//! Statistical process control for data manufacturing.
+//!
+//! §4: inspection specifications "may be included such as those for
+//! statistical process control" — the quality-control lineage the paper
+//! inherits from Shewhart \[20\] and Deming \[8\]. Implemented here:
+//!
+//! * [`IndividualsChart`] — Shewhart individuals chart with the four
+//!   classic Western Electric run rules,
+//! * [`XBarRChart`] — x̄/R chart for subgrouped measurements,
+//! * [`PChart`] — proportion-nonconforming chart for error rates
+//!   (e.g. the per-batch violation rate from the inspection engine),
+//! * [`Ewma`] — exponentially weighted moving average chart, more
+//!   sensitive to small sustained shifts.
+
+use serde::{Deserialize, Serialize};
+
+/// A point judged by a chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Signal {
+    /// Index of the offending point in the monitored series.
+    pub index: usize,
+    /// Which rule fired.
+    pub rule: String,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// Shewhart individuals chart with Western Electric rules.
+#[derive(Debug, Clone)]
+pub struct IndividualsChart {
+    mean: f64,
+    sigma: f64,
+}
+
+impl IndividualsChart {
+    /// Fits center line and sigma from a baseline sample using the moving
+    /// range (MR̄ / 1.128), the standard individuals-chart estimator.
+    pub fn fit(baseline: &[f64]) -> Option<Self> {
+        if baseline.len() < 2 {
+            return None;
+        }
+        let mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
+        let mr: f64 = baseline
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (baseline.len() - 1) as f64;
+        Some(IndividualsChart {
+            mean,
+            sigma: mr / 1.128,
+        })
+    }
+
+    /// Explicit parameters.
+    pub fn with_params(mean: f64, sigma: f64) -> Self {
+        IndividualsChart { mean, sigma }
+    }
+
+    /// Center line.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Estimated process sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Control limits `(lcl, ucl)` at 3σ.
+    pub fn limits(&self) -> (f64, f64) {
+        (self.mean - 3.0 * self.sigma, self.mean + 3.0 * self.sigma)
+    }
+
+    /// Applies Western Electric rules 1–4 to a monitored series:
+    /// 1. one point beyond 3σ;
+    /// 2. two of three consecutive beyond 2σ (same side);
+    /// 3. four of five consecutive beyond 1σ (same side);
+    /// 4. eight consecutive on one side of the center line.
+    pub fn evaluate(&self, series: &[f64]) -> Vec<Signal> {
+        let mut signals = Vec::new();
+        if self.sigma <= 0.0 {
+            // a zero-variance baseline: any deviation is rule 1
+            for (i, &x) in series.iter().enumerate() {
+                if x != self.mean {
+                    signals.push(Signal {
+                        index: i,
+                        rule: "WE1".into(),
+                        detail: format!("{x} deviates from a zero-variance baseline"),
+                    });
+                }
+            }
+            return signals;
+        }
+        let z: Vec<f64> = series.iter().map(|x| (x - self.mean) / self.sigma).collect();
+        for (i, &zi) in z.iter().enumerate() {
+            if zi.abs() > 3.0 {
+                signals.push(Signal {
+                    index: i,
+                    rule: "WE1".into(),
+                    detail: format!("point at {:.2}σ beyond the 3σ limit", zi),
+                });
+            }
+            if i >= 2 {
+                let w = &z[i - 2..=i];
+                for sign in [1.0, -1.0] {
+                    if w.iter().filter(|&&v| v * sign > 2.0).count() >= 2 {
+                        signals.push(Signal {
+                            index: i,
+                            rule: "WE2".into(),
+                            detail: "two of three consecutive points beyond 2σ".into(),
+                        });
+                        break;
+                    }
+                }
+            }
+            if i >= 4 {
+                let w = &z[i - 4..=i];
+                for sign in [1.0, -1.0] {
+                    if w.iter().filter(|&&v| v * sign > 1.0).count() >= 4 {
+                        signals.push(Signal {
+                            index: i,
+                            rule: "WE3".into(),
+                            detail: "four of five consecutive points beyond 1σ".into(),
+                        });
+                        break;
+                    }
+                }
+            }
+            if i >= 7 {
+                let w = &z[i - 7..=i];
+                if w.iter().all(|&v| v > 0.0) || w.iter().all(|&v| v < 0.0) {
+                    signals.push(Signal {
+                        index: i,
+                        rule: "WE4".into(),
+                        detail: "eight consecutive points on one side of center".into(),
+                    });
+                }
+            }
+        }
+        signals
+    }
+
+    /// True iff the series raises no signal.
+    pub fn in_control(&self, series: &[f64]) -> bool {
+        self.evaluate(series).is_empty()
+    }
+}
+
+/// A2/D3/D4 constants for x̄/R charts, subgroup sizes 2–10.
+fn xbar_constants(n: usize) -> Option<(f64, f64, f64)> {
+    let table = [
+        (2, 1.880, 0.0, 3.267),
+        (3, 1.023, 0.0, 2.574),
+        (4, 0.729, 0.0, 2.282),
+        (5, 0.577, 0.0, 2.114),
+        (6, 0.483, 0.0, 2.004),
+        (7, 0.419, 0.076, 1.924),
+        (8, 0.373, 0.136, 1.864),
+        (9, 0.337, 0.184, 1.816),
+        (10, 0.308, 0.223, 1.777),
+    ];
+    table
+        .iter()
+        .find(|(k, ..)| *k == n)
+        .map(|&(_, a2, d3, d4)| (a2, d3, d4))
+}
+
+/// x̄/R chart over fixed-size subgroups.
+#[derive(Debug, Clone)]
+pub struct XBarRChart {
+    /// Subgroup size.
+    pub n: usize,
+    xbar_bar: f64,
+    r_bar: f64,
+    a2: f64,
+    d3: f64,
+    d4: f64,
+}
+
+impl XBarRChart {
+    /// Fits from baseline subgroups (all of size `n`, 2 ≤ n ≤ 10).
+    pub fn fit(subgroups: &[Vec<f64>]) -> Option<Self> {
+        let n = subgroups.first()?.len();
+        let (a2, d3, d4) = xbar_constants(n)?;
+        if subgroups.iter().any(|s| s.len() != n) {
+            return None;
+        }
+        let means: Vec<f64> = subgroups
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / n as f64)
+            .collect();
+        let ranges: Vec<f64> = subgroups
+            .iter()
+            .map(|s| {
+                let mx = s.iter().cloned().fold(f64::MIN, f64::max);
+                let mn = s.iter().cloned().fold(f64::MAX, f64::min);
+                mx - mn
+            })
+            .collect();
+        Some(XBarRChart {
+            n,
+            xbar_bar: means.iter().sum::<f64>() / means.len() as f64,
+            r_bar: ranges.iter().sum::<f64>() / ranges.len() as f64,
+            a2,
+            d3,
+            d4,
+        })
+    }
+
+    /// x̄-chart limits `(lcl, center, ucl)`.
+    pub fn xbar_limits(&self) -> (f64, f64, f64) {
+        (
+            self.xbar_bar - self.a2 * self.r_bar,
+            self.xbar_bar,
+            self.xbar_bar + self.a2 * self.r_bar,
+        )
+    }
+
+    /// R-chart limits `(lcl, center, ucl)`.
+    pub fn r_limits(&self) -> (f64, f64, f64) {
+        (self.d3 * self.r_bar, self.r_bar, self.d4 * self.r_bar)
+    }
+
+    /// Evaluates new subgroups against both charts.
+    pub fn evaluate(&self, subgroups: &[Vec<f64>]) -> Vec<Signal> {
+        let (xl, _, xu) = self.xbar_limits();
+        let (rl, _, ru) = self.r_limits();
+        let mut signals = Vec::new();
+        for (i, s) in subgroups.iter().enumerate() {
+            if s.len() != self.n {
+                signals.push(Signal {
+                    index: i,
+                    rule: "size".into(),
+                    detail: format!("subgroup size {} != {}", s.len(), self.n),
+                });
+                continue;
+            }
+            let mean = s.iter().sum::<f64>() / self.n as f64;
+            let mx = s.iter().cloned().fold(f64::MIN, f64::max);
+            let mn = s.iter().cloned().fold(f64::MAX, f64::min);
+            let range = mx - mn;
+            if mean < xl || mean > xu {
+                signals.push(Signal {
+                    index: i,
+                    rule: "xbar".into(),
+                    detail: format!("subgroup mean {mean:.3} outside [{xl:.3}, {xu:.3}]"),
+                });
+            }
+            if range < rl || range > ru {
+                signals.push(Signal {
+                    index: i,
+                    rule: "range".into(),
+                    detail: format!("subgroup range {range:.3} outside [{rl:.3}, {ru:.3}]"),
+                });
+            }
+        }
+        signals
+    }
+}
+
+/// p-chart: proportion of nonconforming items per batch.
+#[derive(Debug, Clone)]
+pub struct PChart {
+    p_bar: f64,
+    batch_size: usize,
+}
+
+impl PChart {
+    /// Fits from baseline `(nonconforming, batch_size)` counts with a
+    /// common batch size.
+    pub fn fit(nonconforming: &[usize], batch_size: usize) -> Option<Self> {
+        if batch_size == 0 || nonconforming.is_empty() {
+            return None;
+        }
+        let total: usize = nonconforming.iter().sum();
+        let p_bar = total as f64 / (batch_size * nonconforming.len()) as f64;
+        Some(PChart { p_bar, batch_size })
+    }
+
+    /// Explicit parameters.
+    pub fn with_params(p_bar: f64, batch_size: usize) -> Self {
+        PChart { p_bar, batch_size }
+    }
+
+    /// Control limits `(lcl, ucl)` (LCL floored at 0, UCL capped at 1).
+    pub fn limits(&self) -> (f64, f64) {
+        let s = (self.p_bar * (1.0 - self.p_bar) / self.batch_size as f64).sqrt();
+        ((self.p_bar - 3.0 * s).max(0.0), (self.p_bar + 3.0 * s).min(1.0))
+    }
+
+    /// Evaluates batches of nonconforming counts.
+    pub fn evaluate(&self, nonconforming: &[usize]) -> Vec<Signal> {
+        let (lcl, ucl) = self.limits();
+        nonconforming
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| {
+                let p = x as f64 / self.batch_size as f64;
+                (p < lcl || p > ucl).then(|| Signal {
+                    index: i,
+                    rule: "p".into(),
+                    detail: format!("error rate {p:.4} outside [{lcl:.4}, {ucl:.4}]"),
+                })
+            })
+            .collect()
+    }
+}
+
+/// EWMA chart — detects small persistent shifts sooner than Shewhart.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    mean: f64,
+    sigma: f64,
+    /// Smoothing weight λ ∈ (0, 1].
+    pub lambda: f64,
+    /// Limit width multiplier (typically 2.7–3).
+    pub l: f64,
+}
+
+impl Ewma {
+    /// Builds with explicit process parameters.
+    pub fn new(mean: f64, sigma: f64, lambda: f64, l: f64) -> Self {
+        Ewma {
+            mean,
+            sigma,
+            lambda: lambda.clamp(f64::EPSILON, 1.0),
+            l,
+        }
+    }
+
+    /// Evaluates a series; returns signals where the EWMA statistic exits
+    /// its time-varying limits.
+    pub fn evaluate(&self, series: &[f64]) -> Vec<Signal> {
+        let mut signals = Vec::new();
+        let mut z = self.mean;
+        for (i, &x) in series.iter().enumerate() {
+            z = self.lambda * x + (1.0 - self.lambda) * z;
+            let t = (i + 1) as f64;
+            let var_factor =
+                self.lambda / (2.0 - self.lambda) * (1.0 - (1.0 - self.lambda).powf(2.0 * t));
+            let width = self.l * self.sigma * var_factor.sqrt();
+            if (z - self.mean).abs() > width {
+                signals.push(Signal {
+                    index: i,
+                    rule: "ewma".into(),
+                    detail: format!(
+                        "EWMA {z:.4} outside {:.4} ± {width:.4}",
+                        self.mean
+                    ),
+                });
+            }
+        }
+        signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn individuals_fit_and_limits() {
+        let baseline = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 10.1, 9.9];
+        let c = IndividualsChart::fit(&baseline).unwrap();
+        assert!((c.mean() - 10.0).abs() < 0.1);
+        let (lcl, ucl) = c.limits();
+        assert!(lcl < 10.0 && ucl > 10.0);
+        assert!(IndividualsChart::fit(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn we1_spike_detected() {
+        let c = IndividualsChart::with_params(10.0, 0.2);
+        let series = [10.1, 9.9, 13.0, 10.0];
+        let sig = c.evaluate(&series);
+        assert!(sig.iter().any(|s| s.rule == "WE1" && s.index == 2));
+        assert!(!c.in_control(&series));
+        assert!(c.in_control(&[10.0, 10.1, 9.9]));
+    }
+
+    #[test]
+    fn we2_two_of_three_beyond_two_sigma() {
+        let c = IndividualsChart::with_params(0.0, 1.0);
+        let series = [2.5, 0.0, 2.6];
+        let sig = c.evaluate(&series);
+        assert!(sig.iter().any(|s| s.rule == "WE2"));
+        // opposite sides do not trigger
+        let sig = c.evaluate(&[2.5, 0.0, -2.6]);
+        assert!(!sig.iter().any(|s| s.rule == "WE2"));
+    }
+
+    #[test]
+    fn we3_four_of_five_beyond_one_sigma() {
+        let c = IndividualsChart::with_params(0.0, 1.0);
+        let series = [1.5, 1.4, 0.0, 1.2, 1.3];
+        let sig = c.evaluate(&series);
+        assert!(sig.iter().any(|s| s.rule == "WE3"));
+    }
+
+    #[test]
+    fn we4_run_of_eight() {
+        let c = IndividualsChart::with_params(0.0, 1.0);
+        let series = [0.3, 0.2, 0.4, 0.1, 0.5, 0.2, 0.3, 0.4];
+        let sig = c.evaluate(&series);
+        assert!(sig.iter().any(|s| s.rule == "WE4" && s.index == 7));
+        // mixed signs break the run
+        let series = [0.3, 0.2, -0.4, 0.1, 0.5, 0.2, 0.3, 0.4];
+        assert!(!c.evaluate(&series).iter().any(|s| s.rule == "WE4"));
+    }
+
+    #[test]
+    fn zero_variance_baseline() {
+        let c = IndividualsChart::with_params(5.0, 0.0);
+        assert!(c.in_control(&[5.0, 5.0]));
+        assert!(!c.in_control(&[5.0, 5.1]));
+    }
+
+    #[test]
+    fn xbar_r_chart() {
+        let baseline: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let base = 10.0 + (i % 3) as f64 * 0.1;
+                vec![base, base + 0.2, base - 0.2, base + 0.1]
+            })
+            .collect();
+        let c = XBarRChart::fit(&baseline).unwrap();
+        let (xl, xc, xu) = c.xbar_limits();
+        assert!(xl < xc && xc < xu);
+        // in-control subgroup passes
+        assert!(c.evaluate(&[vec![10.0, 10.1, 9.9, 10.2]]).is_empty());
+        // shifted subgroup mean caught
+        let sig = c.evaluate(&[vec![12.0, 12.1, 11.9, 12.2]]);
+        assert!(sig.iter().any(|s| s.rule == "xbar"));
+        // exploded range caught
+        let sig = c.evaluate(&[vec![8.0, 12.0, 10.0, 10.0]]);
+        assert!(sig.iter().any(|s| s.rule == "range"));
+        // wrong size flagged
+        let sig = c.evaluate(&[vec![10.0, 10.0]]);
+        assert!(sig.iter().any(|s| s.rule == "size"));
+        // bad fits
+        assert!(XBarRChart::fit(&[]).is_none());
+        assert!(XBarRChart::fit(&[vec![1.0]]).is_none()); // n=1 unsupported
+        assert!(XBarRChart::fit(&[vec![1.0, 2.0], vec![1.0]]).is_none());
+    }
+
+    #[test]
+    fn p_chart_error_rates() {
+        // baseline: ~2% error rate in batches of 500
+        let baseline = [10, 9, 11, 10, 12, 8, 10, 10];
+        let c = PChart::fit(&baseline, 500).unwrap();
+        let (lcl, ucl) = c.limits();
+        assert!(lcl >= 0.0 && ucl <= 1.0 && ucl > 0.02);
+        assert!(c.evaluate(&[10, 11, 9]).is_empty());
+        // a defective batch (8% errors) signals
+        let sig = c.evaluate(&[40]);
+        assert_eq!(sig.len(), 1);
+        assert!(PChart::fit(&[], 500).is_none());
+        assert!(PChart::fit(&[1], 0).is_none());
+    }
+
+    #[test]
+    fn ewma_detects_small_shift_shewhart_misses() {
+        let shew = IndividualsChart::with_params(0.0, 1.0);
+        let ewma = Ewma::new(0.0, 1.0, 0.2, 2.7);
+        // persistent +1σ shift: never beyond 3σ (WE1 silent) but EWMA fires
+        let series = vec![1.0; 20];
+        assert!(!shew.evaluate(&series).iter().any(|s| s.rule == "WE1"));
+        assert!(!ewma.evaluate(&series).is_empty());
+        // in-control noise stays quiet
+        let noise = [0.1, -0.2, 0.05, -0.1, 0.15, -0.05];
+        assert!(ewma.evaluate(&noise).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! B5 — administrator throughput: inspection, SPC point evaluation, and
+//! audit-trail append + lineage query rates.
+//!
+//! Expected shape: inspection cost scales linearly with rows × rules; SPC
+//! evaluation is tens of ns/point (run-rule windows are constant-size);
+//! audit appends are O(1) amortized and lineage queries O(trail length).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_admin::{
+    AuditAction, AuditTrail, IndividualsChart, InspectionRule, Inspector, PChart,
+};
+use dq_bench::{tagged_customers, today};
+use relstore::Value;
+
+fn bench_inspection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B5/inspection");
+    g.sample_size(15);
+    let inspector = Inspector::new()
+        .with_rule(InspectionRule::RequiredTag {
+            column: "address".into(),
+            indicator: "source".into(),
+        })
+        .with_rule(InspectionRule::Freshness {
+            column: "address".into(),
+            max_age_days: 900,
+            as_of: today(),
+        })
+        .with_rule(InspectionRule::TagDomain {
+            column: "employees".into(),
+            indicator: "source".into(),
+            allowed: vec![
+                Value::text("sales"),
+                Value::text("acct'g"),
+                Value::text("Nexis"),
+                Value::text("estimate"),
+                Value::text("survey"),
+            ],
+        });
+    for &rows in &[1_000usize, 10_000] {
+        let rel = tagged_customers(rows, 3);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(rows), &rel, |b, rel| {
+            b.iter(|| inspector.inspect(rel).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_spc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B5/spc");
+    let chart = IndividualsChart::with_params(0.0, 1.0);
+    for &n in &[1_000usize, 100_000] {
+        let series: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("individuals_WE", n), &series, |b, s| {
+            b.iter(|| chart.evaluate(s))
+        });
+    }
+    let p = PChart::with_params(0.02, 500);
+    let batches: Vec<usize> = (0..10_000).map(|i| 8 + (i % 7)).collect();
+    g.throughput(Throughput::Elements(batches.len() as u64));
+    g.bench_function("p_chart_10k_batches", |b| b.iter(|| p.evaluate(&batches)));
+    g.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B5/audit");
+    g.sample_size(15);
+    g.bench_function("append_10k", |b| {
+        b.iter(|| {
+            let mut trail = AuditTrail::new();
+            for i in 0..10_000u64 {
+                trail.record(
+                    today(),
+                    "system",
+                    AuditAction::Update,
+                    "customer",
+                    vec![Value::Int((i % 500) as i64)],
+                    Some("address"),
+                    "bench event",
+                );
+            }
+            trail
+        })
+    });
+    // lineage over a 100k-event trail with 500 distinct keys
+    let mut trail = AuditTrail::new();
+    for i in 0..100_000u64 {
+        trail.record(
+            today(),
+            "system",
+            AuditAction::Update,
+            "customer",
+            vec![Value::Int((i % 500) as i64)],
+            Some("address"),
+            "bench event",
+        );
+    }
+    g.bench_function("lineage_in_100k", |b| {
+        b.iter(|| trail.lineage("customer", &[Value::Int(123)]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inspection, bench_spc, bench_audit);
+criterion_main!(benches);

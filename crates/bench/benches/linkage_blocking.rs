@@ -1,0 +1,97 @@
+//! B7 — record-linkage cost and the blocking ablation.
+//!
+//! Fellegi–Sunter linkage is O(|A|·|B|) without blocking; the classical
+//! fix compares only pairs agreeing on a blocking key. We sweep file size
+//! and measure both, expecting the quadratic/near-linear split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_admin::{Comparator, FellegiSunter, FieldSpec};
+use relstore::{DataType, Relation, Schema, Value};
+
+/// `n` customers with `zip` as a 20-valued blocking key; every 10th row
+/// of `b` is a typo'd duplicate of the corresponding `a` row.
+fn files(n: usize) -> (Relation, Relation) {
+    let schema = Schema::of(&[
+        ("name", DataType::Text),
+        ("zip", DataType::Int),
+        ("employees", DataType::Int),
+    ]);
+    let mk = |typos: bool| {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let name = if typos && i % 10 == 0 {
+                    format!("Cmopany {i}") // transposed
+                } else {
+                    format!("Company {i}")
+                };
+                vec![
+                    Value::Text(name),
+                    Value::Int((i % 20) as i64),
+                    Value::Int((i * 7 % 5000) as i64),
+                ]
+            })
+            .collect();
+        Relation::new(schema.clone(), rows).expect("valid rows")
+    };
+    (mk(false), mk(true))
+}
+
+fn model() -> FellegiSunter {
+    FellegiSunter::new(
+        vec![
+            FieldSpec::new("name", 0.95, 0.01, Comparator::JaroWinkler { threshold: 0.92 }),
+            FieldSpec::new(
+                "employees",
+                0.95,
+                0.02,
+                Comparator::NumericTolerance { tolerance: 5.0 },
+            ),
+        ],
+        0.0,
+        8.0,
+    )
+    .expect("thresholds ordered")
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B7/linkage");
+    g.sample_size(10);
+    for &n in &[200usize, 600] {
+        let (a, b) = files(n);
+        let full = model();
+        let blocked = model().blocked_on("zip");
+        g.bench_with_input(BenchmarkId::new("full_pairs", n), &n, |bch, _| {
+            bch.iter(|| full.link(&a, &b).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_on_zip", n), &n, |bch, _| {
+            bch.iter(|| blocked.link(&a, &b).unwrap())
+        });
+    }
+    g.finish();
+
+    // shape check: blocking must not lose any true match here (the typo'd
+    // duplicates keep their zip), and both find the planted duplicates.
+    let (a, b) = files(200);
+    let full_links = model().link(&a, &b).unwrap();
+    let blocked_links = model().blocked_on("zip").link(&a, &b).unwrap();
+    let full_matches: std::collections::HashSet<(usize, usize)> = full_links
+        .iter()
+        .filter(|l| l.class == dq_admin::LinkClass::Match)
+        .map(|l| (l.left, l.right))
+        .collect();
+    let blocked_matches: std::collections::HashSet<(usize, usize)> = blocked_links
+        .iter()
+        .filter(|l| l.class == dq_admin::LinkClass::Match)
+        .map(|l| (l.left, l.right))
+        .collect();
+    assert!(blocked_matches.is_subset(&full_matches));
+    assert!(full_matches.len() >= 200, "diagonal pairs must all match");
+    println!(
+        "B7 shape: full matches={}, blocked matches={}",
+        full_matches.len(),
+        blocked_matches.len()
+    );
+}
+
+criterion_group!(benches, bench_linkage);
+criterion_main!(benches);

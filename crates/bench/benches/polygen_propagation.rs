@@ -1,0 +1,102 @@
+//! B3 — polygen source-set growth through k-way joins.
+//!
+//! In a composed (heterogeneous) system the cost of source tagging is the
+//! growth of per-cell source sets as operators compose. We join k
+//! single-source relations (k = 2..5) and measure both runtime and the
+//! resulting lineage width.
+//!
+//! Expected shape: runtime grows with join depth (output cells accumulate
+//! intermediate sources, so cloning gets costlier per level); the total
+//! source set of the result is bounded by k — provenance grows with
+//! composition arity, not with data volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polygen::{PolyRelation, SourceId};
+use relstore::{DataType, Relation, Schema, Value};
+
+/// `rows`-row relation (k, payload) originating from `name`.
+fn source_relation(name: &str, rows: usize, offset: i64) -> PolyRelation {
+    let schema = Schema::of(&[("k", DataType::Int), (leak(format!("v_{name}")), DataType::Int)]);
+    let rel = Relation::new(
+        schema,
+        (0..rows)
+            .map(|i| vec![Value::Int(i as i64), Value::Int(i as i64 + offset)])
+            .collect(),
+    )
+    .expect("valid rows");
+    PolyRelation::retrieve(&rel, SourceId::new(name))
+}
+
+/// Column names must live for the schema's lifetime; benches run once per
+/// process so a tiny leak is fine.
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn kway_join(k: usize, rows: usize) -> PolyRelation {
+    let mut acc = source_relation("s0", rows, 0);
+    for i in 1..k {
+        let next = source_relation(leak(format!("s{i}")), rows, i as i64);
+        let joined = acc.join(&next, "k", "k").expect("keys exist");
+        // keep the join key (left copy) plus the newest payload, restoring
+        // the stable (k, v) shape for the next round; provenance
+        // accumulated so far rides along on both retained cells.
+        let payload = leak(format!("v_s{i}"));
+        acc = joined
+            .project(&["l.k", payload])
+            .expect("projection")
+            .rename("l.k", "k")
+            .expect("rename");
+    }
+    acc
+}
+
+fn bench_join_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B3/join_depth");
+    g.sample_size(10);
+    let rows = 2_000usize;
+    for k in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| kway_join(k, rows))
+        });
+    }
+    g.finish();
+
+    // Correctness-of-shape checks (printed once, recorded in EXPERIMENTS.md):
+    for k in [2usize, 3, 4, 5] {
+        let out = kway_join(k, 100);
+        let lineage = out.all_sources().len();
+        assert_eq!(lineage, k, "lineage width must equal join arity");
+        println!("B3 shape: k={k} → result sources={lineage}, rows={}", out.len());
+    }
+}
+
+fn bench_source_count_scaling(c: &mut Criterion) {
+    // union of n single-source relations with overlapping values:
+    // coalescing cost grows with n, result lineage = n.
+    let mut g = c.benchmark_group("B3/union_sources");
+    g.sample_size(10);
+    for n in [2usize, 8, 16, 64] {
+        // identical schemas, distinct sources — union requires
+        // union-compatibility, so the payload column name is shared
+        let parts: Vec<PolyRelation> = (0..n)
+            .map(|i| {
+                let rel = source_relation("u", 500, 0).strip();
+                PolyRelation::retrieve(&rel, SourceId::new(leak(format!("src{i}"))))
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &parts, |b, parts| {
+            b.iter(|| {
+                let mut acc = parts[0].clone();
+                for p in &parts[1..] {
+                    acc = acc.union(p).expect("compatible");
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join_depth, bench_source_count_scaling);
+criterion_main!(benches);

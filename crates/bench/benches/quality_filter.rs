@@ -1,0 +1,68 @@
+//! B2 — quality-filter cost vs. selectivity and constraint count.
+//!
+//! The paper's headline operation: "at query time, data with undesirable
+//! characteristics can be filtered out." We sweep the selectivity of an
+//! age constraint (via the threshold) and the number of conjoined
+//! indicator predicates (1–4).
+//!
+//! Expected shape: cost is dominated by the scan (flat across
+//! selectivities, small slope from output cloning); adding indicator
+//! conjuncts adds roughly constant per-row work each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_bench::{tagged_customers, today};
+use relstore::{Expr, Value};
+use tagstore::algebra as ta;
+
+fn rel_with_ages() -> tagstore::TaggedRelation {
+    let mut rel = tagged_customers(10_000, 4);
+    ta::derive_age(&mut rel, "employees", today()).unwrap();
+    ta::derive_age(&mut rel, "address", today()).unwrap();
+    rel
+}
+
+fn bench_selectivity(c: &mut Criterion) {
+    let rel = rel_with_ages();
+    // creation dates span 1988-01-01..1991-10-24 (~1392 days)
+    let mut g = c.benchmark_group("B2/selectivity");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rel.len() as u64));
+    for (label, max_age) in [("1pct", 14i64), ("10pct", 139), ("50pct", 696), ("100pct", 1400)] {
+        let pred = Expr::col("employees@age").le(Expr::lit(max_age));
+        // report actual selectivity once via the result length
+        let hit = ta::select(&rel, &pred).unwrap().len();
+        g.bench_with_input(
+            BenchmarkId::new(format!("{label}_rows{hit}"), max_age),
+            &pred,
+            |b, p| b.iter(|| ta::select(&rel, p).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_constraint_count(c: &mut Criterion) {
+    let rel = rel_with_ages();
+    let mut g = c.benchmark_group("B2/conjuncts");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rel.len() as u64));
+    let conjuncts = [
+        Expr::col("employees@age").le(Expr::lit(700i64)),
+        Expr::col("employees@source").ne(Expr::lit("estimate")),
+        Expr::col("address@age").le(Expr::lit(1200i64)),
+        Expr::col("address@collection_method").ne(Expr::lit(Value::text("over the phone"))),
+    ];
+    for k in 1..=4usize {
+        let pred = conjuncts[..k]
+            .iter()
+            .cloned()
+            .reduce(|a, b| a.and(b))
+            .expect("k >= 1");
+        g.bench_with_input(BenchmarkId::from_parameter(k), &pred, |b, p| {
+            b.iter(|| ta::select(&rel, p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectivity, bench_constraint_count);
+criterion_main!(benches);

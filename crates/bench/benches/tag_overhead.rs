@@ -1,0 +1,78 @@
+//! B1 — the cost of cell-level quality tagging.
+//!
+//! §4: "Cost-benefit tradeoffs in tagging and tracking data quality must
+//! be considered." This bench measures the tagging side of that tradeoff:
+//! scan-filter and hash-join over plain relations vs. tagged relations
+//! with 1–4 indicators per cell vs. polygen relations.
+//!
+//! Expected shape: tagged operators cost a constant factor over plain
+//! (cells are fatter, cloning dominates), growing roughly linearly in
+//! tags-per-cell; polygen sits between plain and heavily-tagged.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_bench::{join_partner, plain_customers, tagged_customers, tagged_join_partner};
+use polygen::{PolyRelation, SourceId};
+use relstore::algebra as ra;
+use relstore::Expr;
+use tagstore::algebra as ta;
+
+fn filter_pred() -> Expr {
+    Expr::col("employees").gt(Expr::lit(25_000i64))
+}
+
+fn bench_scan_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B1/scan_filter");
+    g.sample_size(20);
+    for &rows in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(rows as u64));
+        let plain = plain_customers(rows);
+        g.bench_with_input(BenchmarkId::new("plain", rows), &plain, |b, rel| {
+            b.iter(|| ra::select(rel, &filter_pred()).unwrap())
+        });
+        let poly = PolyRelation::retrieve(&plain, SourceId::new("src"));
+        g.bench_with_input(BenchmarkId::new("polygen", rows), &poly, |b, rel| {
+            b.iter(|| rel.restrict(&filter_pred()).unwrap())
+        });
+        for k in [1usize, 2, 4] {
+            let tagged = tagged_customers(rows, k);
+            g.bench_with_input(
+                BenchmarkId::new(format!("tagged_k{k}"), rows),
+                &tagged,
+                |b, rel| b.iter(|| ta::select(rel, &filter_pred()).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B1/hash_join");
+    g.sample_size(15);
+    for &rows in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(rows as u64));
+        let plain = plain_customers(rows);
+        let partner = join_partner(rows);
+        g.bench_function(BenchmarkId::new("plain", rows), |b| {
+            b.iter(|| {
+                ra::hash_join(&plain, &partner, "co_name", "co_name", ra::JoinType::Inner)
+                    .unwrap()
+            })
+        });
+        let poly_l = PolyRelation::retrieve(&plain, SourceId::new("L"));
+        let poly_r = PolyRelation::retrieve(&partner, SourceId::new("R"));
+        g.bench_function(BenchmarkId::new("polygen", rows), |b| {
+            b.iter(|| poly_l.join(&poly_r, "co_name", "co_name").unwrap())
+        });
+        let tagged_partner = tagged_join_partner(rows);
+        for k in [1usize, 2, 4] {
+            let tagged = tagged_customers(rows, k);
+            g.bench_function(BenchmarkId::new(format!("tagged_k{k}"), rows), |b| {
+                b.iter(|| ta::hash_join(&tagged, &tagged_partner, "co_name", "co_name").unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_filter, bench_hash_join);
+criterion_main!(benches);

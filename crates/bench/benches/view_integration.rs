@@ -1,0 +1,122 @@
+//! B4 — Step-4 quality-view integration scaling.
+//!
+//! Sweeps the number of quality views (2–32) and indicators per view
+//! (4–64), with the derivability collapse on vs. off.
+//!
+//! Expected shape: integration time grows with views × indicators
+//! (quadratic-flavored because deduplication scans the accumulated set);
+//! when the views overlap on derivable pairs, the collapse shrinks the
+//! integrated schema for a small extra cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dq_core::{
+    default_rules, step1_application_view, step4_integrate, CandidateCatalog, QualityView, Step2,
+    Step3, Target,
+};
+use er_model::{Correspondences, EntityType, ErAttribute, ErSchema};
+use relstore::DataType;
+use tagstore::IndicatorDef;
+
+/// An entity with `attrs` attributes so every view has room to annotate.
+fn wide_er(attrs: usize) -> ErSchema {
+    let mut e = EntityType::new("subject").with(ErAttribute::key("id", DataType::Int));
+    for i in 0..attrs {
+        e = e.with(ErAttribute::new(format!("a{i}"), DataType::Text));
+    }
+    ErSchema::new("wide").with_entity(e)
+}
+
+/// Builds one quality view with `indicators` indicators spread over the
+/// attributes. Views `v` alternate between `age` and `creation_time` on
+/// attribute 0 so the derivability rule has work to do.
+fn make_view(er: &ErSchema, v: usize, indicators: usize, attrs: usize) -> QualityView {
+    let app = step1_application_view(er.clone()).expect("valid er");
+    let mut s2 = Step2::new(app, CandidateCatalog::appendix_a()).allow_custom_parameters();
+    for i in 0..indicators {
+        let attr = format!("a{}", i % attrs);
+        s2 = s2
+            .parameter(Target::attr("subject", attr), "timeliness", "bench")
+            .expect("target exists");
+    }
+    let pv = s2.finish();
+    let mut s3 = Step3::new(pv);
+    for i in 0..indicators {
+        let attr = format!("a{}", i % attrs);
+        let name = if i == 0 {
+            if v.is_multiple_of(2) { "age".to_owned() } else { "creation_time".to_owned() }
+        } else {
+            format!("ind_{i}")
+        };
+        let dtype = if name == "creation_time" { DataType::Date } else { DataType::Int };
+        s3 = s3
+            .operationalize(
+                Target::attr("subject", attr),
+                "timeliness",
+                IndicatorDef::new(name, dtype, "bench indicator"),
+            )
+            .expect("parameter recorded");
+    }
+    s3.finish().expect("covered")
+}
+
+fn bench_views(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B4/views");
+    g.sample_size(10);
+    let attrs = 16;
+    let er = wide_er(attrs);
+    for &n_views in &[2usize, 8, 32] {
+        let views: Vec<QualityView> = (0..n_views)
+            .map(|v| make_view(&er, v, 16, attrs))
+            .collect();
+        let refs: Vec<&QualityView> = views.iter().collect();
+        g.bench_with_input(
+            BenchmarkId::new("with_derivability", n_views),
+            &refs,
+            |b, refs| {
+                b.iter(|| {
+                    step4_integrate("g", refs, &Correspondences::new(), &default_rules()).unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("no_derivability", n_views),
+            &refs,
+            |b, refs| {
+                b.iter(|| step4_integrate("g", refs, &Correspondences::new(), &[]).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_indicators_per_view(c: &mut Criterion) {
+    let mut g = c.benchmark_group("B4/indicators_per_view");
+    g.sample_size(10);
+    let attrs = 16;
+    let er = wide_er(attrs);
+    for &inds in &[4usize, 16, 64] {
+        let views: Vec<QualityView> = (0..4).map(|v| make_view(&er, v, inds, attrs)).collect();
+        let refs: Vec<&QualityView> = views.iter().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(inds), &refs, |b, refs| {
+            b.iter(|| {
+                step4_integrate("g", refs, &Correspondences::new(), &default_rules()).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // shape check: derivability collapse shrinks the integrated schema
+    let views: Vec<QualityView> = (0..2).map(|v| make_view(&er, v, 8, attrs)).collect();
+    let refs: Vec<&QualityView> = views.iter().collect();
+    let with = step4_integrate("g", &refs, &Correspondences::new(), &default_rules()).unwrap();
+    let without = step4_integrate("g", &refs, &Correspondences::new(), &[]).unwrap();
+    assert!(with.indicators.len() < without.indicators.len());
+    println!(
+        "B4 shape: 2 views × 8 indicators → {} integrated with collapse, {} without",
+        with.indicators.len(),
+        without.indicators.len()
+    );
+}
+
+criterion_group!(benches, bench_views, bench_indicators_per_view);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates every table and figure of the ICDE'93 paper
+//! (see DESIGN.md §4 for the index).
+//!
+//! ```sh
+//! cargo run -p dq-bench --bin paper_exhibits
+//! ```
+
+use dq_core::{spec, AttributeKind, CandidateCatalog};
+use dq_workloads::{
+    figure3_schema, figure4_parameter_view, figure5_quality_view, render_appendix, run_survey,
+    table1, table2, trading_quality_schema, SurveyConfig,
+};
+use er_model::{to_ascii, to_dot};
+
+fn heading(s: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{s}");
+    println!("{}", "=".repeat(72));
+}
+
+fn main() {
+    heading("TABLE 1 — Customer information");
+    println!("{}", table1());
+
+    heading("TABLE 2 — Customer information with quality tags");
+    println!("{}", table2().to_paper_table());
+
+    heading("FIGURE 1 — Quality attributes = parameters (subjective) ∪ indicators (objective)");
+    let catalog = CandidateCatalog::appendix_a();
+    let params = catalog.by_kind(AttributeKind::Parameter).len();
+    let inds = catalog.by_kind(AttributeKind::Indicator).len();
+    println!(
+        "\n                 data quality attribute ({} total)\n\
+         \x20                 /                      \\\n\
+         \x20 quality parameter ({params})        quality indicator ({inds})\n\
+         \x20    (subjective)                    (objective)\n",
+        params + inds
+    );
+
+    heading("FIGURE 2 — The process of data quality modeling");
+    println!(
+        "\n  Step 1  application requirements ───────────▶ application view\n\
+         \x20 Step 2  + candidate quality attributes ─────▶ parameter view\n\
+         \x20 Step 3  operationalize parameters ──────────▶ quality view(s)\n\
+         \x20 Step 4  quality view integration ───────────▶ quality schema\n"
+    );
+
+    heading("FIGURE 3 — Application view (output from Step 1)");
+    let er = figure3_schema();
+    println!("{}", to_ascii(&er, &[]));
+    println!("--- Graphviz DOT ---\n{}", to_dot(&er, &[]));
+
+    heading("FIGURE 4 — Parameter view (output from Step 2)");
+    let pv = figure4_parameter_view();
+    let anns = spec::parameter_annotations(&pv);
+    println!("{}", to_ascii(&pv.app.er, &anns));
+    println!("--- Graphviz DOT ---\n{}", to_dot(&pv.app.er, &anns));
+
+    heading("FIGURE 5 — Quality view (output from Step 3)");
+    let qv = figure5_quality_view();
+    let anns = spec::indicator_annotations(&qv);
+    println!("{}", to_ascii(&qv.app.er, &anns));
+    println!("--- Graphviz DOT ---\n{}", to_dot(&qv.app.er, &anns));
+
+    heading("STEP 4 — Integrated quality schema (requirements specification)");
+    let qs = trading_quality_schema();
+    println!("{}", spec::quality_schema_markdown(&qs));
+
+    heading("APPENDIX A — Candidate quality attributes (simulated survey)");
+    let ranked = run_survey(&catalog, &SurveyConfig::default());
+    println!("{}", render_appendix(&ranked, 40));
+    println!(
+        "(catalog holds {} candidate attributes across data/system/service/user scopes)",
+        catalog.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! `dq-bench` — shared fixtures for the benchmark harness.
+//!
+//! Each bench in `benches/` regenerates one row of EXPERIMENTS.md; the
+//! fixtures here keep the workload construction identical across benches
+//! (same seeds, same shapes) so numbers are comparable.
+
+#![warn(missing_docs)]
+
+use dq_workloads::{generate_customers, CustomerGenConfig};
+use relstore::{Date, Relation};
+use tagstore::TaggedRelation;
+
+/// Reference date used across benches ("today" in the paper's timeline).
+pub fn today() -> Date {
+    Date::new(1991, 10, 24).expect("valid date")
+}
+
+/// A tagged customer relation with `rows` rows and `tags_per_cell`
+/// indicators on each tagged cell (untagged probability 0 so the tag
+/// count is exact).
+pub fn tagged_customers(rows: usize, tags_per_cell: usize) -> TaggedRelation {
+    generate_customers(&CustomerGenConfig {
+        rows,
+        untagged_prob: 0.0,
+        tags_per_cell,
+        seed: 42,
+        ..Default::default()
+    })
+    .expect("generator cannot fail on valid config")
+}
+
+/// The plain (untagged) twin of [`tagged_customers`].
+pub fn plain_customers(rows: usize) -> Relation {
+    tagged_customers(rows, 1).strip()
+}
+
+/// A second keyed relation for joins: distinct company names from the
+/// customer table (join key: `co_name`).
+pub fn join_partner(rows: usize) -> Relation {
+    use relstore::{DataType, Schema, Value};
+    let src = plain_customers(rows);
+    let schema = Schema::of(&[("co_name", DataType::Text), ("rank", DataType::Int)]);
+    let rows: Vec<Vec<Value>> = src
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vec![r[0].clone(), Value::Int(i as i64)])
+        .collect();
+    Relation::new(schema, rows).expect("valid rows")
+}
+
+/// Tagged twin of [`join_partner`] (bare cells, for tagged joins).
+pub fn tagged_join_partner(rows: usize) -> TaggedRelation {
+    TaggedRelation::from_relation(
+        &join_partner(rows),
+        tagstore::IndicatorDictionary::with_paper_defaults(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let t = tagged_customers(100, 3);
+        assert_eq!(t.len(), 100);
+        assert!(t.iter().all(|r| r[1].tag_count() == 3));
+        assert_eq!(plain_customers(100).len(), 100);
+        let p = join_partner(50);
+        assert_eq!(p.len(), 50);
+        assert_eq!(tagged_join_partner(50).len(), 50);
+    }
+}

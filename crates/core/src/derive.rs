@@ -1,0 +1,121 @@
+//! Indicator derivability rules for Step-4 integration.
+//!
+//! The paper (§3.4): "one quality view may have *age* as an indicator,
+//! whereas another quality view may have *creation time*. In this case,
+//! the design team may choose *creation time* for the integrated schema
+//! because age can be computed given current time and creation time."
+//! A [`DerivabilityRule`] records exactly that relationship; the Step-4
+//! engine uses the rules to eliminate redundant indicators.
+
+use serde::{Deserialize, Serialize};
+
+/// `derived` can be computed from `bases` (plus ambient context such as
+/// the current time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivabilityRule {
+    /// The redundant indicator.
+    pub derived: String,
+    /// The indicators it can be computed from.
+    pub bases: Vec<String>,
+    /// How the derivation works (documentation).
+    pub how: String,
+}
+
+impl DerivabilityRule {
+    /// Shorthand constructor.
+    pub fn new(derived: impl Into<String>, bases: &[&str], how: impl Into<String>) -> Self {
+        DerivabilityRule {
+            derived: derived.into(),
+            bases: bases.iter().map(|s| s.to_string()).collect(),
+            how: how.into(),
+        }
+    }
+}
+
+/// The default rule set, headed by the paper's own example.
+pub fn default_rules() -> Vec<DerivabilityRule> {
+    vec![
+        DerivabilityRule::new(
+            "age",
+            &["creation_time"],
+            "age = current_time - creation_time",
+        ),
+        DerivabilityRule::new(
+            "currency",
+            &["last_update_time"],
+            "currency = current_time - last_update_time",
+        ),
+        DerivabilityRule::new(
+            "update_frequency",
+            &["update_count", "creation_time"],
+            "update_frequency = update_count / (current_time - creation_time)",
+        ),
+    ]
+}
+
+/// Given the indicator names present on one target, returns the names that
+/// are redundant under `rules` (their bases are all present too).
+pub fn redundant_indicators<'a>(
+    present: &[&'a str],
+    rules: &'a [DerivabilityRule],
+) -> Vec<(&'a str, &'a DerivabilityRule)> {
+    let mut out = Vec::new();
+    for rule in rules {
+        let derived_here = present.iter().any(|p| *p == rule.derived);
+        let bases_here = rule
+            .bases
+            .iter()
+            .all(|b| present.iter().any(|p| p == b));
+        if derived_here && bases_here {
+            out.push((rule.derived.as_str(), rule));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_age_vs_creation_time() {
+        let rules = default_rules();
+        let present = vec!["age", "creation_time", "source"];
+        let red = redundant_indicators(&present, &rules);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].0, "age");
+        assert!(red[0].1.how.contains("current_time"));
+    }
+
+    #[test]
+    fn no_redundancy_without_base() {
+        let rules = default_rules();
+        // age present but creation_time missing → keep age
+        let red = redundant_indicators(&["age", "source"], &rules);
+        assert!(red.is_empty());
+        // base present but derived absent → nothing to collapse
+        let red = redundant_indicators(&["creation_time"], &rules);
+        assert!(red.is_empty());
+    }
+
+    #[test]
+    fn multi_base_rules() {
+        let rules = default_rules();
+        let red = redundant_indicators(
+            &["update_frequency", "update_count", "creation_time"],
+            &rules,
+        );
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].0, "update_frequency");
+        // missing one base → not redundant
+        let red = redundant_indicators(&["update_frequency", "update_count"], &rules);
+        assert!(red.is_empty());
+    }
+
+    #[test]
+    fn custom_rules() {
+        let rules = vec![DerivabilityRule::new("x", &["y", "z"], "x = f(y, z)")];
+        let red = redundant_indicators(&["x", "y", "z"], &rules);
+        assert_eq!(red.len(), 1);
+    }
+}

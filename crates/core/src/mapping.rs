@@ -1,0 +1,352 @@
+//! Parameter value derivation: mapping objective indicator values to
+//! subjective parameter values.
+//!
+//! §1.3: "User-defined functions may be used to map quality indicator
+//! values to quality parameter values. For example, because the source is
+//! Wall Street Journal, an investor may conclude that data credibility is
+//! high." A [`ParameterMapper`] is such a function; this module supplies
+//! the three the paper's examples need (credibility-from-source,
+//! timeliness-from-age, accuracy-from-collection-method) plus the ordinal
+//! [`QualityLevel`] scale parameter values are reported on.
+
+use relstore::{Date, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use tagstore::QualityCell;
+
+/// Ordinal quality-parameter value scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QualityLevel {
+    /// score < 0.2
+    VeryLow,
+    /// 0.2 ≤ score < 0.4
+    Low,
+    /// 0.4 ≤ score < 0.6
+    Medium,
+    /// 0.6 ≤ score < 0.8
+    High,
+    /// score ≥ 0.8
+    VeryHigh,
+}
+
+impl QualityLevel {
+    /// Quantizes a score in `[0, 1]` to the ordinal scale.
+    pub fn from_score(score: f64) -> Self {
+        let s = score.clamp(0.0, 1.0);
+        if s < 0.2 {
+            QualityLevel::VeryLow
+        } else if s < 0.4 {
+            QualityLevel::Low
+        } else if s < 0.6 {
+            QualityLevel::Medium
+        } else if s < 0.8 {
+            QualityLevel::High
+        } else {
+            QualityLevel::VeryHigh
+        }
+    }
+}
+
+impl fmt::Display for QualityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QualityLevel::VeryLow => "very low",
+            QualityLevel::Low => "low",
+            QualityLevel::Medium => "medium",
+            QualityLevel::High => "high",
+            QualityLevel::VeryHigh => "very high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Ambient context for mapping functions (the current date, for
+/// age-from-creation-time derivation).
+#[derive(Debug, Clone, Copy)]
+pub struct MappingContext {
+    /// "Now" for age computations.
+    pub today: Date,
+}
+
+/// A user-defined function from a cell's indicator values to a parameter
+/// score in `[0, 1]`. Returns `None` when the required indicators are
+/// missing — an unmapped cell has *unknown* (not zero) parameter value.
+pub trait ParameterMapper {
+    /// The subjective parameter this mapper evaluates.
+    fn parameter(&self) -> &str;
+    /// Evaluates the cell. `None` when the needed tags are absent.
+    fn score(&self, cell: &QualityCell, ctx: &MappingContext) -> Option<f64>;
+
+    /// Ordinal form of [`ParameterMapper::score`].
+    fn level(&self, cell: &QualityCell, ctx: &MappingContext) -> Option<QualityLevel> {
+        self.score(cell, ctx).map(QualityLevel::from_score)
+    }
+}
+
+/// Credibility from the `source` indicator via a lookup table
+/// ("because the source is Wall Street Journal ... credibility is high").
+#[derive(Debug, Clone, Default)]
+pub struct CredibilityFromSource {
+    table: BTreeMap<String, f64>,
+    /// Score for sources absent from the table; `None` → unknown.
+    pub default: Option<f64>,
+}
+
+impl CredibilityFromSource {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rates a source (builder style).
+    pub fn rate(mut self, source: impl Into<String>, score: f64) -> Self {
+        self.table.insert(source.into(), score.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Sets the default score for unknown sources.
+    pub fn with_default(mut self, score: f64) -> Self {
+        self.default = Some(score.clamp(0.0, 1.0));
+        self
+    }
+}
+
+impl ParameterMapper for CredibilityFromSource {
+    fn parameter(&self) -> &str {
+        "credibility"
+    }
+
+    fn score(&self, cell: &QualityCell, _ctx: &MappingContext) -> Option<f64> {
+        match cell.tag_value("source") {
+            Value::Text(s) => self.table.get(&s).copied().or(self.default),
+            _ => None,
+        }
+    }
+}
+
+/// Timeliness from the `age` indicator (or `creation_time` + today),
+/// using the Ballou–Pazer form
+/// `timeliness = max(0, 1 − currency/volatility)^sensitivity`.
+#[derive(Debug, Clone)]
+pub struct TimelinessFromAge {
+    /// Shelf life of the data in days (volatility).
+    pub volatility_days: f64,
+    /// Exponent controlling how sharply timeliness decays.
+    pub sensitivity: f64,
+}
+
+impl ParameterMapper for TimelinessFromAge {
+    fn parameter(&self) -> &str {
+        "timeliness"
+    }
+
+    fn score(&self, cell: &QualityCell, ctx: &MappingContext) -> Option<f64> {
+        let age_days: f64 = match cell.tag_value("age") {
+            Value::Int(a) => a as f64,
+            Value::Float(a) => a,
+            _ => match cell.tag_value("creation_time") {
+                Value::Date(d) => ctx.today.days_between(&d) as f64,
+                _ => return None,
+            },
+        };
+        if self.volatility_days <= 0.0 {
+            return Some(0.0);
+        }
+        let base = (1.0 - age_days / self.volatility_days).max(0.0);
+        Some(base.powf(self.sensitivity))
+    }
+}
+
+/// Accuracy from the `collection_method` indicator — "different means of
+/// capturing data ... each has inherent accuracy implications. Error
+/// rates may differ from device to device."
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyFromCollectionMethod {
+    table: BTreeMap<String, f64>,
+}
+
+impl AccuracyFromCollectionMethod {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rates a collection method (builder style).
+    pub fn rate(mut self, method: impl Into<String>, score: f64) -> Self {
+        self.table.insert(method.into(), score.clamp(0.0, 1.0));
+        self
+    }
+}
+
+impl ParameterMapper for AccuracyFromCollectionMethod {
+    fn parameter(&self) -> &str {
+        "accuracy"
+    }
+
+    fn score(&self, cell: &QualityCell, _ctx: &MappingContext) -> Option<f64> {
+        match cell.tag_value("collection_method") {
+            Value::Text(m) => self.table.get(&m).copied(),
+            _ => None,
+        }
+    }
+}
+
+/// Combines several mappers; overall quality is the *minimum* score across
+/// parameters that could be evaluated (weakest-dimension semantics),
+/// `None` if no mapper applied.
+pub struct CompositeMapper {
+    mappers: Vec<Box<dyn ParameterMapper>>,
+}
+
+impl CompositeMapper {
+    /// Builds from boxed mappers.
+    pub fn new(mappers: Vec<Box<dyn ParameterMapper>>) -> Self {
+        CompositeMapper { mappers }
+    }
+
+    /// Minimum score across applicable mappers.
+    pub fn overall_score(&self, cell: &QualityCell, ctx: &MappingContext) -> Option<f64> {
+        let scores: Vec<f64> = self
+            .mappers
+            .iter()
+            .filter_map(|m| m.score(cell, ctx))
+            .collect();
+        scores.into_iter().fold(None, |acc, s| {
+            Some(match acc {
+                None => s,
+                Some(a) => a.min(s),
+            })
+        })
+    }
+
+    /// Per-parameter breakdown `(parameter, score)`.
+    pub fn breakdown(&self, cell: &QualityCell, ctx: &MappingContext) -> Vec<(&str, f64)> {
+        self.mappers
+            .iter()
+            .filter_map(|m| m.score(cell, ctx).map(|s| (m.parameter(), s)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagstore::IndicatorValue;
+
+    fn ctx() -> MappingContext {
+        MappingContext {
+            today: Date::parse("10-24-91").unwrap(),
+        }
+    }
+
+    #[test]
+    fn quality_level_quantization() {
+        assert_eq!(QualityLevel::from_score(0.0), QualityLevel::VeryLow);
+        assert_eq!(QualityLevel::from_score(0.3), QualityLevel::Low);
+        assert_eq!(QualityLevel::from_score(0.5), QualityLevel::Medium);
+        assert_eq!(QualityLevel::from_score(0.7), QualityLevel::High);
+        assert_eq!(QualityLevel::from_score(1.0), QualityLevel::VeryHigh);
+        assert_eq!(QualityLevel::from_score(7.0), QualityLevel::VeryHigh); // clamped
+        assert!(QualityLevel::Low < QualityLevel::High);
+    }
+
+    #[test]
+    fn wsj_is_highly_credible() {
+        // the paper's own example
+        let m = CredibilityFromSource::new()
+            .rate("Wall Street Journal", 0.95)
+            .rate("estimate", 0.30);
+        let cell = QualityCell::bare(700i64)
+            .with_tag(IndicatorValue::new("source", "Wall Street Journal"));
+        assert_eq!(m.level(&cell, &ctx()), Some(QualityLevel::VeryHigh));
+        let cell =
+            QualityCell::bare(700i64).with_tag(IndicatorValue::new("source", "estimate"));
+        assert_eq!(m.level(&cell, &ctx()), Some(QualityLevel::Low));
+        // unknown source without default → unknown
+        let cell = QualityCell::bare(700i64).with_tag(IndicatorValue::new("source", "rumor"));
+        assert_eq!(m.score(&cell, &ctx()), None);
+        // with default
+        let m = m.with_default(0.1);
+        assert_eq!(m.score(&cell, &ctx()), Some(0.1));
+        // untagged cell → unknown
+        assert_eq!(m.score(&QualityCell::bare(1i64), &ctx()), None);
+    }
+
+    #[test]
+    fn timeliness_decays_with_age() {
+        let m = TimelinessFromAge {
+            volatility_days: 30.0,
+            sensitivity: 1.0,
+        };
+        let fresh = QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", 0i64));
+        let stale = QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", 15i64));
+        let dead = QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", 60i64));
+        assert_eq!(m.score(&fresh, &ctx()), Some(1.0));
+        assert_eq!(m.score(&stale, &ctx()), Some(0.5));
+        assert_eq!(m.score(&dead, &ctx()), Some(0.0));
+    }
+
+    #[test]
+    fn timeliness_falls_back_to_creation_time() {
+        let m = TimelinessFromAge {
+            volatility_days: 42.0,
+            sensitivity: 1.0,
+        };
+        let cell = QualityCell::bare(1i64).with_tag(IndicatorValue::new(
+            "creation_time",
+            Value::Date(Date::parse("10-3-91").unwrap()),
+        ));
+        // 21 days old on 10-24-91 → 1 - 21/42 = 0.5
+        assert_eq!(m.score(&cell, &ctx()), Some(0.5));
+        assert_eq!(m.score(&QualityCell::bare(1i64), &ctx()), None);
+    }
+
+    #[test]
+    fn sensitivity_sharpens_decay() {
+        let lo = TimelinessFromAge {
+            volatility_days: 30.0,
+            sensitivity: 1.0,
+        };
+        let hi = TimelinessFromAge {
+            volatility_days: 30.0,
+            sensitivity: 3.0,
+        };
+        let cell = QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", 15i64));
+        assert!(hi.score(&cell, &ctx()).unwrap() < lo.score(&cell, &ctx()).unwrap());
+    }
+
+    #[test]
+    fn accuracy_by_collection_method() {
+        let m = AccuracyFromCollectionMethod::new()
+            .rate("bar code scanner", 0.99)
+            .rate("over the phone", 0.80)
+            .rate("voice decoder", 0.70);
+        let cell = QualityCell::bare("555-0100")
+            .with_tag(IndicatorValue::new("collection_method", "over the phone"));
+        assert_eq!(m.score(&cell, &ctx()), Some(0.80));
+        assert_eq!(m.parameter(), "accuracy");
+    }
+
+    #[test]
+    fn composite_weakest_dimension() {
+        let comp = CompositeMapper::new(vec![
+            Box::new(CredibilityFromSource::new().rate("NYSE", 0.9)),
+            Box::new(TimelinessFromAge {
+                volatility_days: 10.0,
+                sensitivity: 1.0,
+            }),
+        ]);
+        let cell = QualityCell::bare(10.0)
+            .with_tag(IndicatorValue::new("source", "NYSE"))
+            .with_tag(IndicatorValue::new("age", 5i64));
+        assert_eq!(comp.overall_score(&cell, &ctx()), Some(0.5)); // timeliness is weaker
+        let bd = comp.breakdown(&cell, &ctx());
+        assert_eq!(bd.len(), 2);
+        // only one applicable
+        let cell = QualityCell::bare(10.0).with_tag(IndicatorValue::new("age", 5i64));
+        assert_eq!(comp.overall_score(&cell, &ctx()), Some(0.5));
+        // none applicable
+        assert_eq!(comp.overall_score(&QualityCell::bare(1i64), &ctx()), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's premises (§2), encoded as checkable analyses over the
+//! methodology's artifacts.
+//!
+//! Premises are not axioms the engine enforces — they are observations
+//! about data quality the methodology must *accommodate*. This module
+//! provides analyses that surface each premise in a concrete schema, used
+//! by the spec emitter and by the paper-exhibit regenerator.
+
+use crate::catalog::CandidateCatalog;
+use crate::views::{QualitySchema, Target};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a premise in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Premise {
+    /// 1.1 — application and quality attributes may coincide.
+    RelatednessOfApplicationAndQuality,
+    /// 1.2 — quality attributes need not be orthogonal.
+    NonOrthogonality,
+    /// 1.3 — quality differs across databases/entities/attributes/instances.
+    HeterogeneityAndHierarchy,
+    /// 1.4 — quality indicators may themselves be quality-tagged.
+    RecursiveIndicators,
+    /// 2.1 — quality attributes vary across users.
+    UserSpecificAttributes,
+    /// 2.2 — quality standards vary across users.
+    UserSpecificStandards,
+    /// 3 — one user may hold non-uniform attributes and standards.
+    NonUniformWithinUser,
+}
+
+/// One finding produced by a premise analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PremiseFinding {
+    /// Which premise the finding illustrates.
+    pub premise: Premise,
+    /// What was observed.
+    pub detail: String,
+}
+
+/// Premise 1.1: indicator names that collide with application attribute
+/// names in the same schema — candidates for promotion (or evidence the
+/// boundary was drawn deliberately).
+pub fn check_relatedness(qs: &QualitySchema) -> Vec<PremiseFinding> {
+    let mut out = Vec::new();
+    for ann in &qs.indicators {
+        let clash = qs
+            .er
+            .entities
+            .iter()
+            .any(|e| e.attribute(&ann.def.name).is_some());
+        if clash {
+            out.push(PremiseFinding {
+                premise: Premise::RelatednessOfApplicationAndQuality,
+                detail: format!(
+                    "indicator `{}` (on `{}`) shares its name with an application attribute — \
+                     consider promote_indicator_to_attribute or renaming",
+                    ann.def.name, ann.target
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Premise 1.2: related (non-orthogonal) attribute pairs that are *both*
+/// in use in the schema — the design team should check for redundancy.
+pub fn check_non_orthogonality(
+    qs: &QualitySchema,
+    catalog: &CandidateCatalog,
+) -> Vec<PremiseFinding> {
+    let used: Vec<&str> = qs
+        .parameters
+        .iter()
+        .map(|p| p.parameter.as_str())
+        .collect();
+    let mut out = Vec::new();
+    for (a, b) in catalog.non_orthogonal_pairs() {
+        if used.contains(&a) && used.contains(&b) {
+            out.push(PremiseFinding {
+                premise: Premise::NonOrthogonality,
+                detail: format!("parameters `{a}` and `{b}` are related and both in use"),
+            });
+        }
+    }
+    out
+}
+
+/// Premise 1.3 / 3: the distribution of indicators across targets — a
+/// non-uniform distribution evidences per-attribute quality requirements.
+pub fn indicator_distribution(qs: &QualitySchema) -> Vec<(Target, usize)> {
+    let mut targets: Vec<Target> = qs.indicators.iter().map(|i| i.target.clone()).collect();
+    targets.sort();
+    targets.dedup();
+    targets
+        .into_iter()
+        .map(|t| {
+            let n = qs.indicators.iter().filter(|i| i.target == t).count();
+            (t, n)
+        })
+        .collect()
+}
+
+/// Runs all schema-level premise analyses.
+pub fn analyze(qs: &QualitySchema, catalog: &CandidateCatalog) -> Vec<PremiseFinding> {
+    let mut out = check_relatedness(qs);
+    out.extend(check_non_orthogonality(qs, catalog));
+    let dist = indicator_distribution(qs);
+    if dist.len() > 1 {
+        let counts: Vec<usize> = dist.iter().map(|(_, n)| *n).collect();
+        if counts.iter().min() != counts.iter().max() {
+            out.push(PremiseFinding {
+                premise: Premise::HeterogeneityAndHierarchy,
+                detail: format!(
+                    "indicator coverage is non-uniform across {} targets (min {}, max {}) — \
+                     quality requirements differ across attributes as Premise 1.3/3 anticipate",
+                    dist.len(),
+                    counts.iter().min().unwrap(),
+                    counts.iter().max().unwrap()
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methodology::{step1_application_view, step4_integrate, Step2, Step3};
+    use crate::views::Target;
+    use er_model::{Correspondences, EntityType, ErAttribute, ErSchema};
+    use relstore::DataType;
+    use tagstore::IndicatorDef;
+
+    fn schema_with(indicators: &[(&str, &str)]) -> QualitySchema {
+        // builds a quality schema annotating share_price with the given
+        // (indicator, parameter) pairs
+        let er = ErSchema::new("t").with_entity(
+            EntityType::new("company_stock")
+                .with(ErAttribute::key("ticker_symbol", DataType::Text))
+                .with(ErAttribute::new("share_price", DataType::Float))
+                .with(ErAttribute::new("company_name", DataType::Text)),
+        );
+        let app = step1_application_view(er).unwrap();
+        let mut s2 = Step2::new(app, CandidateCatalog::appendix_a()).allow_custom_parameters();
+        for (_, p) in indicators {
+            s2 = s2
+                .parameter(Target::attr("company_stock", "share_price"), p, "")
+                .unwrap();
+        }
+        let pv = s2.finish();
+        let mut s3 = Step3::new(pv);
+        for (i, p) in indicators {
+            s3 = s3
+                .operationalize(
+                    Target::attr("company_stock", "share_price"),
+                    p,
+                    IndicatorDef::new(*i, DataType::Any, ""),
+                )
+                .unwrap();
+        }
+        let qv = s3.finish().unwrap();
+        step4_integrate("g", &[&qv], &Correspondences::new(), &[]).unwrap()
+    }
+
+    #[test]
+    fn relatedness_detects_name_clash() {
+        // indicator `company_name` collides with the application attribute
+        let qs = schema_with(&[("company_name", "interpretability")]);
+        let findings = check_relatedness(&qs);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].premise,
+            Premise::RelatednessOfApplicationAndQuality
+        );
+    }
+
+    #[test]
+    fn non_orthogonality_flags_related_pairs() {
+        let qs = schema_with(&[("age", "timeliness"), ("volatility_est", "volatility")]);
+        let findings = check_non_orthogonality(&qs, &CandidateCatalog::appendix_a());
+        assert!(findings
+            .iter()
+            .any(|f| f.detail.contains("timeliness") && f.detail.contains("volatility")));
+    }
+
+    #[test]
+    fn distribution_reports_heterogeneity() {
+        let er = ErSchema::new("t").with_entity(
+            EntityType::new("e")
+                .with(ErAttribute::key("id", DataType::Int))
+                .with(ErAttribute::new("a", DataType::Text))
+                .with(ErAttribute::new("b", DataType::Text)),
+        );
+        let app = step1_application_view(er).unwrap();
+        let pv = Step2::new(app, CandidateCatalog::appendix_a())
+            .parameter(Target::attr("e", "a"), "timeliness", "")
+            .unwrap()
+            .parameter(Target::attr("e", "b"), "timeliness", "")
+            .unwrap()
+            .finish();
+        let qv = Step3::new(pv)
+            .operationalize_suggested(Target::attr("e", "a"), "timeliness")
+            .unwrap()
+            .operationalize(
+                Target::attr("e", "b"),
+                "timeliness",
+                IndicatorDef::new("age", DataType::Int, ""),
+            )
+            .unwrap()
+            .finish()
+            .unwrap();
+        let qs = step4_integrate("g", &[&qv], &Correspondences::new(), &[]).unwrap();
+        let dist = indicator_distribution(&qs);
+        assert_eq!(dist.len(), 2);
+        let findings = analyze(&qs, &CandidateCatalog::appendix_a());
+        assert!(findings
+            .iter()
+            .any(|f| f.premise == Premise::HeterogeneityAndHierarchy));
+    }
+
+    #[test]
+    fn clean_schema_yields_no_relatedness_findings() {
+        let qs = schema_with(&[("age", "timeliness")]);
+        assert!(check_relatedness(&qs).is_empty());
+    }
+}

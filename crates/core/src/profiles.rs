@@ -1,0 +1,408 @@
+//! User quality profiles: per-user, per-application acceptability
+//! standards over quality indicators.
+//!
+//! Premise 2.1/2.2: different users have different quality attributes and
+//! standards; §4: "Data quality profiles may be stored for different
+//! applications" — a mass-mailing application queries with no quality
+//! constraints, a fund-raising application constrains accuracy and
+//! timeliness. A [`UserProfile`] is a named bundle of
+//! [`QualityStandard`]s that compiles to a predicate over
+//! `column@indicator` pseudo-columns and filters tagged relations.
+
+use relstore::{DbResult, Expr, Value};
+use serde::{Deserialize, Serialize};
+use tagstore::{algebra, TaggedRelation};
+
+/// Comparison operator of a standard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StandardOp {
+    /// Indicator value must equal the threshold.
+    Eq,
+    /// Must differ from the threshold.
+    Ne,
+    /// Must be strictly less.
+    Lt,
+    /// Must be at most.
+    Le,
+    /// Must be strictly greater.
+    Gt,
+    /// Must be at least.
+    Ge,
+    /// Must be one of the listed values.
+    OneOf(Vec<Value>),
+}
+
+/// One acceptability constraint: `column@indicator ⟨op⟩ threshold`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityStandard {
+    /// Application column the standard governs.
+    pub column: String,
+    /// Quality indicator constrained.
+    pub indicator: String,
+    /// Comparison.
+    pub op: StandardOp,
+    /// Threshold (ignored for `OneOf`).
+    pub threshold: Value,
+    /// Optional *instance scope* (Premise 3): the standard applies only to
+    /// rows satisfying this application-value predicate — "an analyst may
+    /// need higher quality information for certain companies than for
+    /// others".
+    pub scope: Option<Expr>,
+}
+
+impl QualityStandard {
+    /// Unscoped standard.
+    pub fn new(
+        column: impl Into<String>,
+        indicator: impl Into<String>,
+        op: StandardOp,
+        threshold: impl Into<Value>,
+    ) -> Self {
+        QualityStandard {
+            column: column.into(),
+            indicator: indicator.into(),
+            op,
+            threshold: threshold.into(),
+            scope: None,
+        }
+    }
+
+    /// Restricts the standard to rows matching `scope` (builder style).
+    pub fn scoped(mut self, scope: Expr) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// Compiles to an expression over the tagged relation's pseudo-schema.
+    /// A scoped standard becomes `NOT scope OR constraint` — rows outside
+    /// the scope pass unconditionally.
+    pub fn to_expr(&self) -> Expr {
+        let pseudo = Expr::col(format!("{}@{}", self.column, self.indicator));
+        let constraint = match &self.op {
+            StandardOp::Eq => pseudo.eq(Expr::lit(self.threshold.clone())),
+            StandardOp::Ne => pseudo.ne(Expr::lit(self.threshold.clone())),
+            StandardOp::Lt => pseudo.lt(Expr::lit(self.threshold.clone())),
+            StandardOp::Le => pseudo.le(Expr::lit(self.threshold.clone())),
+            StandardOp::Gt => pseudo.gt(Expr::lit(self.threshold.clone())),
+            StandardOp::Ge => pseudo.ge(Expr::lit(self.threshold.clone())),
+            StandardOp::OneOf(vals) => Expr::InList(
+                Box::new(pseudo),
+                vals.iter().cloned().map(Expr::lit).collect(),
+            ),
+        };
+        match &self.scope {
+            None => constraint,
+            Some(s) => s.clone().not().or(constraint),
+        }
+    }
+}
+
+/// A named user/application profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Who (or which application) this profile belongs to.
+    pub user: String,
+    /// Prose description of the usage context.
+    pub description: String,
+    /// Acceptability standards; all must hold (conjunction).
+    pub standards: Vec<QualityStandard>,
+}
+
+impl UserProfile {
+    /// New empty profile — "a query with no constraints over quality
+    /// indicators" (the mass-mailing grade).
+    pub fn new(user: impl Into<String>, description: impl Into<String>) -> Self {
+        UserProfile {
+            user: user.into(),
+            description: description.into(),
+            standards: Vec::new(),
+        }
+    }
+
+    /// Adds a standard (builder style).
+    pub fn with_standard(mut self, s: QualityStandard) -> Self {
+        self.standards.push(s);
+        self
+    }
+
+    /// The conjunction predicate, or `None` for the unconstrained profile.
+    pub fn to_predicate(&self) -> Option<Expr> {
+        let mut it = self.standards.iter().map(QualityStandard::to_expr);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, e| acc.and(e)))
+    }
+
+    /// Filters a tagged relation to the rows meeting this profile's
+    /// standards. The unconstrained profile passes everything.
+    pub fn filter(&self, rel: &TaggedRelation) -> DbResult<TaggedRelation> {
+        match self.to_predicate() {
+            None => Ok(rel.clone()),
+            Some(p) => algebra::select(rel, &p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, Date, Schema};
+    use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell};
+
+    fn addresses() -> TaggedRelation {
+        let schema = Schema::of(&[("person", DataType::Text), ("address", DataType::Text)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+        let mk = |p: &str, a: &str, ct: &str, src: &str| {
+            vec![
+                QualityCell::bare(p),
+                QualityCell::bare(a)
+                    .with_tag(IndicatorValue::new("creation_time", d(ct)))
+                    .with_tag(IndicatorValue::new("source", src)),
+            ]
+        };
+        TaggedRelation::new(
+            schema,
+            dict,
+            vec![
+                mk("Ann", "1 Elm St", "10-20-91", "change-of-address form"),
+                mk("Bob", "9 Oak Av", "1-2-88", "purchased list"),
+                mk("Cyd", "3 Fir Rd", "10-1-91", "purchased list"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mass_mailing_profile_passes_everything() {
+        // §4: "For a mass mailing application there may be no need to reach
+        // the correct individual ... a query with no constraints over
+        // quality indicators may be appropriate."
+        let p = UserProfile::new("mass_mailing", "bulk flyers");
+        assert!(p.to_predicate().is_none());
+        assert_eq!(p.filter(&addresses()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fund_raising_profile_constrains_quality() {
+        // §4: "For more sensitive applications, such as fund raising, the
+        // user may query over and constrain quality indicator values."
+        let p = UserProfile::new("fund_raising", "solicit major donors")
+            .with_standard(QualityStandard::new(
+                "address",
+                "creation_time",
+                StandardOp::Ge,
+                Value::Date(Date::parse("1-1-91").unwrap()),
+            ))
+            .with_standard(QualityStandard::new(
+                "address",
+                "source",
+                StandardOp::Ne,
+                "purchased list",
+            ));
+        let out = p.filter(&addresses()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "person").unwrap().value, Value::text("Ann"));
+    }
+
+    #[test]
+    fn different_users_different_standards() {
+        // Premise 2.2: investor tolerates 10-day-old data, trader does not.
+        let mut rel = addresses();
+        tagstore::algebra::derive_age(&mut rel, "address", Date::parse("10-24-91").unwrap())
+            .unwrap();
+        let investor = UserProfile::new("investor", "loosely following")
+            .with_standard(QualityStandard::new("address", "age", StandardOp::Le, 30i64));
+        let trader = UserProfile::new("trader", "needs real time")
+            .with_standard(QualityStandard::new("address", "age", StandardOp::Le, 5i64));
+        assert_eq!(investor.filter(&rel).unwrap().len(), 2);
+        assert_eq!(trader.filter(&rel).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn one_of_standard() {
+        let p = UserProfile::new("u", "").with_standard(QualityStandard::new(
+            "address",
+            "source",
+            StandardOp::OneOf(vec![
+                Value::text("change-of-address form"),
+                Value::text("registry"),
+            ]),
+            Value::Null,
+        ));
+        assert_eq!(p.filter(&addresses()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scoped_standard_premise_3() {
+        // Premise 3: higher standards only for companies of interest —
+        // here, strict freshness only for Bob's record.
+        let strict_for_bob = QualityStandard::new(
+            "address",
+            "creation_time",
+            StandardOp::Ge,
+            Value::Date(Date::parse("1-1-91").unwrap()),
+        )
+        .scoped(Expr::col("person").eq(Expr::lit("Bob")));
+        let p = UserProfile::new("analyst", "").with_standard(strict_for_bob);
+        let out = p.filter(&addresses()).unwrap();
+        // Bob fails the scoped standard; Ann and Cyd are out of scope → pass
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|r| r[0].value != Value::text("Bob")));
+    }
+
+    #[test]
+    fn standards_conjoin() {
+        let p = UserProfile::new("u", "")
+            .with_standard(QualityStandard::new(
+                "address",
+                "source",
+                StandardOp::Eq,
+                "purchased list",
+            ))
+            .with_standard(QualityStandard::new(
+                "address",
+                "creation_time",
+                StandardOp::Ge,
+                Value::Date(Date::parse("1-1-91").unwrap()),
+            ));
+        let out = p.filter(&addresses()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "person").unwrap().value, Value::text("Cyd"));
+    }
+
+    #[test]
+    fn untagged_rows_fail_standards() {
+        let mut rel = addresses();
+        rel.push(vec![QualityCell::bare("Dee"), QualityCell::bare("7 Ash Ln")])
+            .unwrap();
+        let p = UserProfile::new("u", "").with_standard(QualityStandard::new(
+            "address",
+            "source",
+            StandardOp::Ne,
+            "nowhere",
+        ));
+        // Dee's address has no source tag → cannot satisfy any standard
+        assert_eq!(p.filter(&rel).unwrap().len(), 3);
+    }
+}
+
+/// A persistent registry of stored quality profiles, keyed by name —
+/// §4: "Data quality profiles may be stored for different applications."
+/// Serializable, so the registry itself is part of the quality
+/// requirements documentation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRegistry {
+    profiles: std::collections::BTreeMap<String, UserProfile>,
+}
+
+impl ProfileRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a profile under its own user/application name.
+    pub fn store(&mut self, profile: UserProfile) {
+        self.profiles.insert(profile.user.clone(), profile);
+    }
+
+    /// Looks up a profile by name.
+    pub fn get(&self, name: &str) -> Option<&UserProfile> {
+        self.profiles.get(name)
+    }
+
+    /// Removes a profile, returning it.
+    pub fn remove(&mut self, name: &str) -> Option<UserProfile> {
+        self.profiles.remove(name)
+    }
+
+    /// All stored profile names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.profiles.keys().map(String::as_str).collect()
+    }
+
+    /// Applies the named profile to a relation.
+    pub fn filter_as(&self, name: &str, rel: &TaggedRelation) -> DbResult<TaggedRelation> {
+        let p = self.get(name).ok_or_else(|| {
+            relstore::DbError::InvalidExpression(format!("no stored profile `{name}`"))
+        })?;
+        p.filter(rel)
+    }
+
+    /// JSON export of the whole registry.
+    pub fn to_json(&self) -> DbResult<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| relstore::DbError::ParseError(e.to_string()))
+    }
+
+    /// Parses a registry back from JSON.
+    pub fn from_json(json: &str) -> DbResult<Self> {
+        serde_json::from_str(json).map_err(|e| relstore::DbError::ParseError(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+    use relstore::{DataType, Schema};
+    use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell};
+
+    fn rel() -> TaggedRelation {
+        let schema = Schema::of(&[("address", DataType::Text)]);
+        TaggedRelation::new(
+            schema,
+            IndicatorDictionary::with_paper_defaults(),
+            vec![
+                vec![QualityCell::bare("1 Elm St")
+                    .with_tag(IndicatorValue::new("source", "registry"))],
+                vec![QualityCell::bare("9 Oak Av")
+                    .with_tag(IndicatorValue::new("source", "purchased list"))],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_lookup_apply() {
+        let mut reg = ProfileRegistry::new();
+        reg.store(UserProfile::new("mass_mailing", "no constraints"));
+        reg.store(
+            UserProfile::new("fund_raising", "strict").with_standard(QualityStandard::new(
+                "address",
+                "source",
+                StandardOp::Ne,
+                "purchased list",
+            )),
+        );
+        assert_eq!(reg.names(), vec!["fund_raising", "mass_mailing"]);
+        assert_eq!(reg.filter_as("mass_mailing", &rel()).unwrap().len(), 2);
+        assert_eq!(reg.filter_as("fund_raising", &rel()).unwrap().len(), 1);
+        assert!(reg.filter_as("ghost", &rel()).is_err());
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut reg = ProfileRegistry::new();
+        reg.store(UserProfile::new("app", "v1"));
+        reg.store(UserProfile::new("app", "v2"));
+        assert_eq!(reg.get("app").unwrap().description, "v2");
+        assert!(reg.remove("app").is_some());
+        assert!(reg.get("app").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut reg = ProfileRegistry::new();
+        reg.store(
+            UserProfile::new("trader", "fresh quotes only").with_standard(
+                QualityStandard::new("share_price", "age", StandardOp::Le, 1i64),
+            ),
+        );
+        let json = reg.to_json().unwrap();
+        let back = ProfileRegistry::from_json(&json).unwrap();
+        assert_eq!(back, reg);
+        assert!(ProfileRegistry::from_json("{bad").is_err());
+    }
+}

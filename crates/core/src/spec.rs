@@ -1,0 +1,217 @@
+//! Quality requirements specification documentation.
+//!
+//! The methodology requires each step's artifact to be "included as part
+//! of the quality requirements specification documentation"; this module
+//! renders those artifacts as Markdown (for humans) and JSON (for tools),
+//! and produces the ER diagrams of Figures 3–5 via `er_model::render`.
+
+use crate::views::{ParameterView, QualitySchema, QualityView};
+use er_model::{Annotation, AnnotationKind};
+use relstore::{DbError, DbResult};
+use std::fmt::Write as _;
+
+/// Figure-4-style annotations (parameter clouds) for rendering.
+pub fn parameter_annotations(pv: &ParameterView) -> Vec<Annotation> {
+    pv.annotations
+        .iter()
+        .map(|a| Annotation {
+            target: a.target.render_key(),
+            label: if a.parameter == crate::views::INSPECTION {
+                "✓ inspection".to_owned()
+            } else {
+                a.parameter.clone()
+            },
+            kind: AnnotationKind::Parameter,
+        })
+        .collect()
+}
+
+/// Figure-5-style annotations (indicator rectangles) for rendering.
+pub fn indicator_annotations(qv: &QualityView) -> Vec<Annotation> {
+    qv.indicators
+        .iter()
+        .map(|a| Annotation {
+            target: a.target.render_key(),
+            label: a.def.name.clone(),
+            kind: AnnotationKind::Indicator,
+        })
+        .collect()
+}
+
+/// Markdown for the Step-2 parameter view.
+pub fn parameter_view_markdown(pv: &ParameterView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Parameter view ({})\n", pv.app.er.name);
+    let _ = writeln!(out, "| target | quality parameter | rationale |");
+    let _ = writeln!(out, "|---|---|---|");
+    for a in &pv.annotations {
+        let _ = writeln!(out, "| {} | {} | {} |", a.target, a.parameter, a.rationale);
+    }
+    out.push('\n');
+    out.push_str("```\n");
+    out.push_str(&er_model::to_ascii(&pv.app.er, &parameter_annotations(pv)));
+    out.push_str("```\n");
+    out
+}
+
+/// Markdown for the Step-3 quality view.
+pub fn quality_view_markdown(qv: &QualityView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Quality view ({})\n", qv.app.er.name);
+    let _ = writeln!(out, "| target | indicator | domain | operationalizes |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for a in &qv.indicators {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            a.target,
+            a.def.name,
+            a.def.dtype,
+            a.operationalizes.as_deref().unwrap_or("—")
+        );
+    }
+    out.push('\n');
+    out.push_str("```\n");
+    out.push_str(&er_model::to_ascii(&qv.app.er, &indicator_annotations(qv)));
+    out.push_str("```\n");
+    out
+}
+
+/// Markdown for the Step-4 quality schema (the final artifact).
+pub fn quality_schema_markdown(qs: &QualitySchema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Quality schema `{}`\n", qs.name);
+    let (np, ni) = qs.census();
+    let _ = writeln!(
+        out,
+        "{ni} quality indicators integrated from {np} documented parameter requirements.\n"
+    );
+    let _ = writeln!(out, "## Tags to incorporate into the database\n");
+    let _ = writeln!(out, "| target | indicator | domain | operationalizes |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for a in &qs.indicators {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            a.target,
+            a.def.name,
+            a.def.dtype,
+            a.operationalizes.as_deref().unwrap_or("—")
+        );
+    }
+    if !qs.notes.is_empty() {
+        let _ = writeln!(out, "\n## Integration notes\n");
+        for n in &qs.notes {
+            let _ = writeln!(out, "* **{}** — {}", n.category, n.detail);
+        }
+    }
+    if !qs.parameters.is_empty() {
+        let _ = writeln!(out, "\n## Documented subjective requirements\n");
+        let _ = writeln!(out, "| target | parameter | rationale |");
+        let _ = writeln!(out, "|---|---|---|");
+        for p in &qs.parameters {
+            let _ = writeln!(out, "| {} | {} | {} |", p.target, p.parameter, p.rationale);
+        }
+    }
+    out
+}
+
+/// JSON export of the full quality schema (machine-readable spec).
+pub fn quality_schema_json(qs: &QualitySchema) -> DbResult<String> {
+    serde_json::to_string_pretty(qs).map_err(|e| DbError::ParseError(e.to_string()))
+}
+
+/// Parses a quality schema back from its JSON export.
+pub fn quality_schema_from_json(json: &str) -> DbResult<QualitySchema> {
+    serde_json::from_str(json).map_err(|e| DbError::ParseError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CandidateCatalog;
+    use crate::methodology::{step1_application_view, step4_integrate, Step2, Step3};
+    use crate::views::Target;
+    use er_model::{Correspondences, EntityType, ErAttribute, ErSchema};
+    use relstore::DataType;
+    use tagstore::IndicatorDef;
+
+    fn pipeline() -> (ParameterView, QualityView, QualitySchema) {
+        let er = ErSchema::new("trading").with_entity(
+            EntityType::new("company_stock")
+                .with(ErAttribute::key("ticker_symbol", DataType::Text))
+                .with(ErAttribute::new("share_price", DataType::Float)),
+        );
+        let app = step1_application_view(er).unwrap();
+        let pv = Step2::new(app, CandidateCatalog::appendix_a())
+            .parameter(
+                Target::attr("company_stock", "share_price"),
+                "timeliness",
+                "trader needs fresh quotes",
+            )
+            .unwrap()
+            .finish();
+        let qv = Step3::new(pv.clone())
+            .operationalize(
+                Target::attr("company_stock", "share_price"),
+                "timeliness",
+                IndicatorDef::new("age", DataType::Int, "days old"),
+            )
+            .unwrap()
+            .finish()
+            .unwrap();
+        let qs = step4_integrate("g", &[&qv], &Correspondences::new(), &[]).unwrap();
+        (pv, qv, qs)
+    }
+
+    #[test]
+    fn parameter_view_markdown_lists_clouds() {
+        let (pv, _, _) = pipeline();
+        let md = parameter_view_markdown(&pv);
+        assert!(md.contains("timeliness"));
+        assert!(md.contains("trader needs fresh quotes"));
+        assert!(md.contains("ENTITY company_stock"));
+        assert!(md.contains("☁ timeliness"));
+    }
+
+    #[test]
+    fn quality_view_markdown_lists_indicators() {
+        let (_, qv, _) = pipeline();
+        let md = quality_view_markdown(&qv);
+        assert!(md.contains("| company_stock.share_price | age | Int | timeliness |"));
+        assert!(md.contains("▫ age"));
+    }
+
+    #[test]
+    fn schema_markdown_complete() {
+        let (_, _, qs) = pipeline();
+        let md = quality_schema_markdown(&qs);
+        assert!(md.contains("# Quality schema `g`"));
+        assert!(md.contains("Tags to incorporate"));
+        assert!(md.contains("age"));
+        assert!(md.contains("Documented subjective requirements"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (_, _, qs) = pipeline();
+        let json = quality_schema_json(&qs).unwrap();
+        let back = quality_schema_from_json(&json).unwrap();
+        assert_eq!(back, qs);
+        assert!(quality_schema_from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn inspection_rendered_with_check_mark() {
+        let er = ErSchema::new("t").with_entity(
+            EntityType::new("e").with(ErAttribute::key("id", DataType::Int)),
+        );
+        let app = step1_application_view(er).unwrap();
+        let pv = Step2::new(app, CandidateCatalog::appendix_a())
+            .inspection(Target::Entity("e".into()), "verify")
+            .unwrap()
+            .finish();
+        let anns = parameter_annotations(&pv);
+        assert_eq!(anns[0].label, "✓ inspection");
+    }
+}

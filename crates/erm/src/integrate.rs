@@ -1,0 +1,329 @@
+//! ER schema integration (Batini, Lenzerini & Navathe — the paper's
+//! ref \[2\]), used by Step 4 when "the design is large and more than one
+//! set of application requirements is involved".
+//!
+//! Integration proceeds in the classical three phases:
+//! 1. **conflict analysis** against a correspondence table (synonyms =
+//!    same concept under different names; homonyms = different concepts
+//!    under one name),
+//! 2. **conforming** — renaming synonyms to canonical names,
+//! 3. **merging** — union of entities/relationships; entities that
+//!    coincide merge attribute-wise, with type conflicts reported.
+
+use crate::model::{EntityType, ErSchema};
+use relstore::{DbError, DbResult};
+use std::collections::BTreeMap;
+
+/// Name correspondences supplied by the design team.
+#[derive(Debug, Clone, Default)]
+pub struct Correspondences {
+    /// synonym → canonical name (applies to entity names).
+    synonyms: BTreeMap<String, String>,
+}
+
+impl Correspondences {
+    /// Empty correspondence table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `alias` to denote the same entity as `canonical`.
+    pub fn synonym(mut self, alias: impl Into<String>, canonical: impl Into<String>) -> Self {
+        self.synonyms.insert(alias.into(), canonical.into());
+        self
+    }
+
+    /// Canonical form of a name.
+    pub fn canonical<'a>(&'a self, name: &'a str) -> &'a str {
+        self.synonyms.get(name).map(String::as_str).unwrap_or(name)
+    }
+}
+
+/// A conflict found during integration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Conflict {
+    /// The same (canonical) entity declares an attribute with different
+    /// types in different views.
+    AttributeType {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attribute: String,
+        /// Conflicting type descriptions.
+        types: (String, String),
+    },
+    /// The same attribute is key in one view and non-key in another.
+    KeyDisagreement {
+        /// Entity name.
+        entity: String,
+        /// Attribute name.
+        attribute: String,
+    },
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Conflict::AttributeType {
+                entity,
+                attribute,
+                types,
+            } => write!(
+                f,
+                "type conflict on {entity}.{attribute}: {} vs {}",
+                types.0, types.1
+            ),
+            Conflict::KeyDisagreement { entity, attribute } => {
+                write!(f, "key disagreement on {entity}.{attribute}")
+            }
+        }
+    }
+}
+
+/// Outcome of an integration.
+#[derive(Debug, Clone)]
+pub struct IntegrationResult {
+    /// The merged schema.
+    pub schema: ErSchema,
+    /// Conflicts encountered (merge proceeds past key disagreements by
+    /// preferring key status; type conflicts abort).
+    pub conflicts: Vec<Conflict>,
+}
+
+/// Integrates `views` into one global schema under `corr`.
+///
+/// Type conflicts are fatal (an integrated schema cannot hold both);
+/// key disagreements are recorded and resolved in favor of *key* (the
+/// stricter reading). Relationships merge by name after entity renaming.
+pub fn integrate(
+    name: &str,
+    views: &[&ErSchema],
+    corr: &Correspondences,
+) -> DbResult<IntegrationResult> {
+    let mut merged = ErSchema::new(name);
+    let mut conflicts = Vec::new();
+
+    for view in views {
+        view.validate()?;
+        for e in &view.entities {
+            let canon = corr.canonical(&e.name).to_owned();
+            match merged.entity_mut(&canon) {
+                None => {
+                    let mut copy = e.clone();
+                    copy.name = canon;
+                    merged.entities.push(copy);
+                }
+                Some(existing) => {
+                    merge_entity(existing, e, &mut conflicts)?;
+                }
+            }
+        }
+        for r in &view.relationships {
+            let mut copy = r.clone();
+            for p in &mut copy.participants {
+                p.entity = corr.canonical(&p.entity).to_owned();
+            }
+            match merged.relationship(&copy.name) {
+                None => merged.relationships.push(copy),
+                Some(existing) => {
+                    // Same name: require identical structure.
+                    if existing.participants.iter().map(|p| &p.entity).ne(copy
+                        .participants
+                        .iter()
+                        .map(|p| &p.entity))
+                    {
+                        return Err(DbError::InvalidExpression(format!(
+                            "homonym relationship `{}` connects different entities",
+                            copy.name
+                        )));
+                    }
+                    // merge relationship attributes
+                    let existing_idx = merged
+                        .relationships
+                        .iter()
+                        .position(|x| x.name == copy.name)
+                        .expect("found above");
+                    for a in copy.attributes {
+                        let tgt = &mut merged.relationships[existing_idx];
+                        match tgt.attributes.iter().find(|x| x.name == a.name) {
+                            None => tgt.attributes.push(a),
+                            Some(mine) if mine.dtype == a.dtype => {}
+                            Some(mine) => {
+                                return Err(DbError::TypeMismatch {
+                                    expected: format!(
+                                        "{} for {}.{}",
+                                        mine.dtype, tgt.name, a.name
+                                    ),
+                                    found: a.dtype.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    merged.validate()?;
+    Ok(IntegrationResult {
+        schema: merged,
+        conflicts,
+    })
+}
+
+fn merge_entity(
+    target: &mut EntityType,
+    incoming: &EntityType,
+    conflicts: &mut Vec<Conflict>,
+) -> DbResult<()> {
+    for a in &incoming.attributes {
+        match target.attributes.iter_mut().find(|x| x.name == a.name) {
+            None => target.attributes.push(a.clone()),
+            Some(mine) => {
+                if mine.dtype != a.dtype {
+                    let c = Conflict::AttributeType {
+                        entity: target.name.clone(),
+                        attribute: a.name.clone(),
+                        types: (mine.dtype.to_string(), a.dtype.to_string()),
+                    };
+                    conflicts.push(c.clone());
+                    return Err(DbError::InvalidExpression(c.to_string()));
+                }
+                if mine.is_key != a.is_key {
+                    conflicts.push(Conflict::KeyDisagreement {
+                        entity: target.name.clone(),
+                        attribute: a.name.clone(),
+                    });
+                    mine.is_key = true; // stricter reading wins
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cardinality, ErAttribute, RelationshipType};
+    use relstore::DataType;
+
+    fn view_a() -> ErSchema {
+        ErSchema::new("a").with_entity(
+            EntityType::new("company")
+                .with(ErAttribute::key("ticker", DataType::Text))
+                .with(ErAttribute::new("price", DataType::Float)),
+        )
+    }
+
+    fn view_b() -> ErSchema {
+        ErSchema::new("b").with_entity(
+            EntityType::new("firm")
+                .with(ErAttribute::key("ticker", DataType::Text))
+                .with(ErAttribute::new("employees", DataType::Int)),
+        )
+    }
+
+    #[test]
+    fn synonyms_merge_entities() {
+        let corr = Correspondences::new().synonym("firm", "company");
+        let out = integrate("global", &[&view_a(), &view_b()], &corr).unwrap();
+        assert_eq!(out.schema.entities.len(), 1);
+        let c = out.schema.entity("company").unwrap();
+        assert!(c.attribute("price").is_some());
+        assert!(c.attribute("employees").is_some());
+        assert!(out.conflicts.is_empty());
+    }
+
+    #[test]
+    fn without_synonym_entities_stay_separate() {
+        let out = integrate("global", &[&view_a(), &view_b()], &Correspondences::new()).unwrap();
+        assert_eq!(out.schema.entities.len(), 2);
+    }
+
+    #[test]
+    fn type_conflict_is_fatal() {
+        let b = ErSchema::new("b").with_entity(
+            EntityType::new("company")
+                .with(ErAttribute::key("ticker", DataType::Text))
+                .with(ErAttribute::new("price", DataType::Text)), // conflicts
+        );
+        assert!(integrate("g", &[&view_a(), &b], &Correspondences::new()).is_err());
+    }
+
+    #[test]
+    fn key_disagreement_resolved_strictly() {
+        let b = ErSchema::new("b").with_entity(
+            EntityType::new("company")
+                .with(ErAttribute::new("ticker", DataType::Text)) // non-key here
+                .with(ErAttribute::key("reg_id", DataType::Int)),
+        );
+        let out = integrate("g", &[&view_a(), &b], &Correspondences::new()).unwrap();
+        assert_eq!(out.conflicts.len(), 1);
+        assert!(matches!(out.conflicts[0], Conflict::KeyDisagreement { .. }));
+        assert!(out
+            .schema
+            .entity("company")
+            .unwrap()
+            .attribute("ticker")
+            .unwrap()
+            .is_key);
+    }
+
+    #[test]
+    fn relationships_merge_by_name() {
+        let mk = |n: &str| {
+            ErSchema::new(n)
+                .with_entity(
+                    EntityType::new("client").with(ErAttribute::key("id", DataType::Int)),
+                )
+                .with_entity(
+                    EntityType::new("company").with(ErAttribute::key("ticker", DataType::Text)),
+                )
+                .with_relationship(
+                    RelationshipType::binary(
+                        "trade",
+                        ("client", Cardinality::Many),
+                        ("company", Cardinality::Many),
+                    )
+                    .with(ErAttribute::new(
+                        if n == "a" { "qty" } else { "price" },
+                        DataType::Int,
+                    )),
+                )
+        };
+        let out = integrate("g", &[&mk("a"), &mk("b")], &Correspondences::new()).unwrap();
+        assert_eq!(out.schema.relationships.len(), 1);
+        let t = out.schema.relationship("trade").unwrap();
+        assert!(t.attributes.iter().any(|a| a.name == "qty"));
+        assert!(t.attributes.iter().any(|a| a.name == "price"));
+    }
+
+    #[test]
+    fn homonym_relationship_rejected() {
+        let a = ErSchema::new("a")
+            .with_entity(EntityType::new("x").with(ErAttribute::key("id", DataType::Int)))
+            .with_entity(EntityType::new("y").with(ErAttribute::key("id", DataType::Int)))
+            .with_relationship(RelationshipType::binary(
+                "r",
+                ("x", Cardinality::One),
+                ("y", Cardinality::Many),
+            ));
+        let b = ErSchema::new("b")
+            .with_entity(EntityType::new("x").with(ErAttribute::key("id", DataType::Int)))
+            .with_entity(EntityType::new("z").with(ErAttribute::key("id", DataType::Int)))
+            .with_relationship(RelationshipType::binary(
+                "r",
+                ("x", Cardinality::One),
+                ("z", Cardinality::Many),
+            ));
+        assert!(integrate("g", &[&a, &b], &Correspondences::new()).is_err());
+    }
+
+    #[test]
+    fn integration_idempotent() {
+        let corr = Correspondences::new();
+        let once = integrate("g", &[&view_a()], &corr).unwrap().schema;
+        let twice = integrate("g", &[&once, &view_a()], &corr).unwrap().schema;
+        assert_eq!(once.entities, twice.entities);
+    }
+}

@@ -1,0 +1,297 @@
+//! ER → relational mapping (Teorey's methodology, the paper's ref \[23\]).
+//!
+//! * Each entity maps to a table whose primary key is its key attributes.
+//! * A 1:N relationship adds a foreign key to the N-side table (plus any
+//!   relationship attributes).
+//! * An M:N relationship maps to a junction table whose key is the union
+//!   of both participants' keys (plus relationship attributes) — the
+//!   paper's `trade` becomes exactly such a table.
+//! * 1:1 relationships put the foreign key on the second participant.
+
+use crate::model::{Cardinality, ErSchema};
+use relstore::constraint::{Constraint, ForeignKey};
+use relstore::{ColumnDef, Database, DbError, DbResult, Schema};
+
+/// Result of mapping: DDL applied to a fresh [`Database`].
+pub fn to_database(er: &ErSchema) -> DbResult<Database> {
+    er.validate()?;
+    let mut db = Database::new();
+
+    // Entities → tables.
+    for e in &er.entities {
+        let cols: Vec<ColumnDef> = e
+            .attributes
+            .iter()
+            .map(|a| {
+                if a.is_key {
+                    ColumnDef::not_null(a.name.clone(), a.dtype)
+                } else {
+                    ColumnDef::new(a.name.clone(), a.dtype)
+                }
+            })
+            .collect();
+        let schema = Schema::new(cols)?;
+        let table = db.create_table(&e.name, schema)?;
+        table.add_constraint(Constraint::PrimaryKey {
+            name: format!("pk_{}", e.name),
+            columns: e.key_names().iter().map(|s| s.to_string()).collect(),
+        })?;
+    }
+
+    // Relationships.
+    for r in &er.relationships {
+        let left = er
+            .entity(&r.participants[0].entity)
+            .ok_or_else(|| DbError::UnknownTable(r.participants[0].entity.clone()))?;
+        let right = er
+            .entity(&r.participants[1].entity)
+            .ok_or_else(|| DbError::UnknownTable(r.participants[1].entity.clone()))?;
+        let lc = r.participants[0].cardinality;
+        let rc = r.participants[1].cardinality;
+
+        if r.is_many_to_many() {
+            // Junction table.
+            let mut cols: Vec<ColumnDef> = Vec::new();
+            let mut key_cols: Vec<String> = Vec::new();
+            for (ent, prefix) in [(left, &r.participants[0]), (right, &r.participants[1])] {
+                for k in ent.key_names() {
+                    let cname = match &prefix.role {
+                        Some(role) => format!("{role}_{k}"),
+                        None => format!("{}_{k}", ent.name),
+                    };
+                    let dtype = ent.attribute(k).expect("key exists").dtype;
+                    cols.push(ColumnDef::not_null(cname.clone(), dtype));
+                    key_cols.push(cname);
+                }
+            }
+            for a in &r.attributes {
+                // Relationship attributes that distinguish multiple
+                // occurrences (like trade date) join the key.
+                let cd = ColumnDef::new(a.name.clone(), a.dtype);
+                cols.push(cd);
+            }
+            let schema = Schema::new(cols)?;
+            let table = db.create_table(&r.name, schema)?;
+            // Key of the junction table: both participants' keys plus any
+            // Date-typed relationship attribute (a trade is identified by
+            // who, what, and when).
+            let mut pk = key_cols.clone();
+            for a in &r.attributes {
+                if a.is_key {
+                    pk.push(a.name.clone());
+                }
+            }
+            table.add_constraint(Constraint::PrimaryKey {
+                name: format!("pk_{}", r.name),
+                columns: pk,
+            })?;
+            // FKs to both participants.
+            let mut offset = 0usize;
+            for ent in [left, right] {
+                let keys = ent.key_names();
+                let fk_cols: Vec<String> = key_cols[offset..offset + keys.len()].to_vec();
+                offset += keys.len();
+                db.add_foreign_key(ForeignKey {
+                    name: format!("fk_{}_{}", r.name, ent.name),
+                    table: r.name.clone(),
+                    columns: fk_cols,
+                    ref_table: ent.name.clone(),
+                    ref_columns: keys.iter().map(|s| s.to_string()).collect(),
+                })?;
+            }
+        } else {
+            // 1:N (or 1:1): FK goes on the Many side (or the right for 1:1).
+            let (one, many) = match (lc, rc) {
+                (Cardinality::One, Cardinality::Many) => (left, right),
+                (Cardinality::Many, Cardinality::One) => (right, left),
+                (Cardinality::One, Cardinality::One) => (left, right),
+                (Cardinality::Many, Cardinality::Many) => unreachable!(),
+            };
+            // Add FK columns + relationship attributes to the many table.
+            let mut fk_cols = Vec::new();
+            {
+                let many_table = db.table(&many.name)?;
+                let mut cols: Vec<ColumnDef> = many_table.schema().columns().to_vec();
+                for k in one.key_names() {
+                    let cname = format!("{}_{k}", one.name);
+                    let dtype = one.attribute(k).expect("key exists").dtype;
+                    cols.push(ColumnDef::new(cname.clone(), dtype));
+                    fk_cols.push(cname);
+                }
+                for a in &r.attributes {
+                    cols.push(ColumnDef::new(a.name.clone(), a.dtype));
+                }
+                let schema = Schema::new(cols)?;
+                // Rebuild table (empty at mapping time).
+                let constraints: Vec<Constraint> = many_table.constraints().to_vec();
+                db.drop_table(&many.name)?;
+                let t = db.create_table(&many.name, schema)?;
+                for c in constraints {
+                    t.add_constraint(c)?;
+                }
+            }
+            db.add_foreign_key(ForeignKey {
+                name: format!("fk_{}_{}", many.name, one.name),
+                table: many.name.clone(),
+                columns: fk_cols,
+                ref_table: one.name.clone(),
+                ref_columns: one.key_names().iter().map(|s| s.to_string()).collect(),
+            })?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cardinality, EntityType, ErAttribute, RelationshipType};
+    use relstore::{DataType, Value};
+
+    fn figure3() -> ErSchema {
+        ErSchema::new("trading")
+            .with_entity(
+                EntityType::new("client")
+                    .with(ErAttribute::key("account_number", DataType::Int))
+                    .with(ErAttribute::new("name", DataType::Text))
+                    .with(ErAttribute::new("address", DataType::Text))
+                    .with(ErAttribute::new("telephone", DataType::Text)),
+            )
+            .with_entity(
+                EntityType::new("company_stock")
+                    .with(ErAttribute::key("ticker_symbol", DataType::Text))
+                    .with(ErAttribute::new("share_price", DataType::Float)),
+            )
+            .with_relationship(
+                RelationshipType::binary(
+                    "trade",
+                    ("client", Cardinality::Many),
+                    ("company_stock", Cardinality::Many),
+                )
+                .with(ErAttribute::key("date", DataType::Date))
+                .with(ErAttribute::new("quantity", DataType::Int))
+                .with(ErAttribute::new("trade_price", DataType::Float)),
+            )
+    }
+
+    #[test]
+    fn figure3_maps_to_three_tables() {
+        let db = to_database(&figure3()).unwrap();
+        assert_eq!(db.table_names(), vec!["client", "company_stock", "trade"]);
+        let trade = db.table("trade").unwrap();
+        assert_eq!(
+            trade.schema().names(),
+            vec![
+                "client_account_number",
+                "company_stock_ticker_symbol",
+                "date",
+                "quantity",
+                "trade_price"
+            ]
+        );
+        assert_eq!(db.foreign_keys().len(), 2);
+    }
+
+    #[test]
+    fn junction_fks_enforced() {
+        let mut db = to_database(&figure3()).unwrap();
+        db.insert(
+            "client",
+            vec![
+                Value::Int(1),
+                Value::text("Alice"),
+                Value::text("1 Main St"),
+                Value::text("555-0100"),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "company_stock",
+            vec![Value::text("FRT"), Value::Float(10.0)],
+        )
+        .unwrap();
+        // valid trade
+        db.insert(
+            "trade",
+            vec![
+                Value::Int(1),
+                Value::text("FRT"),
+                Value::Date(relstore::Date::parse("10-24-91").unwrap()),
+                Value::Int(100),
+                Value::Float(10.5),
+            ],
+        )
+        .unwrap();
+        // orphan trade rejected
+        assert!(db
+            .insert(
+                "trade",
+                vec![
+                    Value::Int(99),
+                    Value::text("FRT"),
+                    Value::Date(relstore::Date::parse("10-25-91").unwrap()),
+                    Value::Int(1),
+                    Value::Float(1.0),
+                ],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn one_to_many_adds_fk_column() {
+        let er = ErSchema::new("hr")
+            .with_entity(
+                EntityType::new("dept")
+                    .with(ErAttribute::key("dept_id", DataType::Int))
+                    .with(ErAttribute::new("dname", DataType::Text)),
+            )
+            .with_entity(
+                EntityType::new("employee")
+                    .with(ErAttribute::key("emp_id", DataType::Int))
+                    .with(ErAttribute::new("ename", DataType::Text)),
+            )
+            .with_relationship(
+                RelationshipType::binary(
+                    "works_in",
+                    ("dept", Cardinality::One),
+                    ("employee", Cardinality::Many),
+                )
+                .with(ErAttribute::new("since", DataType::Date)),
+            );
+        let db = to_database(&er).unwrap();
+        let emp = db.table("employee").unwrap();
+        assert_eq!(
+            emp.schema().names(),
+            vec!["emp_id", "ename", "dept_dept_id", "since"]
+        );
+        assert_eq!(db.foreign_keys().len(), 1);
+        assert_eq!(db.foreign_keys()[0].ref_table, "dept");
+    }
+
+    #[test]
+    fn entity_pk_enforced_after_mapping() {
+        let mut db = to_database(&figure3()).unwrap();
+        db.insert(
+            "company_stock",
+            vec![Value::text("FRT"), Value::Float(10.0)],
+        )
+        .unwrap();
+        assert!(db
+            .insert(
+                "company_stock",
+                vec![Value::text("FRT"), Value::Float(11.0)]
+            )
+            .is_err());
+        // NULL key rejected via NOT NULL
+        assert!(db
+            .insert("company_stock", vec![Value::Null, Value::Float(1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_schema_rejected() {
+        let bad = ErSchema::new("bad")
+            .with_entity(EntityType::new("e").with(ErAttribute::new("x", DataType::Int)));
+        assert!(to_database(&bad).is_err());
+    }
+}

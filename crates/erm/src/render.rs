@@ -1,0 +1,236 @@
+//! Rendering ER schemas (and their quality annotations) as Graphviz DOT
+//! and as ASCII summaries — used to regenerate the paper's Figures 3–5.
+//!
+//! Annotations follow the paper's visual language: quality *parameters*
+//! are drawn as "clouds" (dashed ellipses, Figure 4), quality *indicators*
+//! as dotted rectangles (Figure 5), attached to the entity, attribute, or
+//! relationship they qualify.
+
+use crate::model::ErSchema;
+use std::fmt::Write as _;
+
+/// A quality annotation to overlay on the diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// Owner element: entity, relationship, or `owner.attribute`.
+    pub target: String,
+    /// The annotation label (parameter or indicator name).
+    pub label: String,
+    /// Parameter (cloud) vs indicator (dotted rectangle).
+    pub kind: AnnotationKind,
+}
+
+/// Which of the paper's two annotation shapes to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// Subjective quality parameter — Figure 4's "cloud".
+    Parameter,
+    /// Objective quality indicator — Figure 5's dotted rectangle.
+    Indicator,
+}
+
+fn dot_id(s: &str) -> String {
+    s.replace(['.', ' ', '-', '\'', '/'], "_")
+}
+
+/// Renders the schema (plus annotations) as Graphviz DOT.
+pub fn to_dot(er: &ErSchema, annotations: &[Annotation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", er.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for e in &er.entities {
+        let _ = writeln!(
+            out,
+            "  {} [shape=box, style=bold, label=\"{}\"];",
+            dot_id(&e.name),
+            e.name
+        );
+        for a in &e.attributes {
+            let id = dot_id(&format!("{}.{}", e.name, a.name));
+            let label = if a.is_key {
+                format!("<<u>{}</u>>", a.name)
+            } else {
+                format!("\"{}\"", a.name)
+            };
+            let _ = writeln!(out, "  {id} [shape=ellipse, label={label}];");
+            let _ = writeln!(out, "  {} -- {id};", dot_id(&e.name));
+        }
+    }
+    for r in &er.relationships {
+        let rid = dot_id(&r.name);
+        let _ = writeln!(out, "  {rid} [shape=diamond, label=\"{}\"];", r.name);
+        for p in &r.participants {
+            let _ = writeln!(
+                out,
+                "  {} -- {rid} [label=\"{}\"];",
+                dot_id(&p.entity),
+                p.cardinality
+            );
+        }
+        for a in &r.attributes {
+            let id = dot_id(&format!("{}.{}", r.name, a.name));
+            let _ = writeln!(out, "  {id} [shape=ellipse, label=\"{}\"];", a.name);
+            let _ = writeln!(out, "  {rid} -- {id};");
+        }
+    }
+    for (i, ann) in annotations.iter().enumerate() {
+        let id = format!("q{i}_{}", dot_id(&ann.label));
+        match ann.kind {
+            AnnotationKind::Parameter => {
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=ellipse, style=dashed, label=\"{}\"];",
+                    ann.label
+                );
+            }
+            AnnotationKind::Indicator => {
+                let _ = writeln!(
+                    out,
+                    "  {id} [shape=box, style=dotted, label=\"{}\"];",
+                    ann.label
+                );
+            }
+        }
+        let _ = writeln!(out, "  {} -- {id} [style=dashed];", dot_id(&ann.target));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an indented ASCII summary (entities, keys, relationships,
+/// annotations) — the text form of Figures 3–5.
+pub fn to_ascii(er: &ErSchema, annotations: &[Annotation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SCHEMA {}", er.name);
+    for e in &er.entities {
+        let _ = writeln!(out, "  ENTITY {}", e.name);
+        for a in &e.attributes {
+            let key = if a.is_key { " [key]" } else { "" };
+            let _ = writeln!(out, "    {}: {}{key}", a.name, a.dtype);
+            for ann in annotations
+                .iter()
+                .filter(|an| an.target == format!("{}.{}", e.name, a.name))
+            {
+                let shape = match ann.kind {
+                    AnnotationKind::Parameter => "☁",
+                    AnnotationKind::Indicator => "▫",
+                };
+                let _ = writeln!(out, "      {shape} {}", ann.label);
+            }
+        }
+        for ann in annotations.iter().filter(|an| an.target == e.name) {
+            let shape = match ann.kind {
+                AnnotationKind::Parameter => "☁",
+                AnnotationKind::Indicator => "▫",
+            };
+            let _ = writeln!(out, "    {shape} {}", ann.label);
+        }
+    }
+    for r in &er.relationships {
+        let _ = writeln!(
+            out,
+            "  RELATIONSHIP {} ({} {} -- {} {})",
+            r.name,
+            r.participants[0].entity,
+            r.participants[0].cardinality,
+            r.participants[1].entity,
+            r.participants[1].cardinality,
+        );
+        for a in &r.attributes {
+            let _ = writeln!(out, "    {}: {}", a.name, a.dtype);
+            for ann in annotations
+                .iter()
+                .filter(|an| an.target == format!("{}.{}", r.name, a.name))
+            {
+                let shape = match ann.kind {
+                    AnnotationKind::Parameter => "☁",
+                    AnnotationKind::Indicator => "▫",
+                };
+                let _ = writeln!(out, "      {shape} {}", ann.label);
+            }
+        }
+        for ann in annotations.iter().filter(|an| an.target == r.name) {
+            let shape = match ann.kind {
+                AnnotationKind::Parameter => "☁",
+                AnnotationKind::Indicator => "▫",
+            };
+            let _ = writeln!(out, "    {shape} {}", ann.label);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cardinality, EntityType, ErAttribute, ErSchema, RelationshipType};
+    use relstore::DataType;
+
+    fn schema() -> ErSchema {
+        ErSchema::new("trading")
+            .with_entity(
+                EntityType::new("company_stock")
+                    .with(ErAttribute::key("ticker_symbol", DataType::Text))
+                    .with(ErAttribute::new("share_price", DataType::Float)),
+            )
+            .with_entity(
+                EntityType::new("client")
+                    .with(ErAttribute::key("account_number", DataType::Int)),
+            )
+            .with_relationship(RelationshipType::binary(
+                "trade",
+                ("client", Cardinality::Many),
+                ("company_stock", Cardinality::Many),
+            ))
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let dot = to_dot(&schema(), &[]);
+        assert!(dot.contains("company_stock [shape=box"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("<u>ticker_symbol</u>")); // key underlined
+        assert!(dot.contains("label=\"N\""));
+        assert!(dot.starts_with("graph \"trading\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_annotations_shapes() {
+        let anns = vec![
+            Annotation {
+                target: "company_stock.share_price".into(),
+                label: "timeliness".into(),
+                kind: AnnotationKind::Parameter,
+            },
+            Annotation {
+                target: "company_stock.share_price".into(),
+                label: "age".into(),
+                kind: AnnotationKind::Indicator,
+            },
+        ];
+        let dot = to_dot(&schema(), &anns);
+        assert!(dot.contains("style=dashed, label=\"timeliness\""));
+        assert!(dot.contains("style=dotted, label=\"age\""));
+    }
+
+    #[test]
+    fn ascii_summary() {
+        let anns = vec![Annotation {
+            target: "trade".into(),
+            label: "✓ inspection".into(),
+            kind: AnnotationKind::Parameter,
+        }];
+        let txt = to_ascii(&schema(), &anns);
+        assert!(txt.contains("ENTITY company_stock"));
+        assert!(txt.contains("ticker_symbol: Text [key]"));
+        assert!(txt.contains("RELATIONSHIP trade (client N -- company_stock N)"));
+        assert!(txt.contains("☁ ✓ inspection"));
+    }
+
+    #[test]
+    fn dot_ids_sanitized() {
+        assert_eq!(dot_id("a.b c-d'e"), "a_b_c_d_e");
+    }
+}

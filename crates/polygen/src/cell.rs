@@ -1,0 +1,144 @@
+//! Polygen cells: a value plus its originating and intermediate source sets.
+//!
+//! Following the polygen model (Wang & Madnick, VLDB'90), each datum in a
+//! composed (heterogeneous) database carries
+//!
+//! * **originating sources** — the local databases the *value itself* came
+//!   from, and
+//! * **intermediate sources** — the local databases *consulted* in
+//!   producing/selecting it (e.g. the side of a join predicate the value
+//!   was matched against).
+//!
+//! Both sets only ever grow through the algebra — provenance is monotone.
+
+use crate::source::SourceId;
+use relstore::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of sources, ordered for deterministic display and comparison.
+pub type SourceSet = BTreeSet<SourceId>;
+
+/// A value with polygen provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolyCell {
+    /// The application value.
+    pub value: Value,
+    /// Where the value originated.
+    pub originating: SourceSet,
+    /// What was consulted to produce/select it.
+    pub intermediate: SourceSet,
+}
+
+impl PolyCell {
+    /// A cell originating from a single source.
+    pub fn originated(value: impl Into<Value>, source: SourceId) -> Self {
+        let mut originating = SourceSet::new();
+        originating.insert(source);
+        PolyCell {
+            value: value.into(),
+            originating,
+            intermediate: SourceSet::new(),
+        }
+    }
+
+    /// A cell with no provenance (e.g. a computed literal).
+    pub fn bare(value: impl Into<Value>) -> Self {
+        PolyCell {
+            value: value.into(),
+            originating: SourceSet::new(),
+            intermediate: SourceSet::new(),
+        }
+    }
+
+    /// Adds intermediate sources.
+    pub fn consult(&mut self, sources: &SourceSet) {
+        self.intermediate.extend(sources.iter().cloned());
+    }
+
+    /// Merges another cell's provenance into this one (used when duplicate
+    /// tuples coalesce under union).
+    pub fn absorb(&mut self, other: &PolyCell) {
+        self.originating.extend(other.originating.iter().cloned());
+        self.intermediate.extend(other.intermediate.iter().cloned());
+    }
+
+    /// All sources that touched this cell (originating ∪ intermediate).
+    pub fn lineage(&self) -> SourceSet {
+        self.originating
+            .union(&self.intermediate)
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Display for PolyCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)?;
+        let fmt_set = |set: &SourceSet| -> String {
+            set.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(",")
+        };
+        if !self.originating.is_empty() || !self.intermediate.is_empty() {
+            write!(
+                f,
+                " <{}; {}>",
+                fmt_set(&self.originating),
+                fmt_set(&self.intermediate)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn originated_has_single_source() {
+        let c = PolyCell::originated(42i64, SourceId::new("db1"));
+        assert_eq!(c.originating.len(), 1);
+        assert!(c.intermediate.is_empty());
+        assert_eq!(c.value, Value::Int(42));
+    }
+
+    #[test]
+    fn consult_grows_intermediate_only() {
+        let mut c = PolyCell::originated("x", SourceId::new("a"));
+        let mut consulted = SourceSet::new();
+        consulted.insert(SourceId::new("b"));
+        consulted.insert(SourceId::new("a")); // overlap fine
+        c.consult(&consulted);
+        assert_eq!(c.originating.len(), 1);
+        assert_eq!(c.intermediate.len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_both_sets() {
+        let mut a = PolyCell::originated(1i64, SourceId::new("a"));
+        let mut b = PolyCell::originated(1i64, SourceId::new("b"));
+        b.intermediate.insert(SourceId::new("c"));
+        a.absorb(&b);
+        assert_eq!(a.originating.len(), 2);
+        assert_eq!(a.intermediate.len(), 1);
+    }
+
+    #[test]
+    fn lineage_is_union() {
+        let mut c = PolyCell::originated(1i64, SourceId::new("a"));
+        c.intermediate.insert(SourceId::new("b"));
+        let l = c.lineage();
+        assert!(l.contains(&SourceId::new("a")));
+        assert!(l.contains(&SourceId::new("b")));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut c = PolyCell::originated(7i64, SourceId::new("a"));
+        c.intermediate.insert(SourceId::new("b"));
+        assert_eq!(c.to_string(), "7 <a; b>");
+        assert_eq!(PolyCell::bare(7i64).to_string(), "7");
+    }
+}

@@ -1,0 +1,177 @@
+//! Abstract syntax of QQL statements.
+
+use relstore::algebra::AggFunc;
+use relstore::Expr;
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A bare column reference, optionally aliased.
+    Column {
+        /// Column (or pseudo-column) name.
+        name: String,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call, optionally aliased.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Input column; `None` for `COUNT(*)`.
+        column: Option<String>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort column.
+    pub column: String,
+    /// Ascending?
+    pub ascending: bool,
+}
+
+/// A join clause: `JOIN <table> ON <left_col> = <right_col>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Right-hand table name.
+    pub table: String,
+    /// Join key on the left input.
+    pub left_key: String,
+    /// Join key on the right input.
+    pub right_key: String,
+}
+
+/// A parsed QQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ... FROM ... [JOIN ...] [WHERE ...] [WITH QUALITY (...)]
+    /// [GROUP BY ...] [ORDER BY ...] [LIMIT n]`
+    Select(SelectQuery),
+    /// `INSPECT FROM <table> [WHERE ...]` — returns the tagged rows with
+    /// their quality tags rendered (the administrator's view of the data
+    /// manufacturing process).
+    Inspect {
+        /// Table to inspect.
+        table: String,
+        /// Optional row filter (may reference pseudo-columns).
+        filter: Option<Expr>,
+    },
+    /// `TAG <table> SET <column>@<indicator> = <expr> [WHERE <expr>]` —
+    /// the administrator's retro-tagging statement: computes the
+    /// expression per matching row and attaches it as a quality tag.
+    Tag {
+        /// Table whose cells are tagged.
+        table: String,
+        /// Target pseudo-column `column@indicator`.
+        target: String,
+        /// Per-row value expression (may reference columns and
+        /// pseudo-columns, e.g. `DATE '1991-10-24' - col@creation_time`).
+        value: Expr,
+        /// Row filter; absent means every row.
+        filter: Option<Expr>,
+    },
+}
+
+/// The SELECT form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `DISTINCT`?
+    pub distinct: bool,
+    /// Source table.
+    pub table: String,
+    /// Optional single equi-join.
+    pub join: Option<JoinClause>,
+    /// `WHERE` predicate over application values (may also reference
+    /// pseudo-columns directly).
+    pub where_clause: Option<Expr>,
+    /// `WITH QUALITY (...)` predicates — conjoined quality constraints
+    /// over `column@indicator` pseudo-columns.
+    pub quality: Vec<Expr>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<String>,
+    /// `HAVING` predicate over the aggregate output.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl SelectQuery {
+    /// True iff the query aggregates (explicit GROUP BY or any aggregate
+    /// item).
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+
+    /// The single conjoined predicate of WHERE and all quality
+    /// constraints, if any.
+    pub fn combined_predicate(&self) -> Option<Expr> {
+        let mut parts: Vec<Expr> = Vec::new();
+        if let Some(w) = &self.where_clause {
+            parts.push(w.clone());
+        }
+        parts.extend(self.quality.iter().cloned());
+        let mut it = parts.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, e| acc.and(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SelectQuery {
+        SelectQuery {
+            items: vec![SelectItem::Wildcard],
+            distinct: false,
+            table: "t".into(),
+            join: None,
+            where_clause: None,
+            quality: vec![],
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let mut q = base();
+        assert!(!q.is_aggregate());
+        q.group_by = vec!["x".into()];
+        assert!(q.is_aggregate());
+        let mut q = base();
+        q.items = vec![SelectItem::Aggregate {
+            func: AggFunc::Count,
+            column: None,
+            alias: None,
+        }];
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn combined_predicate_conjunction() {
+        let mut q = base();
+        assert!(q.combined_predicate().is_none());
+        q.where_clause = Some(Expr::col("a").gt(Expr::lit(1i64)));
+        q.quality = vec![Expr::col("a@age").le(Expr::lit(5i64))];
+        let p = q.combined_predicate().unwrap();
+        let cols = p.referenced_columns();
+        assert!(cols.contains(&"a"));
+        assert!(cols.contains(&"a@age"));
+    }
+}

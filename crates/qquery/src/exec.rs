@@ -1,0 +1,614 @@
+//! Plan execution over a catalog of tagged relations.
+
+use crate::ast::Statement;
+use crate::plan::{Plan, Planner};
+use relstore::{ColumnDef, DataType, DbError, DbResult, Schema};
+use std::collections::HashMap;
+use tagstore::algebra::{self, TagPolicy, TagRule};
+use tagstore::{QualityCell, TaggedRelation};
+
+/// A named collection of tagged relations queries run against.
+#[derive(Debug, Default)]
+pub struct QueryCatalog {
+    relations: HashMap<String, TaggedRelation>,
+}
+
+impl QueryCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a relation.
+    pub fn register(&mut self, name: impl Into<String>, rel: TaggedRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> DbResult<&TaggedRelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn schemas(&self) -> &HashMap<String, TaggedRelation> {
+        &self.relations
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A tagged relation (SELECT).
+    Table(TaggedRelation),
+    /// A rendered inspection report (INSPECT) plus the underlying rows.
+    Inspection {
+        /// Paper-style rendering with tags in parentheses.
+        report: String,
+        /// The inspected rows.
+        rows: TaggedRelation,
+    },
+}
+
+impl QueryResult {
+    /// The tabular content of either result form.
+    pub fn relation(&self) -> &TaggedRelation {
+        match self {
+            QueryResult::Table(t) => t,
+            QueryResult::Inspection { rows, .. } => rows,
+        }
+    }
+}
+
+/// Default tag-derivation policies for aggregates produced by queries:
+/// a derived figure is as *old* as its oldest input and carries the
+/// merged set of sources.
+pub fn default_agg_policies() -> Vec<TagPolicy> {
+    vec![
+        TagPolicy::new("creation_time", TagRule::Min),
+        TagPolicy::new("source", TagRule::MergeText),
+        TagPolicy::new("collection_method", TagRule::Unanimous),
+    ]
+}
+
+/// Parses, plans (with pushdown), and executes one QQL statement.
+pub fn run(catalog: &QueryCatalog, sql: &str) -> DbResult<QueryResult> {
+    run_with(catalog, sql, &Planner::default())
+}
+
+/// Like [`run`], with an explicit planner configuration.
+pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<QueryResult> {
+    let stmt = crate::parser::parse(sql)?;
+    if matches!(stmt, Statement::Tag { .. }) {
+        return Err(DbError::InvalidExpression(
+            "TAG mutates the catalog; use run_mut".into(),
+        ));
+    }
+    let plan = planner.plan(&stmt, catalog.schemas())?;
+    let rel = execute(catalog, &plan)?;
+    match stmt {
+        Statement::Inspect { .. } => Ok(QueryResult::Inspection {
+            report: rel.to_paper_table(),
+            rows: rel,
+        }),
+        Statement::Select(_) => Ok(QueryResult::Table(rel)),
+        Statement::Tag { .. } => unreachable!("rejected above"),
+    }
+}
+
+/// Executes a statement that may mutate the catalog. `TAG <table> SET
+/// <column>@<indicator> = <expr> [WHERE <expr>]` evaluates the expression
+/// per matching row, attaches the result as a quality tag (rows where the
+/// expression is NULL are skipped — a tag with unknown value is no tag),
+/// and returns the number of cells tagged. SELECT/INSPECT statements fall
+/// through to [`run`].
+pub fn run_mut(catalog: &mut QueryCatalog, sql: &str) -> DbResult<QueryResult> {
+    let stmt = crate::parser::parse(sql)?;
+    match stmt {
+        Statement::Tag {
+            table,
+            target,
+            value,
+            filter,
+        } => {
+            let (column, indicator) = TaggedRelation::split_pseudo(&target)
+                .ok_or_else(|| {
+                    DbError::InvalidExpression(format!(
+                        "TAG target `{target}` must be column@indicator"
+                    ))
+                })?;
+            if indicator.contains('@') {
+                return Err(DbError::InvalidExpression(
+                    "TAG cannot set meta tags directly; tag the indicator value instead".into(),
+                ));
+            }
+            let rel = catalog.get(&table)?.clone();
+            let mask = match &filter {
+                Some(f) => algebra::evaluate_mask(&rel, f)?,
+                None => vec![true; rel.len()],
+            };
+            let values = algebra::evaluate(&rel, &value)?;
+            let mut updated = rel;
+            let mut count = 0usize;
+            for (row, (keep, v)) in mask.into_iter().zip(values).enumerate() {
+                if keep && !v.is_null() {
+                    updated.tag_cell(row, column, tagstore::IndicatorValue::new(indicator, v))?;
+                    count += 1;
+                }
+            }
+            let schema = relstore::Schema::of(&[("cells_tagged", DataType::Int)]);
+            let result = TaggedRelation::new(
+                schema,
+                updated.dictionary().clone(),
+                vec![vec![QualityCell::bare(count as i64)]],
+            )?;
+            catalog.register(table, updated);
+            Ok(QueryResult::Table(result))
+        }
+        _ => run(catalog, sql),
+    }
+}
+
+/// Executes a logical plan.
+pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> {
+    match plan {
+        Plan::Scan(name) => Ok(catalog.get(name)?.clone()),
+        Plan::Filter { input, predicate } => {
+            let rel = execute(catalog, input)?;
+            algebra::select(&rel, predicate)
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let l = execute(catalog, left)?;
+            let r = execute(catalog, right)?;
+            algebra::hash_join(&l, &r, left_key, right_key)
+        }
+        Plan::Project { input, columns } => {
+            let rel = execute(catalog, input)?;
+            project_mixed(&rel, columns)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rel = execute(catalog, input)?;
+            let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            algebra::aggregate(&rel, &gb, aggs, &default_agg_policies())
+        }
+        Plan::Distinct { input } => {
+            let rel = execute(catalog, input)?;
+            Ok(algebra::distinct_merging(&rel))
+        }
+        Plan::Sort { input, keys } => {
+            let rel = execute(catalog, input)?;
+            sort_multi(&rel, keys)
+        }
+        Plan::Limit { input, n } => {
+            let rel = execute(catalog, input)?;
+            Ok(TaggedRelation::new(
+                rel.schema().clone(),
+                rel.dictionary().clone(),
+                rel.rows().iter().take(*n).cloned().collect(),
+            )?)
+        }
+    }
+}
+
+/// Projection supporting both plain columns (cells travel with tags) and
+/// pseudo-columns (`price@age` materializes the tag value as a bare cell).
+fn project_mixed(rel: &TaggedRelation, columns: &[(String, String)]) -> DbResult<TaggedRelation> {
+    enum Src {
+        Plain(usize),
+        /// Meta-tag paths are supported: `price@source@credibility`.
+        Pseudo(usize, Vec<String>),
+    }
+    let mut srcs = Vec::with_capacity(columns.len());
+    let mut defs = Vec::with_capacity(columns.len());
+    for (name, out_name) in columns {
+        match TaggedRelation::split_pseudo(name) {
+            None => {
+                let i = rel.schema().resolve(name)?;
+                let mut cd = rel.schema().column(i).expect("resolved").clone();
+                cd.name = out_name.clone();
+                defs.push(cd);
+                srcs.push(Src::Plain(i));
+            }
+            Some((col, ind_path)) => {
+                let i = rel.schema().resolve(col)?;
+                let path: Vec<String> = ind_path.split('@').map(str::to_owned).collect();
+                let leaf = path.last().expect("non-empty path");
+                let dtype = rel
+                    .dictionary()
+                    .get(leaf)
+                    .map(|d| d.dtype)
+                    .unwrap_or(DataType::Any);
+                defs.push(ColumnDef::new(out_name.clone(), dtype));
+                srcs.push(Src::Pseudo(i, path));
+            }
+        }
+    }
+    let schema = Schema::new(defs)?;
+    let rows = rel
+        .iter()
+        .map(|row| {
+            srcs.iter()
+                .map(|s| match s {
+                    Src::Plain(i) => row[*i].clone(),
+                    Src::Pseudo(i, path) => {
+                        let segs: Vec<&str> = path.iter().map(String::as_str).collect();
+                        QualityCell::bare(row[*i].tag_value_path(&segs))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    TaggedRelation::new(schema, rel.dictionary().clone(), rows)
+}
+
+/// Stable multi-key sort on application values.
+fn sort_multi(rel: &TaggedRelation, keys: &[(String, bool)]) -> DbResult<TaggedRelation> {
+    let idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(c, asc)| rel.schema().resolve(c).map(|i| (i, *asc)))
+        .collect::<DbResult<_>>()?;
+    let mut rows = rel.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(i, asc) in &idx {
+            let c = a[i].value.cmp(&b[i].value);
+            let c = if asc { c } else { c.reverse() };
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    TaggedRelation::new(rel.schema().clone(), rel.dictionary().clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{Date, Value};
+    use tagstore::{IndicatorDictionary, IndicatorValue};
+
+    fn d(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap())
+    }
+
+    fn catalog() -> QueryCatalog {
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let stocks_schema = Schema::of(&[
+            ("ticker", DataType::Text),
+            ("price", DataType::Float),
+        ]);
+        let mk = |t: &str, p: f64, ct: &str, src: &str| {
+            vec![
+                QualityCell::bare(t),
+                QualityCell::bare(p)
+                    .with_tag(IndicatorValue::new("creation_time", d(ct)))
+                    .with_tag(IndicatorValue::new("source", src)),
+            ]
+        };
+        let mut stocks = TaggedRelation::new(
+            stocks_schema,
+            dict.clone(),
+            vec![
+                mk("FRT", 10.0, "10-20-91", "NYSE feed"),
+                mk("NUT", 20.0, "10-1-91", "NYSE feed"),
+                mk("BLT", 30.0, "9-1-91", "manual entry"),
+            ],
+        )
+        .unwrap();
+        tagstore::algebra::derive_age(&mut stocks, "price", Date::parse("10-24-91").unwrap())
+            .unwrap();
+
+        let trades_schema = Schema::of(&[("tkr", DataType::Text), ("qty", DataType::Int)]);
+        let trades = TaggedRelation::new(
+            trades_schema,
+            dict,
+            vec![
+                vec![QualityCell::bare("FRT"), QualityCell::bare(100i64)],
+                vec![QualityCell::bare("FRT"), QualityCell::bare(50i64)],
+                vec![QualityCell::bare("NUT"), QualityCell::bare(10i64)],
+            ],
+        )
+        .unwrap();
+
+        let mut c = QueryCatalog::new();
+        c.register("stocks", stocks);
+        c.register("trades", trades);
+        c
+    }
+
+    #[test]
+    fn select_star_with_quality() {
+        let r = run(
+            &catalog(),
+            "SELECT * FROM stocks WITH QUALITY (price@source = 'NYSE feed')",
+        )
+        .unwrap();
+        assert_eq!(r.relation().len(), 2);
+    }
+
+    #[test]
+    fn quality_and_value_predicates() {
+        let r = run(
+            &catalog(),
+            "SELECT ticker FROM stocks WHERE price > 5 \
+             WITH QUALITY (price@age <= 23, price@source <> 'manual entry')",
+        )
+        .unwrap();
+        let rel = r.relation();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.schema().names(), vec!["ticker"]);
+    }
+
+    #[test]
+    fn projection_of_pseudo_columns() {
+        let r = run(
+            &catalog(),
+            "SELECT ticker, price@age AS age, price@source AS src FROM stocks \
+             ORDER BY ticker",
+        )
+        .unwrap();
+        let rel = r.relation();
+        assert_eq!(rel.schema().names(), vec!["ticker", "age", "src"]);
+        // BLT first alphabetically, 53 days old on 10-24-91
+        assert_eq!(rel.cell(0, "age").unwrap().value, Value::Int(53));
+        assert_eq!(
+            rel.cell(0, "src").unwrap().value,
+            Value::text("manual entry")
+        );
+    }
+
+    #[test]
+    fn join_with_pushdown_matches_no_pushdown() {
+        let sql = "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker \
+                   WHERE qty > 20 WITH QUALITY (price@age < 30)";
+        let with = run_with(&catalog(), sql, &Planner { pushdown: true }).unwrap();
+        let without = run_with(&catalog(), sql, &Planner { pushdown: false }).unwrap();
+        assert_eq!(with.relation().strip(), without.relation().strip());
+        assert_eq!(with.relation().len(), 2); // FRT qty 100, 50 (age 4)
+    }
+
+    #[test]
+    fn aggregation_with_tag_derivation() {
+        let r = run(
+            &catalog(),
+            "SELECT COUNT(*) AS n, AVG(price) AS avg_price, MIN(price) AS lo FROM stocks",
+        )
+        .unwrap();
+        let rel = r.relation();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.cell(0, "n").unwrap().value, Value::Int(3));
+        assert_eq!(rel.cell(0, "avg_price").unwrap().value, Value::Float(20.0));
+        // the aggregate inherits conservative provenance
+        let avg = rel.cell(0, "avg_price").unwrap();
+        assert_eq!(avg.tag_value("creation_time"), d("9-1-91")); // oldest
+        assert_eq!(
+            avg.tag_value("source"),
+            Value::text("NYSE feed+manual entry")
+        );
+    }
+
+    #[test]
+    fn group_by_executes() {
+        let r = run(
+            &catalog(),
+            "SELECT tkr, SUM(qty) AS total FROM trades GROUP BY tkr ORDER BY tkr",
+        )
+        .unwrap();
+        let rel = r.relation();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.cell(0, "total").unwrap().value, Value::Int(150));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let r = run(&catalog(), "SELECT DISTINCT tkr FROM trades").unwrap();
+        assert_eq!(r.relation().len(), 2);
+        let r = run(&catalog(), "SELECT * FROM trades LIMIT 1").unwrap();
+        assert_eq!(r.relation().len(), 1);
+        let r = run(&catalog(), "SELECT * FROM trades LIMIT 0").unwrap();
+        assert!(r.relation().is_empty());
+    }
+
+    #[test]
+    fn inspect_renders_tags() {
+        let r = run(&catalog(), "INSPECT FROM stocks WHERE ticker = 'NUT'").unwrap();
+        match r {
+            QueryResult::Inspection { report, rows } => {
+                assert_eq!(rows.len(), 1);
+                assert!(report.contains("1991-10-01"), "report:\n{report}");
+                assert!(report.contains("NYSE feed"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_key_sort() {
+        let r = run(&catalog(), "SELECT * FROM trades ORDER BY tkr ASC, qty DESC").unwrap();
+        let rel = r.relation();
+        assert_eq!(rel.cell(0, "qty").unwrap().value, Value::Int(100));
+        assert_eq!(rel.cell(1, "qty").unwrap().value, Value::Int(50));
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(run(&catalog(), "SELECT * FROM ghosts").is_err());
+        assert!(run(&catalog(), "SELECT ghost FROM stocks").is_err());
+        assert!(run(&catalog(), "SELECT * FROM stocks WHERE").is_err());
+        assert!(run(&catalog(), "SELECT * FROM stocks WITH QUALITY (ghost@age < 3)").is_err());
+    }
+
+    #[test]
+    fn untagged_rows_excluded_by_quality_clause() {
+        let mut c = catalog();
+        let mut stocks = c.get("stocks").unwrap().clone();
+        stocks
+            .push(vec![QualityCell::bare("ZZZ"), QualityCell::bare(1.0)])
+            .unwrap();
+        c.register("stocks", stocks);
+        let all = run(&c, "SELECT * FROM stocks").unwrap();
+        assert_eq!(all.relation().len(), 4);
+        let tagged_only = run(&c, "SELECT * FROM stocks WITH QUALITY (price@age >= 0)").unwrap();
+        assert_eq!(tagged_only.relation().len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod mutation_tests {
+    use super::*;
+    use relstore::{Date, Value};
+    use tagstore::{IndicatorDictionary, IndicatorValue};
+
+    fn d(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap())
+    }
+
+    fn catalog() -> QueryCatalog {
+        let schema = Schema::of(&[("name", DataType::Text), ("employees", DataType::Int)]);
+        let rel = TaggedRelation::new(
+            schema,
+            IndicatorDictionary::with_paper_defaults(),
+            vec![
+                vec![
+                    QualityCell::bare("Fruit Co"),
+                    QualityCell::bare(4004i64)
+                        .with_tag(IndicatorValue::new("creation_time", d("10-3-91"))),
+                ],
+                vec![
+                    QualityCell::bare("Nut Co"),
+                    QualityCell::bare(700i64)
+                        .with_tag(IndicatorValue::new("creation_time", d("10-9-91"))),
+                ],
+                vec![QualityCell::bare("Bolt Co"), QualityCell::bare(12i64)],
+            ],
+        )
+        .unwrap();
+        let mut c = QueryCatalog::new();
+        c.register("customer", rel);
+        c
+    }
+
+    #[test]
+    fn tag_sets_literal_on_filtered_rows() {
+        let mut c = catalog();
+        let r = run_mut(
+            &mut c,
+            "TAG customer SET employees@source = 'Nexis' WHERE employees > 100",
+        )
+        .unwrap();
+        assert_eq!(
+            r.relation().cell(0, "cells_tagged").unwrap().value,
+            Value::Int(2)
+        );
+        let rel = c.get("customer").unwrap();
+        assert_eq!(rel.cell(0, "employees").unwrap().tag_value("source"), Value::text("Nexis"));
+        assert_eq!(rel.cell(2, "employees").unwrap().tag_value("source"), Value::Null);
+    }
+
+    #[test]
+    fn tag_computes_derived_indicator() {
+        // the paper's age derivation, as a statement
+        let mut c = catalog();
+        run_mut(
+            &mut c,
+            "TAG customer SET employees@age = DATE '1991-10-24' - employees@creation_time",
+        )
+        .unwrap();
+        let rel = c.get("customer").unwrap();
+        assert_eq!(rel.cell(0, "employees").unwrap().tag_value("age"), Value::Int(21));
+        assert_eq!(rel.cell(1, "employees").unwrap().tag_value("age"), Value::Int(15));
+        // Bolt Co has no creation_time → expression NULL → not tagged
+        assert_eq!(rel.cell(2, "employees").unwrap().tag_value("age"), Value::Null);
+    }
+
+    #[test]
+    fn tag_statement_validation() {
+        let mut c = catalog();
+        // undeclared indicator rejected by the dictionary
+        assert!(run_mut(&mut c, "TAG customer SET employees@sparkle = 1").is_err());
+        // missing @ rejected at parse time
+        assert!(run_mut(&mut c, "TAG customer SET employees = 1").is_err());
+        // meta-tag targets rejected
+        assert!(run_mut(&mut c, "TAG customer SET employees@source@inspection = 'x'").is_err());
+        // unknown table
+        assert!(run_mut(&mut c, "TAG ghosts SET x@source = 'x'").is_err());
+        // read-only entry point refuses TAG
+        assert!(run(&c, "TAG customer SET employees@source = 'x'").is_err());
+        // run_mut passes reads through
+        assert!(run_mut(&mut c, "SELECT * FROM customer").is_ok());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut c = catalog();
+        // add trades-like rows for grouping
+        let schema = Schema::of(&[("k", DataType::Text), ("v", DataType::Int)]);
+        let rel = TaggedRelation::new(
+            schema,
+            IndicatorDictionary::with_paper_defaults(),
+            vec![
+                vec![QualityCell::bare("a"), QualityCell::bare(1i64)],
+                vec![QualityCell::bare("a"), QualityCell::bare(2i64)],
+                vec![QualityCell::bare("b"), QualityCell::bare(10i64)],
+            ],
+        )
+        .unwrap();
+        c.register("t", rel);
+        let r = run(
+            &c,
+            "SELECT k, SUM(v) AS s FROM t GROUP BY k HAVING s > 5 ORDER BY k",
+        )
+        .unwrap();
+        let out = r.relation();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "k").unwrap().value, Value::text("b"));
+        // HAVING without aggregation is rejected
+        assert!(run(&c, "SELECT k FROM t HAVING k = 'a'").is_err());
+        // HAVING over COUNT
+        let r = run(&c, "SELECT k, COUNT(*) AS n FROM t GROUP BY k HAVING n >= 2").unwrap();
+        assert_eq!(r.relation().len(), 1);
+    }
+
+    #[test]
+    fn tag_then_query_roundtrip() {
+        let mut c = catalog();
+        run_mut(
+            &mut c,
+            "TAG customer SET employees@age = DATE '1991-10-24' - employees@creation_time",
+        )
+        .unwrap();
+        let fresh = run(
+            &c,
+            "SELECT name FROM customer WITH QUALITY (employees@age <= 18)",
+        )
+        .unwrap();
+        assert_eq!(fresh.relation().len(), 1);
+        assert_eq!(
+            fresh.relation().cell(0, "name").unwrap().value,
+            Value::text("Nut Co")
+        );
+    }
+
+    #[test]
+    fn expr_tag_expression_error_propagates() {
+        let mut c = catalog();
+        // type error inside the value expression surfaces
+        assert!(run_mut(&mut c, "TAG customer SET employees@source = name + 1").is_err());
+    }
+}

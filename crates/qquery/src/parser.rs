@@ -1,0 +1,655 @@
+//! Recursive-descent parser for QQL.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement  := select | inspect | tag
+//! select     := SELECT [DISTINCT] items FROM ident [join] [where]
+//!               [WITH QUALITY '(' expr (',' expr)* ')']
+//!               [GROUP BY idents] [HAVING expr]
+//!               [ORDER BY order] [LIMIT int]
+//! inspect    := INSPECT FROM ident [where]
+//! tag        := TAG ident SET ident '=' expr [where]   -- run via run_mut
+//! join       := JOIN ident ON ident '=' ident
+//! items      := '*' | item (',' item)*
+//! item       := agg '(' ('*'|ident) ')' [AS ident] | ident [AS ident]
+//! expr       := or; or := and (OR and)*; and := not (AND not)*
+//! not        := NOT not | cmp
+//! cmp        := add (op add | BETWEEN add AND add | IN '(' lit,* ')'
+//!               | LIKE str | IS [NOT] NULL)?
+//! add        := mul (('+'|'-'|'||') mul)*
+//! mul        := unary (('*'|'/'|'%') unary)*
+//! unary      := '-' unary | primary
+//! primary    := lit | ident | func '(' args ')' | '(' expr ')'
+//! lit        := int | float | str | TRUE | FALSE | NULL | DATE str
+//! ```
+
+use crate::ast::{JoinClause, OrderItem, SelectItem, SelectQuery, Statement};
+use crate::token::{lex, Token};
+use relstore::algebra::AggFunc;
+use relstore::{Date, DbError, DbResult, Expr, Func, Value};
+
+/// Parses one QQL statement.
+pub fn parse(input: &str) -> DbResult<Statement> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(DbError::ParseError(format!(
+            "trailing tokens after statement: `{}`",
+            p.peek_display()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_display(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or_default()
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes a keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(DbError::ParseError(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> DbResult<()> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DbError::ParseError(format!(
+                "expected `{t}`, found `{}`",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DbError::ParseError(format!(
+                "expected identifier, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or_default()
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("TAG") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let target = self.ident()?;
+            if !target.contains('@') {
+                return Err(DbError::ParseError(format!(
+                    "TAG target must be column@indicator, got `{target}`"
+                )));
+            }
+            self.expect(&Token::Eq)?;
+            let value = self.expr()?;
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Tag {
+                table,
+                target,
+                value,
+                filter,
+            });
+        }
+        if self.eat_kw("INSPECT") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Inspect { table, filter });
+        }
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let items = self.select_items()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let join = if self.eat_kw("JOIN") {
+            let jt = self.ident()?;
+            self.expect_kw("ON")?;
+            let lk = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let rk = self.ident()?;
+            Some(JoinClause {
+                table: jt,
+                left_key: lk,
+                right_key: rk,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut quality = Vec::new();
+        if self.eat_kw("WITH") {
+            self.expect_kw("QUALITY")?;
+            self.expect(&Token::LParen)?;
+            loop {
+                quality.push(self.expr()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.ident()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let column = self.ident()?;
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push(OrderItem { column, ascending });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(DbError::ParseError(format!(
+                        "LIMIT expects a non-negative integer, found `{}`",
+                        other.map(|t| t.to_string()).unwrap_or_default()
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectQuery {
+            items,
+            distinct,
+            table,
+            join,
+            where_clause,
+            quality,
+            group_by,
+            having,
+            order_by,
+            limit,
+        }))
+    }
+
+    fn select_items(&mut self) -> DbResult<Vec<SelectItem>> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn agg_func(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn select_item(&mut self) -> DbResult<SelectItem> {
+        let name = self.ident()?;
+        // aggregate?
+        if self.peek() == Some(&Token::LParen) {
+            if let Some(func) = Self::agg_func(&name) {
+                self.pos += 1; // (
+                let column = if self.peek() == Some(&Token::Star) {
+                    self.pos += 1;
+                    if func != AggFunc::Count {
+                        return Err(DbError::ParseError(format!(
+                            "{name}(*) is only valid for COUNT"
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                self.expect(&Token::RParen)?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                return Ok(SelectItem::Aggregate {
+                    func,
+                    column,
+                    alias,
+                });
+            }
+            return Err(DbError::ParseError(format!(
+                "unknown aggregate function `{name}`"
+            )));
+        }
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Column { name, alias })
+    }
+
+    // --- expression grammar -------------------------------------------
+
+    fn expr(&mut self) -> DbResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let r = self.and_expr()?;
+            e = e.or(r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> DbResult<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let r = self.not_expr()?;
+            e = e.and(r);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> DbResult<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> DbResult<Expr> {
+        let e = self.add_expr()?;
+        // postfix predicates
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(if negated {
+                Expr::IsNotNull(Box::new(e))
+            } else {
+                Expr::IsNull(Box::new(e))
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::Between(Box::new(e), Box::new(lo), Box::new(hi)));
+        }
+        if self.eat_kw("IN") {
+            self.expect(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList(Box::new(e), list));
+        }
+        if self.eat_kw("LIKE") {
+            match self.next() {
+                Some(Token::Str(pat)) => return Ok(Expr::Like(Box::new(e), pat)),
+                other => {
+                    return Err(DbError::ParseError(format!(
+                        "LIKE expects a string pattern, found `{}`",
+                        other.map(|t| t.to_string()).unwrap_or_default()
+                    )))
+                }
+            }
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(Expr::eq as fn(Expr, Expr) -> Expr),
+            Some(Token::Ne) => Some(Expr::ne as fn(Expr, Expr) -> Expr),
+            Some(Token::Lt) => Some(Expr::lt as fn(Expr, Expr) -> Expr),
+            Some(Token::Le) => Some(Expr::le as fn(Expr, Expr) -> Expr),
+            Some(Token::Gt) => Some(Expr::gt as fn(Expr, Expr) -> Expr),
+            Some(Token::Ge) => Some(Expr::ge as fn(Expr, Expr) -> Expr),
+            _ => None,
+        };
+        if let Some(f) = op {
+            self.pos += 1;
+            let r = self.add_expr()?;
+            return Ok(f(e, r));
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> DbResult<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    e = e.add(self.mul_expr()?);
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    e = e.sub(self.mul_expr()?);
+                }
+                Some(Token::Concat) => {
+                    self.pos += 1;
+                    let r = self.mul_expr()?;
+                    e = Expr::Bin(Box::new(e), relstore::expr::BinOp::Concat, Box::new(r));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> DbResult<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => relstore::expr::BinOp::Mul,
+                Some(Token::Slash) => relstore::expr::BinOp::Div,
+                Some(Token::Percent) => relstore::expr::BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.unary_expr()?;
+            e = Expr::Bin(Box::new(e), op, Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> DbResult<Expr> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un(relstore::expr::UnOp::Neg, Box::new(e)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> DbResult<Expr> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::lit(i)),
+            Some(Token::Float(x)) => Ok(Expr::lit(x)),
+            Some(Token::Str(s)) => Ok(Expr::lit(Value::Text(s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true") {
+                    return Ok(Expr::lit(true));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    return Ok(Expr::lit(false));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                // DATE 'yyyy-mm-dd'
+                if name.eq_ignore_ascii_case("date") {
+                    if let Some(Token::Str(s)) = self.peek() {
+                        let d = Date::parse(s)?;
+                        self.pos += 1;
+                        return Ok(Expr::lit(Value::Date(d)));
+                    }
+                    return Err(DbError::ParseError(
+                        "DATE expects a quoted date literal".into(),
+                    ));
+                }
+                // function call?
+                if self.peek() == Some(&Token::LParen) {
+                    if let Some(f) = Func::from_name(&name) {
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.peek() == Some(&Token::Comma) {
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Call(f, args));
+                    }
+                    return Err(DbError::ParseError(format!("unknown function `{name}`")));
+                }
+                Ok(Expr::col(name))
+            }
+            other => Err(DbError::ParseError(format!(
+                "unexpected token `{}` in expression",
+                other.map(|t| t.to_string()).unwrap_or_default()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{SelectItem, Statement};
+
+    fn parse_select(q: &str) -> SelectQuery {
+        match parse(q).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    use crate::ast::SelectQuery;
+
+    #[test]
+    fn full_quality_query() {
+        let q = parse_select(
+            "SELECT ticker, price FROM stocks JOIN reports ON ticker = ticker \
+             WHERE price > 10 AND ticker LIKE 'F%' \
+             WITH QUALITY (price@age <= 10, price@source <> 'estimate') \
+             ORDER BY price DESC LIMIT 5",
+        );
+        assert_eq!(q.table, "stocks");
+        assert_eq!(q.join.as_ref().unwrap().table, "reports");
+        assert_eq!(q.quality.len(), 2);
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].ascending);
+        assert_eq!(q.limit, Some(5));
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn aggregates_and_grouping() {
+        let q = parse_select(
+            "SELECT ticker, COUNT(*) AS n, SUM(qty) AS total, AVG(price) \
+             FROM trades GROUP BY ticker",
+        );
+        assert!(q.is_aggregate());
+        assert_eq!(q.group_by, vec!["ticker"]);
+        assert_eq!(q.items.len(), 4);
+        match &q.items[1] {
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None,
+                alias,
+            } => assert_eq!(alias.as_deref(), Some("n")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inspect_statement() {
+        let s = parse("INSPECT FROM customers WHERE employees > 100").unwrap();
+        match s {
+            Statement::Inspect { table, filter } => {
+                assert_eq!(table, "customers");
+                assert!(filter.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_literals_and_null_tests() {
+        let q = parse_select(
+            "SELECT * FROM t WHERE created >= DATE '1991-10-01' AND note IS NOT NULL",
+        );
+        let w = q.where_clause.unwrap();
+        let cols = w.referenced_columns();
+        assert!(cols.contains(&"created"));
+        assert!(cols.contains(&"note"));
+    }
+
+    #[test]
+    fn between_in_and_functions() {
+        let q = parse_select(
+            "SELECT * FROM t WHERE x BETWEEN 1 AND 10 \
+             AND name IN ('a', 'b') AND length(name) > 2",
+        );
+        assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn precedence() {
+        // a OR b AND c parses as a OR (b AND c)
+        let q = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        match q.where_clause.unwrap() {
+            Expr::Bin(_, relstore::expr::BinOp::Or, _) => {}
+            other => panic!("expected OR at top: {other:?}"),
+        }
+        // arithmetic: 1 + 2 * 3
+        let q = parse_select("SELECT * FROM t WHERE x = 1 + 2 * 3");
+        // evaluates to 7 when x = 7
+        let schema = relstore::Schema::of(&[("x", relstore::DataType::Int)]);
+        let ok = q
+            .where_clause
+            .unwrap()
+            .eval_predicate(&schema, &vec![Value::Int(7)])
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn distinct_and_aliases() {
+        let q = parse_select("SELECT DISTINCT name AS n FROM t");
+        assert!(q.distinct);
+        match &q.items[0] {
+            SelectItem::Column { name, alias } => {
+                assert_eq!(name, "name");
+                assert_eq!(alias.as_deref(), Some("n"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t extra garbage !").is_err());
+        assert!(parse("SELECT sparkle(x) FROM t").is_err());
+        assert!(parse("SELECT sum(*) FROM t").is_err());
+        assert!(parse("SELECT * FROM t WITH QUALITY price@age < 3").is_err()); // missing parens
+        assert!(parse("INSPECT customers").is_err()); // missing FROM
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse_select("SELECT * FROM t WHERE x > -5");
+        let schema = relstore::Schema::of(&[("x", relstore::DataType::Int)]);
+        assert!(q
+            .where_clause
+            .unwrap()
+            .eval_predicate(&schema, &vec![Value::Int(0)])
+            .unwrap());
+    }
+}

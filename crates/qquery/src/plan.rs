@@ -1,0 +1,572 @@
+//! Logical plans and the planner (with optional predicate pushdown).
+
+use crate::ast::{SelectItem, SelectQuery, Statement};
+use relstore::algebra::AggCall;
+use relstore::{DbError, DbResult, Expr, Schema};
+use tagstore::TaggedRelation;
+
+/// A logical query plan over tagged relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a named tagged relation.
+    Scan(String),
+    /// Equi-join two plans.
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join key on the left.
+        left_key: String,
+        /// Join key on the right.
+        right_key: String,
+    },
+    /// σ with a (possibly quality-) predicate.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate; may reference `col@indicator` pseudo-columns.
+        predicate: Expr,
+    },
+    /// Projection onto named columns/pseudo-columns with output names.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(source name, output name)` pairs; source may be a
+        /// pseudo-column.
+        columns: Vec<(String, String)>,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-by columns.
+        group_by: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+    },
+    /// Duplicate elimination (merging tags).
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Multi-key sort.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// Depth-first operator count (used in tests/benches to verify
+    /// pushdown changed the shape).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Scan(_) => 1,
+            Plan::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => 1 + input.operator_count(),
+        }
+    }
+
+    /// True if a `Filter` appears beneath a `Join` (evidence of pushdown).
+    pub fn has_filter_below_join(&self) -> bool {
+        fn contains_filter(p: &Plan) -> bool {
+            match p {
+                Plan::Filter { .. } => true,
+                Plan::Scan(_) => false,
+                Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
+                Plan::Project { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Distinct { input }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. } => contains_filter(input),
+            }
+        }
+        match self {
+            Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
+            Plan::Scan(_) => false,
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.has_filter_below_join(),
+        }
+    }
+}
+
+/// Schema provider used by the planner for pushdown decisions.
+pub trait SchemaProvider {
+    /// Application schema of the named relation.
+    fn schema_of(&self, name: &str) -> DbResult<Schema>;
+}
+
+impl SchemaProvider for std::collections::HashMap<String, TaggedRelation> {
+    fn schema_of(&self, name: &str) -> DbResult<Schema> {
+        self.get(name)
+            .map(|r| r.schema().clone())
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+}
+
+/// The planner. `pushdown` controls whether single-side conjuncts of the
+/// combined WHERE/quality predicate are evaluated below the join.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Enable predicate pushdown through joins.
+    pub pushdown: bool,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner { pushdown: true }
+    }
+}
+
+/// Splits a predicate into its top-level conjuncts.
+fn conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin(l, relstore::expr::BinOp::And, r) => {
+            let mut out = conjuncts(l);
+            out.extend(conjuncts(r));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Joins conjuncts back into one predicate.
+fn conjoin(mut parts: Vec<Expr>) -> Option<Expr> {
+    if parts.is_empty() {
+        return None;
+    }
+    let first = parts.remove(0);
+    Some(parts.into_iter().fold(first, |acc, e| acc.and(e)))
+}
+
+/// Base column of a possibly-pseudo name (`price@age` → `price`).
+fn base_col(name: &str) -> &str {
+    name.split_once('@').map(|(c, _)| c).unwrap_or(name)
+}
+
+/// Classifies a conjunct for pushdown through a join whose inputs have the
+/// given schemas. Returns `Some((side, rewritten))` when the conjunct can
+/// be evaluated on one side alone (side: `false`=left, `true`=right).
+fn classify(
+    conjunct: &Expr,
+    left: &Schema,
+    right: &Schema,
+) -> Option<(bool, Expr)> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Side {
+        Left,
+        Right,
+    }
+    let mut side: Option<Side> = None;
+    for col in conjunct.referenced_columns() {
+        let (this, _stripped) = if let Some(rest) = col.strip_prefix("l.") {
+            left.index_of(base_col(rest))?;
+            (Side::Left, rest)
+        } else if let Some(rest) = col.strip_prefix("r.") {
+            right.index_of(base_col(rest))?;
+            (Side::Right, rest)
+        } else {
+            let in_l = left.index_of(base_col(col)).is_some();
+            let in_r = right.index_of(base_col(col)).is_some();
+            match (in_l, in_r) {
+                (true, false) => (Side::Left, col),
+                (false, true) => (Side::Right, col),
+                _ => return None, // ambiguous or unknown: keep above join
+            }
+        };
+        match side {
+            None => side = Some(this),
+            Some(s) if s == this => {}
+            Some(_) => return None, // references both sides
+        }
+    }
+    let side = side?;
+    // Rewrite: strip l./r. prefixes so the conjunct evaluates against the
+    // un-joined input schema.
+    let rewritten = rewrite_strip_prefix(conjunct, match side {
+        Side::Left => "l.",
+        Side::Right => "r.",
+    });
+    Some((side == Side::Right, rewritten))
+}
+
+fn rewrite_strip_prefix(e: &Expr, prefix: &str) -> Expr {
+    match e {
+        Expr::Col(c) => Expr::Col(c.strip_prefix(prefix).unwrap_or(c).to_owned()),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Bin(l, op, r) => Expr::Bin(
+            Box::new(rewrite_strip_prefix(l, prefix)),
+            *op,
+            Box::new(rewrite_strip_prefix(r, prefix)),
+        ),
+        Expr::Un(op, x) => Expr::Un(*op, Box::new(rewrite_strip_prefix(x, prefix))),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(rewrite_strip_prefix(x, prefix))),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(rewrite_strip_prefix(x, prefix))),
+        Expr::Between(x, lo, hi) => Expr::Between(
+            Box::new(rewrite_strip_prefix(x, prefix)),
+            Box::new(rewrite_strip_prefix(lo, prefix)),
+            Box::new(rewrite_strip_prefix(hi, prefix)),
+        ),
+        Expr::InList(x, list) => Expr::InList(
+            Box::new(rewrite_strip_prefix(x, prefix)),
+            list.iter().map(|i| rewrite_strip_prefix(i, prefix)).collect(),
+        ),
+        Expr::Like(x, p) => Expr::Like(Box::new(rewrite_strip_prefix(x, prefix)), p.clone()),
+        Expr::Call(f, args) => Expr::Call(
+            *f,
+            args.iter().map(|a| rewrite_strip_prefix(a, prefix)).collect(),
+        ),
+        Expr::Case(arms, els) => Expr::Case(
+            arms.iter()
+                .map(|(c, v)| (rewrite_strip_prefix(c, prefix), rewrite_strip_prefix(v, prefix)))
+                .collect(),
+            els.as_ref()
+                .map(|e| Box::new(rewrite_strip_prefix(e, prefix))),
+        ),
+    }
+}
+
+impl Planner {
+    /// Plans a parsed statement. `Inspect` statements plan as a filtered
+    /// scan; rendering happens at execution.
+    pub fn plan(&self, stmt: &Statement, schemas: &dyn SchemaProvider) -> DbResult<Plan> {
+        match stmt {
+            Statement::Inspect { table, filter } => {
+                schemas.schema_of(table)?;
+                let scan = Plan::Scan(table.clone());
+                Ok(match filter {
+                    Some(f) => Plan::Filter {
+                        input: Box::new(scan),
+                        predicate: f.clone(),
+                    },
+                    None => scan,
+                })
+            }
+            Statement::Select(q) => self.plan_select(q, schemas),
+            Statement::Tag { .. } => Err(DbError::InvalidExpression(
+                "TAG is a mutation statement; execute it with run_mut".into(),
+            )),
+        }
+    }
+
+    fn plan_select(&self, q: &SelectQuery, schemas: &dyn SchemaProvider) -> DbResult<Plan> {
+        let left_schema = schemas.schema_of(&q.table)?;
+        let mut plan;
+        let predicate = q.combined_predicate();
+
+        match &q.join {
+            None => {
+                plan = Plan::Scan(q.table.clone());
+                if let Some(p) = predicate {
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        predicate: p,
+                    };
+                }
+            }
+            Some(j) => {
+                let right_schema = schemas.schema_of(&j.table)?;
+                let mut left: Plan = Plan::Scan(q.table.clone());
+                let mut right: Plan = Plan::Scan(j.table.clone());
+                let mut residual: Vec<Expr> = Vec::new();
+                if let Some(p) = predicate {
+                    if self.pushdown {
+                        let (mut lparts, mut rparts) = (Vec::new(), Vec::new());
+                        for c in conjuncts(&p) {
+                            match classify(&c, &left_schema, &right_schema) {
+                                Some((false, e)) => lparts.push(e),
+                                Some((true, e)) => rparts.push(e),
+                                None => residual.push(c),
+                            }
+                        }
+                        if let Some(lp) = conjoin(lparts) {
+                            left = Plan::Filter {
+                                input: Box::new(left),
+                                predicate: lp,
+                            };
+                        }
+                        if let Some(rp) = conjoin(rparts) {
+                            right = Plan::Filter {
+                                input: Box::new(right),
+                                predicate: rp,
+                            };
+                        }
+                    } else {
+                        residual.push(p);
+                    }
+                }
+                plan = Plan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_key: j.left_key.clone(),
+                    right_key: j.right_key.clone(),
+                };
+                if let Some(res) = conjoin(residual) {
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        predicate: res,
+                    };
+                }
+            }
+        }
+
+        // Aggregation or projection.
+        if q.is_aggregate() {
+            let mut aggs = Vec::new();
+            for item in &q.items {
+                match item {
+                    SelectItem::Aggregate { func, column, alias } => {
+                        let output = alias.clone().unwrap_or_else(|| match column {
+                            Some(c) => format!("{}_{c}", agg_name(*func)),
+                            None => "count".to_owned(),
+                        });
+                        aggs.push(AggCall {
+                            func: *func,
+                            column: column.clone(),
+                            output,
+                        });
+                    }
+                    SelectItem::Column { name, .. } => {
+                        if !q.group_by.contains(name) {
+                            return Err(DbError::InvalidExpression(format!(
+                                "column `{name}` must appear in GROUP BY"
+                            )));
+                        }
+                    }
+                    SelectItem::Wildcard => {
+                        return Err(DbError::InvalidExpression(
+                            "SELECT * cannot be combined with aggregation".into(),
+                        ))
+                    }
+                }
+            }
+            plan = Plan::Aggregate {
+                input: Box::new(plan),
+                group_by: q.group_by.clone(),
+                aggs,
+            };
+            if let Some(h) = &q.having {
+                plan = Plan::Filter {
+                    input: Box::new(plan),
+                    predicate: h.clone(),
+                };
+            }
+        } else if q.having.is_some() {
+            return Err(DbError::InvalidExpression(
+                "HAVING requires aggregation".into(),
+            ));
+        } else if !matches!(q.items.as_slice(), [SelectItem::Wildcard]) {
+            let mut columns = Vec::new();
+            for item in &q.items {
+                if let SelectItem::Column { name, alias } = item {
+                    columns.push((name.clone(), alias.clone().unwrap_or_else(|| name.clone())));
+                }
+            }
+            plan = Plan::Project {
+                input: Box::new(plan),
+                columns,
+            };
+        }
+
+        if q.distinct {
+            plan = Plan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        if !q.order_by.is_empty() {
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys: q
+                    .order_by
+                    .iter()
+                    .map(|o| (o.column.clone(), o.ascending))
+                    .collect(),
+            };
+        }
+        if let Some(n) = q.limit {
+            plan = Plan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+}
+
+fn agg_name(f: relstore::algebra::AggFunc) -> &'static str {
+    use relstore::algebra::AggFunc::*;
+    match f {
+        Count => "count",
+        Sum => "sum",
+        Avg => "avg",
+        Min => "min",
+        Max => "max",
+        CountDistinct => "count_distinct",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use relstore::DataType;
+    use std::collections::HashMap;
+    use tagstore::IndicatorDictionary;
+
+    fn catalog() -> HashMap<String, TaggedRelation> {
+        let mut m = HashMap::new();
+        m.insert(
+            "stocks".to_owned(),
+            TaggedRelation::empty(
+                Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
+                IndicatorDictionary::with_paper_defaults(),
+            ),
+        );
+        m.insert(
+            "trades".to_owned(),
+            TaggedRelation::empty(
+                Schema::of(&[("tkr", DataType::Text), ("qty", DataType::Int)]),
+                IndicatorDictionary::with_paper_defaults(),
+            ),
+        );
+        m
+    }
+
+    fn plan_q(sql: &str, pushdown: bool) -> Plan {
+        let stmt = parse(sql).unwrap();
+        Planner { pushdown }.plan(&stmt, &catalog()).unwrap()
+    }
+
+    #[test]
+    fn simple_scan_filter() {
+        let p = plan_q("SELECT * FROM stocks WHERE price > 1", true);
+        match p {
+            Plan::Filter { input, .. } => assert_eq!(*input, Plan::Scan("stocks".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_splits_conjuncts() {
+        let sql = "SELECT * FROM stocks JOIN trades ON ticker = tkr \
+                   WHERE price > 1 AND qty < 5 WITH QUALITY (price@age <= 3)";
+        let with = plan_q(sql, true);
+        assert!(with.has_filter_below_join());
+        // all three conjuncts are single-side → no residual filter on top
+        match &with {
+            Plan::Join { left, right, .. } => {
+                assert!(matches!(**left, Plan::Filter { .. }));
+                assert!(matches!(**right, Plan::Filter { .. }));
+            }
+            other => panic!("expected join at top, got {other:?}"),
+        }
+        let without = plan_q(sql, false);
+        assert!(!without.has_filter_below_join());
+        match &without {
+            Plan::Filter { input, .. } => assert!(matches!(**input, Plan::Join { .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_side_conjunct_stays_above() {
+        let sql = "SELECT * FROM stocks JOIN trades ON ticker = tkr WHERE price > qty";
+        let p = plan_q(sql, true);
+        match p {
+            Plan::Filter { input, .. } => assert!(matches!(*input, Plan::Join { .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefixed_columns_push_correctly() {
+        // l./r. prefixes resolve even for clashing names
+        let sql = "SELECT * FROM stocks JOIN trades ON ticker = tkr WHERE l.price > 1";
+        let p = plan_q(sql, true);
+        match &p {
+            Plan::Join { left, .. } => match &**left {
+                Plan::Filter { predicate, .. } => {
+                    assert_eq!(predicate.referenced_columns(), vec!["price"]);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_plan() {
+        let p = plan_q(
+            "SELECT tkr, COUNT(*) AS n, SUM(qty) AS total FROM trades GROUP BY tkr",
+            true,
+        );
+        match p {
+            Plan::Aggregate { group_by, aggs, .. } => {
+                assert_eq!(group_by, vec!["tkr"]);
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(aggs[0].output, "n");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        let stmt = parse("SELECT price, COUNT(*) FROM stocks GROUP BY ticker").unwrap();
+        assert!(Planner::default().plan(&stmt, &catalog()).is_err());
+        let stmt = parse("SELECT * FROM stocks GROUP BY ticker").unwrap();
+        assert!(Planner::default().plan(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn order_limit_distinct_stack() {
+        let p = plan_q(
+            "SELECT DISTINCT ticker FROM stocks ORDER BY ticker DESC LIMIT 3",
+            true,
+        );
+        match p {
+            Plan::Limit { input, n } => {
+                assert_eq!(n, 3);
+                match *input {
+                    Plan::Sort { input, keys } => {
+                        assert_eq!(keys, vec![("ticker".to_owned(), false)]);
+                        assert!(matches!(*input, Plan::Distinct { .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let stmt = parse("SELECT * FROM ghosts").unwrap();
+        assert!(Planner::default().plan(&stmt, &catalog()).is_err());
+    }
+
+    #[test]
+    fn operator_count_counts() {
+        let p = plan_q("SELECT ticker FROM stocks WHERE price > 1 LIMIT 1", true);
+        assert_eq!(p.operator_count(), 4); // scan, filter, project, limit
+    }
+}

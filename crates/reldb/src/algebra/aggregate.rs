@@ -1,0 +1,426 @@
+//! Grouping and aggregation (γ).
+//!
+//! `aggregate(input, group_by, aggs)` groups rows by the named columns and
+//! computes aggregate calls per group. With an empty `group_by` the whole
+//! input forms one group (global aggregation), which yields one row even
+//! for empty input (COUNT = 0, others NULL) — matching SQL.
+
+use crate::error::{DbError, DbResult};
+use crate::relation::{Relation, Row};
+use crate::schema::{ColumnDef, Schema};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (`COUNT(*)` when the input column is `None`).
+    Count,
+    /// Sum of non-null numerics.
+    Sum,
+    /// Mean of non-null numerics.
+    Avg,
+    /// Minimum non-null value.
+    Min,
+    /// Maximum non-null value.
+    Max,
+    /// Count of distinct non-null values.
+    CountDistinct,
+}
+
+/// One aggregate call: function, optional input column, output name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCall {
+    /// Which function to run.
+    pub func: AggFunc,
+    /// Input column; `None` only for `Count` (COUNT(*)).
+    pub column: Option<String>,
+    /// Name of the output column.
+    pub output: String,
+}
+
+impl AggCall {
+    /// `COUNT(*) AS output`.
+    pub fn count_star(output: impl Into<String>) -> Self {
+        AggCall {
+            func: AggFunc::Count,
+            column: None,
+            output: output.into(),
+        }
+    }
+
+    /// `func(column) AS output`.
+    pub fn on(func: AggFunc, column: impl Into<String>, output: impl Into<String>) -> Self {
+        AggCall {
+            func,
+            column: Some(column.into()),
+            output: output.into(),
+        }
+    }
+}
+
+/// Accumulator state for one aggregate within one group.
+enum Acc {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Avg(f64, i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(std::collections::HashSet<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            // Sum starts as int and upgrades to float on first float input.
+            AggFunc::Sum => Acc::SumInt(0, false),
+            AggFunc::Avg => Acc::Avg(0.0, 0),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::CountDistinct => Acc::Distinct(std::collections::HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> DbResult<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) counts rows; COUNT(col) counts non-null values.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::SumInt(s, any) => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Null => {}
+                        Value::Int(i) => {
+                            *s += i;
+                            *any = true;
+                        }
+                        Value::Float(f) => {
+                            let cur = *s as f64 + f;
+                            *self = Acc::SumFloat(cur, true);
+                        }
+                        other => {
+                            return Err(DbError::TypeMismatch {
+                                expected: "numeric for SUM".into(),
+                                found: other.type_name().into(),
+                            })
+                        }
+                    }
+                }
+            }
+            Acc::SumFloat(s, any) => {
+                if let Some(val) = v {
+                    match val {
+                        Value::Null => {}
+                        _ => {
+                            *s += val.as_float()?;
+                            *any = true;
+                        }
+                    }
+                }
+            }
+            Acc::Avg(s, n) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        *s += val.as_float()?;
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Min(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val < cur) {
+                        *m = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(m) => {
+                if let Some(val) = v {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val > cur) {
+                        *m = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Distinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        set.insert(val.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::SumInt(s, any) => {
+                if any {
+                    Value::Int(s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat(s, any) => {
+                if any {
+                    Value::Float(s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Avg(s, n) => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(s / n as f64)
+                }
+            }
+            Acc::Min(m) => m.unwrap_or(Value::Null),
+            Acc::Max(m) => m.unwrap_or(Value::Null),
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+/// γ — group by `group_by` columns and evaluate `aggs` per group.
+pub fn aggregate(input: &Relation, group_by: &[&str], aggs: &[AggCall]) -> DbResult<Relation> {
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| input.schema().resolve(c))
+        .collect::<DbResult<_>>()?;
+    let agg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => input.schema().resolve(c).map(Some),
+            None => {
+                if a.func == AggFunc::Count {
+                    Ok(None)
+                } else {
+                    Err(DbError::InvalidExpression(format!(
+                        "{:?} requires an input column",
+                        a.func
+                    )))
+                }
+            }
+        })
+        .collect::<DbResult<_>>()?;
+
+    // Group rows. Vec<Value> keys are hashable because Value is.
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in input.iter() {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|a| Acc::new(a.func)).collect()
+        });
+        for (acc, idx) in accs.iter_mut().zip(agg_idx.iter()) {
+            acc.update(idx.map(|i| &row[i]))?;
+        }
+    }
+    // Global aggregation over empty input still yields one row.
+    if group_by.is_empty() && groups.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), aggs.iter().map(|a| Acc::new(a.func)).collect());
+    }
+
+    // Output schema: group columns then aggregate outputs.
+    let mut cols: Vec<ColumnDef> = key_idx
+        .iter()
+        .map(|&i| input.schema().column(i).unwrap().clone())
+        .collect();
+    for a in aggs {
+        let dtype = match a.func {
+            AggFunc::Count | AggFunc::CountDistinct => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            _ => DataType::Any,
+        };
+        cols.push(ColumnDef::new(a.output.clone(), dtype));
+    }
+    let schema = Schema::new(cols)?;
+
+    let mut rows: Vec<Row> = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group recorded in order");
+        let mut row = key;
+        row.extend(accs.into_iter().map(Acc::finish));
+        rows.push(row);
+    }
+    Ok(Relation::from_parts_unchecked(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trades() -> Relation {
+        let schema = Schema::of(&[
+            ("ticker", DataType::Text),
+            ("qty", DataType::Int),
+            ("price", DataType::Float),
+        ]);
+        Relation::new(
+            schema,
+            vec![
+                vec![Value::text("FRT"), Value::Int(100), Value::Float(10.0)],
+                vec![Value::text("FRT"), Value::Int(50), Value::Float(11.0)],
+                vec![Value::text("NUT"), Value::Int(10), Value::Float(20.0)],
+                vec![Value::text("NUT"), Value::Null, Value::Float(21.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_with_count_and_sum() {
+        let out = aggregate(
+            &trades(),
+            &["ticker"],
+            &[
+                AggCall::count_star("n"),
+                AggCall::on(AggFunc::Sum, "qty", "total_qty"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().names(), vec!["ticker", "n", "total_qty"]);
+        // first-seen group order preserved
+        assert_eq!(out.rows()[0][0], Value::text("FRT"));
+        assert_eq!(out.rows()[0][1], Value::Int(2));
+        assert_eq!(out.rows()[0][2], Value::Int(150));
+        assert_eq!(out.rows()[1][2], Value::Int(10)); // NULL ignored by SUM
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let out = aggregate(
+            &trades(),
+            &["ticker"],
+            &[AggCall::on(AggFunc::Count, "qty", "n_qty")],
+        )
+        .unwrap();
+        assert_eq!(out.rows()[1][1], Value::Int(1)); // NUT has one non-null qty
+    }
+
+    #[test]
+    fn global_aggregation() {
+        let out = aggregate(
+            &trades(),
+            &[],
+            &[
+                AggCall::count_star("n"),
+                AggCall::on(AggFunc::Avg, "price", "avg_price"),
+                AggCall::on(AggFunc::Min, "price", "lo"),
+                AggCall::on(AggFunc::Max, "price", "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(4));
+        assert_eq!(out.rows()[0][1], Value::Float(15.5));
+        assert_eq!(out.rows()[0][2], Value::Float(10.0));
+        assert_eq!(out.rows()[0][3], Value::Float(21.0));
+    }
+
+    #[test]
+    fn empty_input_global_yields_one_row() {
+        let empty = Relation::empty(trades().schema().clone());
+        let out = aggregate(
+            &empty,
+            &[],
+            &[
+                AggCall::count_star("n"),
+                AggCall::on(AggFunc::Sum, "qty", "s"),
+                AggCall::on(AggFunc::Avg, "qty", "a"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
+        assert_eq!(out.rows()[0][1], Value::Null);
+        assert_eq!(out.rows()[0][2], Value::Null);
+    }
+
+    #[test]
+    fn empty_input_grouped_yields_no_rows() {
+        let empty = Relation::empty(trades().schema().clone());
+        let out = aggregate(&empty, &["ticker"], &[AggCall::count_star("n")]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = aggregate(
+            &trades(),
+            &[],
+            &[AggCall::on(AggFunc::CountDistinct, "ticker", "k")],
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn sum_upgrades_to_float() {
+        let schema = Schema::of(&[("x", DataType::Float)]);
+        let r = Relation::new(
+            schema,
+            vec![vec![Value::Int(1)], vec![Value::Float(0.5)]],
+        );
+        // Int conforms? Int is not Float → constructor rejects. Build with
+        // Any instead to test mixed input.
+        assert!(r.is_err());
+        let schema = Schema::of(&[("x", DataType::Any)]);
+        let r = Relation::new(
+            schema,
+            vec![vec![Value::Int(1)], vec![Value::Float(0.5)]],
+        )
+        .unwrap();
+        let out = aggregate(&r, &[], &[AggCall::on(AggFunc::Sum, "x", "s")]).unwrap();
+        assert_eq!(out.rows()[0][0], Value::Float(1.5));
+    }
+
+    #[test]
+    fn sum_over_text_errors() {
+        let schema = Schema::of(&[("x", DataType::Text)]);
+        let r = Relation::new(schema, vec![vec![Value::text("a")]]).unwrap();
+        assert!(aggregate(&r, &[], &[AggCall::on(AggFunc::Sum, "x", "s")]).is_err());
+    }
+
+    #[test]
+    fn group_key_may_be_null() {
+        let schema = Schema::of(&[("k", DataType::Text), ("v", DataType::Int)]);
+        let r = Relation::new(
+            schema,
+            vec![
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Null, Value::Int(2)],
+                vec![Value::text("a"), Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        let out = aggregate(&r, &["k"], &[AggCall::on(AggFunc::Sum, "v", "s")]).unwrap();
+        assert_eq!(out.len(), 2); // NULLs group together, SQL-style
+    }
+
+    #[test]
+    fn bad_calls_rejected() {
+        assert!(aggregate(&trades(), &["bogus"], &[AggCall::count_star("n")]).is_err());
+        assert!(aggregate(
+            &trades(),
+            &[],
+            &[AggCall {
+                func: AggFunc::Sum,
+                column: None,
+                output: "s".into()
+            }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Relational algebra over materialized [`Relation`]s.
+//!
+//! Operators are plain functions; each consumes references and produces a
+//! new relation. The tagged ([`tagstore`](https://docs.rs)) and polygen
+//! layers mirror these operators with tag/source propagation, so semantics
+//! here are the baseline the paper's quality models extend.
+
+mod aggregate;
+mod join;
+mod set;
+mod sort;
+
+pub use aggregate::{aggregate, AggCall, AggFunc};
+pub use join::{
+    equi_join_consistent, hash_join, merge_join, nested_loop_join, semi_join, theta_join, JoinType,
+};
+pub use set::{difference, distinct, intersect, union_all};
+pub use sort::{sort_by, SortKey, SortOrder};
+
+use crate::error::DbResult;
+use crate::expr::Expr;
+use crate::relation::{Relation, Row};
+use crate::schema::{ColumnDef, Schema};
+
+/// σ — keeps rows whose predicate evaluates to `true`.
+pub fn select(input: &Relation, predicate: &Expr) -> DbResult<Relation> {
+    let schema = input.schema().clone();
+    let mut rows = Vec::new();
+    for row in input.iter() {
+        if predicate.eval_predicate(&schema, row)? {
+            rows.push(row.clone());
+        }
+    }
+    Ok(Relation::from_parts_unchecked(schema, rows))
+}
+
+/// π — projects onto the named columns (bag semantics, duplicates kept).
+pub fn project(input: &Relation, columns: &[&str]) -> DbResult<Relation> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| input.schema().resolve(c))
+        .collect::<DbResult<_>>()?;
+    let schema = input.schema().project(&indices)?;
+    let rows = input
+        .iter()
+        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    Ok(Relation::from_parts_unchecked(schema, rows))
+}
+
+/// Extended projection: computes named expressions per row
+/// (`SELECT expr AS name, ...`).
+pub fn extend(input: &Relation, exprs: &[(&str, Expr)]) -> DbResult<Relation> {
+    let in_schema = input.schema().clone();
+    let mut rows: Vec<Row> = Vec::with_capacity(input.len());
+    let mut out_cols: Vec<ColumnDef> = Vec::with_capacity(exprs.len());
+    // Infer each output column's type from the first non-null result; this
+    // keeps the engine simple while staying typed for downstream checks.
+    let mut inferred: Vec<Option<crate::value::DataType>> = vec![None; exprs.len()];
+    for row in input.iter() {
+        let mut out = Vec::with_capacity(exprs.len());
+        for (i, (_, e)) in exprs.iter().enumerate() {
+            let v = e.eval(&in_schema, row)?;
+            if inferred[i].is_none() {
+                inferred[i] = v.data_type();
+            }
+            out.push(v);
+        }
+        rows.push(out);
+    }
+    for (i, (name, _)) in exprs.iter().enumerate() {
+        out_cols.push(ColumnDef::new(
+            *name,
+            inferred[i].unwrap_or(crate::value::DataType::Any),
+        ));
+    }
+    Ok(Relation::from_parts_unchecked(Schema::new(out_cols)?, rows))
+}
+
+/// ρ — renames a single column.
+pub fn rename(input: &Relation, from: &str, to: &str) -> DbResult<Relation> {
+    let schema = input.schema().rename(from, to)?;
+    Ok(Relation::from_parts_unchecked(
+        schema,
+        input.rows().to_vec(),
+    ))
+}
+
+/// × — Cartesian product. Clashing column names get `l.`/`r.` prefixes.
+pub fn product(left: &Relation, right: &Relation) -> DbResult<Relation> {
+    let schema = left.schema().join(right.schema(), "l", "r")?;
+    let mut rows = Vec::with_capacity(left.len() * right.len());
+    for lr in left.iter() {
+        for rr in right.iter() {
+            let mut row = lr.clone();
+            row.extend(rr.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Ok(Relation::from_parts_unchecked(schema, rows))
+}
+
+/// LIMIT — first `n` rows.
+pub fn limit(input: &Relation, n: usize) -> Relation {
+    Relation::from_parts_unchecked(
+        input.schema().clone(),
+        input.rows().iter().take(n).cloned().collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::value::{DataType, Value};
+
+    pub(crate) fn customers() -> Relation {
+        let schema = Schema::of(&[
+            ("co_name", DataType::Text),
+            ("address", DataType::Text),
+            ("employees", DataType::Int),
+        ]);
+        Relation::new(
+            schema,
+            vec![
+                vec![Value::text("Fruit Co"), Value::text("12 Jay St"), Value::Int(4004)],
+                vec![Value::text("Nut Co"), Value::text("62 Lois Av"), Value::Int(700)],
+                vec![Value::text("Bolt Co"), Value::Null, Value::Int(120)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = select(&customers(), &Expr::col("employees").gt(Expr::lit(500i64))).unwrap();
+        assert_eq!(r.len(), 2);
+        // NULL address row: predicate on address drops it (3VL)
+        let r = select(&customers(), &Expr::col("address").eq(Expr::lit("12 Jay St"))).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_empty_result() {
+        let r = select(&customers(), &Expr::lit(false)).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.schema().arity(), 3);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let r = project(&customers(), &["employees", "co_name"]).unwrap();
+        assert_eq!(r.schema().names(), vec!["employees", "co_name"]);
+        assert_eq!(r.rows()[0][0], Value::Int(4004));
+        assert!(project(&customers(), &["bogus"]).is_err());
+    }
+
+    #[test]
+    fn extend_computes() {
+        let r = extend(
+            &customers(),
+            &[
+                ("name", Expr::col("co_name")),
+                ("doubled", Expr::col("employees").add(Expr::col("employees"))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.schema().names(), vec!["name", "doubled"]);
+        assert_eq!(r.rows()[1][1], Value::Int(1400));
+    }
+
+    #[test]
+    fn rename_column() {
+        let r = rename(&customers(), "co_name", "company").unwrap();
+        assert_eq!(r.schema().index_of("company"), Some(0));
+        assert!(rename(&customers(), "nope", "x").is_err());
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let a = customers();
+        let b = project(&customers(), &["co_name"]).unwrap();
+        let p = product(&a, &b).unwrap();
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.schema().arity(), 4);
+        // name clash handled
+        assert!(p.schema().index_of("l.co_name").is_some());
+        assert!(p.schema().index_of("r.co_name").is_some());
+    }
+
+    #[test]
+    fn limit_rows() {
+        assert_eq!(limit(&customers(), 2).len(), 2);
+        assert_eq!(limit(&customers(), 0).len(), 0);
+        assert_eq!(limit(&customers(), 99).len(), 3);
+    }
+}

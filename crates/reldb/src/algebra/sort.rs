@@ -1,0 +1,127 @@
+//! Ordering operator (τ) with multi-key, mixed-direction sorts.
+
+use crate::error::DbResult;
+use crate::relation::Relation;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (NULLs first, because `Value::Null` is the least value).
+    Asc,
+    /// Descending (NULLs last).
+    Desc,
+}
+
+/// One sort key: column name plus direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    /// Column to sort on.
+    pub column: String,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Asc,
+        }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey {
+            column: column.into(),
+            order: SortOrder::Desc,
+        }
+    }
+}
+
+/// τ — stable sort by the given keys, leftmost key most significant.
+pub fn sort_by(input: &Relation, keys: &[SortKey]) -> DbResult<Relation> {
+    let idx: Vec<(usize, SortOrder)> = keys
+        .iter()
+        .map(|k| input.schema().resolve(&k.column).map(|i| (i, k.order)))
+        .collect::<DbResult<_>>()?;
+    let mut rows = input.rows().to_vec();
+    rows.sort_by(|a, b| {
+        for &(i, ord) in &idx {
+            let c = a[i].cmp(&b[i]);
+            let c = match ord {
+                SortOrder::Asc => c,
+                SortOrder::Desc => c.reverse(),
+            };
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Relation::from_parts_unchecked(input.schema().clone(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+
+    fn rel() -> Relation {
+        let schema = Schema::of(&[("name", DataType::Text), ("n", DataType::Int)]);
+        Relation::new(
+            schema,
+            vec![
+                vec![Value::text("b"), Value::Int(2)],
+                vec![Value::text("a"), Value::Int(3)],
+                vec![Value::text("b"), Value::Int(1)],
+                vec![Value::Null, Value::Int(9)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_asc_nulls_first() {
+        let s = sort_by(&rel(), &[SortKey::asc("name")]).unwrap();
+        assert!(s.rows()[0][0].is_null());
+        assert_eq!(s.rows()[1][0], Value::text("a"));
+    }
+
+    #[test]
+    fn single_key_desc_nulls_last() {
+        let s = sort_by(&rel(), &[SortKey::desc("name")]).unwrap();
+        assert!(s.rows()[3][0].is_null());
+        assert_eq!(s.rows()[0][0], Value::text("b"));
+    }
+
+    #[test]
+    fn multi_key() {
+        let s = sort_by(&rel(), &[SortKey::asc("name"), SortKey::desc("n")]).unwrap();
+        // within name="b": n desc → 2 then 1
+        let b_rows: Vec<i64> = s
+            .iter()
+            .filter(|r| r[0] == Value::text("b"))
+            .map(|r| r[1].as_int().unwrap())
+            .collect();
+        assert_eq!(b_rows, vec![2, 1]);
+    }
+
+    #[test]
+    fn stability() {
+        // equal keys keep input order
+        let s = sort_by(&rel(), &[SortKey::asc("name")]).unwrap();
+        let b_rows: Vec<i64> = s
+            .iter()
+            .filter(|r| r[0] == Value::text("b"))
+            .map(|r| r[1].as_int().unwrap())
+            .collect();
+        assert_eq!(b_rows, vec![2, 1]); // original relative order
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(sort_by(&rel(), &[SortKey::asc("zzz")]).is_err());
+    }
+}

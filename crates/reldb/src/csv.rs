@@ -1,0 +1,223 @@
+//! Minimal CSV import/export (RFC-4180 quoting), typed through the schema.
+//!
+//! Used by the workload crates to persist generated datasets and by the
+//! exhibit regenerator. Implemented by hand — the engine takes no external
+//! parsing dependencies.
+
+use crate::error::{DbError, DbResult};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Serializes a relation to CSV with a header row.
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let names = rel.schema().names();
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rel.iter() {
+        let line = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => quote(&other.to_string()),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Parses CSV text (with header) into a relation over `schema`,
+/// coercing fields to column types. Empty fields become `NULL`.
+pub fn from_csv(schema: &Schema, text: &str) -> DbResult<Relation> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Ok(Relation::empty(schema.clone()));
+    }
+    let header = records.remove(0);
+    if header.len() != schema.arity() {
+        return Err(DbError::CsvError(format!(
+            "header has {} fields, schema has {}",
+            header.len(),
+            schema.arity()
+        )));
+    }
+    for (h, c) in header.iter().zip(schema.columns()) {
+        if h != &c.name {
+            return Err(DbError::CsvError(format!(
+                "header field `{h}` does not match schema column `{}`",
+                c.name
+            )));
+        }
+    }
+    let mut rel = Relation::empty(schema.clone());
+    for (lineno, rec) in records.into_iter().enumerate() {
+        if rec.len() != schema.arity() {
+            return Err(DbError::CsvError(format!(
+                "record {} has {} fields, expected {}",
+                lineno + 2,
+                rec.len(),
+                schema.arity()
+            )));
+        }
+        let mut row = Vec::with_capacity(rec.len());
+        for (field, col) in rec.into_iter().zip(schema.columns()) {
+            let v = if field.is_empty() {
+                Value::Null
+            } else {
+                Value::Text(field).coerce_to(col.dtype)?
+            };
+            row.push(v);
+        }
+        rel.push(row)?;
+    }
+    Ok(rel)
+}
+
+/// Splits CSV text into records of fields, honoring quotes.
+fn parse_records(text: &str) -> DbResult<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // swallow; \n terminates
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DbError::CsvError("unterminated quoted field".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("co_name", DataType::Text),
+            ("employees", DataType::Int),
+            ("created", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rel = Relation::new(
+            schema(),
+            vec![
+                vec![
+                    Value::text("Fruit Co"),
+                    Value::Int(4004),
+                    Value::Date(crate::date::Date::parse("1991-01-02").unwrap()),
+                ],
+                vec![Value::text("Nut, \"Co\""), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let csv = to_csv(&rel);
+        let back = from_csv(&schema(), &csv).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(quote("plain"), "plain");
+        assert_eq!(quote("a,b"), "\"a,b\"");
+        assert_eq!(quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let bad = "wrong,employees,created\nX,1,1991-01-01\n";
+        assert!(from_csv(&schema(), bad).is_err());
+        let short = "co_name,employees\nX,1\n";
+        assert!(from_csv(&schema(), short).is_err());
+    }
+
+    #[test]
+    fn field_count_mismatch_rejected() {
+        let bad = "co_name,employees,created\nX,1\n";
+        assert!(from_csv(&schema(), bad).is_err());
+    }
+
+    #[test]
+    fn type_coercion_from_text() {
+        let csv = "co_name,employees,created\nFruit Co,\"4,004\",10-24-91\n";
+        let rel = from_csv(&schema(), csv).unwrap();
+        assert_eq!(rel.rows()[0][1], Value::Int(4004));
+        assert_eq!(
+            rel.rows()[0][2],
+            Value::Date(crate::date::Date::parse("10-24-91").unwrap())
+        );
+    }
+
+    #[test]
+    fn bad_typed_field_rejected() {
+        let csv = "co_name,employees,created\nX,notanumber,\n";
+        assert!(from_csv(&schema(), csv).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let rel = from_csv(&schema(), "").unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let csv = "co_name,employees,created\nX,1,";
+        let rel = from_csv(&schema(), csv).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.rows()[0][2].is_null());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_records("a,\"b\n").is_err());
+    }
+}

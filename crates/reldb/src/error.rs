@@ -1,0 +1,116 @@
+//! Error type shared across the relational engine.
+
+use std::fmt;
+
+/// All failure modes of the relational substrate.
+///
+/// The engine is strict: type mismatches, unknown columns, and constraint
+/// violations are reported as errors rather than silently coerced, because
+/// downstream crates (the quality-tagging layers) rely on the base engine
+/// never fabricating values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A column name did not resolve against the schema in scope.
+    UnknownColumn(String),
+    /// A table name did not resolve against the catalog.
+    UnknownTable(String),
+    /// A table with this name already exists in the catalog.
+    DuplicateTable(String),
+    /// Two columns in one schema share a name.
+    DuplicateColumn(String),
+    /// An operation received a value of the wrong type.
+    TypeMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What it actually got.
+        found: String,
+    },
+    /// Row arity differs from schema arity.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// An integrity constraint rejected a modification.
+    ConstraintViolation {
+        /// Name of the violated constraint.
+        constraint: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A literal could not be parsed (date, number, ...).
+    ParseError(String),
+    /// Division by zero or a similar arithmetic fault.
+    Arithmetic(String),
+    /// An expression was structurally invalid for its context.
+    InvalidExpression(String),
+    /// Index maintenance failed or an index was misused.
+    IndexError(String),
+    /// A transaction operation was invalid (e.g. commit without begin).
+    TransactionError(String),
+    /// CSV import/export failure.
+    CsvError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
+            DbError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            DbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: schema has {expected} columns, row has {found}")
+            }
+            DbError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint `{constraint}` violated: {detail}")
+            }
+            DbError::ParseError(m) => write!(f, "parse error: {m}"),
+            DbError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            DbError::InvalidExpression(m) => write!(f, "invalid expression: {m}"),
+            DbError::IndexError(m) => write!(f, "index error: {m}"),
+            DbError::TransactionError(m) => write!(f, "transaction error: {m}"),
+            DbError::CsvError(m) => write!(f, "csv error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Convenient result alias used across the engine.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::TypeMismatch {
+            expected: "Int".into(),
+            found: "Text".into(),
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected Int, found Text");
+        let e = DbError::ConstraintViolation {
+            constraint: "pk_company".into(),
+            detail: "duplicate key [Int(1)]".into(),
+        };
+        assert!(e.to_string().contains("pk_company"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DbError::UnknownColumn("x".into()),
+            DbError::UnknownColumn("x".into())
+        );
+        assert_ne!(
+            DbError::UnknownColumn("x".into()),
+            DbError::UnknownTable("x".into())
+        );
+    }
+}

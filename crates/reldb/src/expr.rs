@@ -1,0 +1,854 @@
+//! Scalar expression AST and evaluator.
+//!
+//! Expressions are evaluated against a `(Schema, Row)` pair. Three-valued
+//! logic is implemented for comparisons and boolean connectives: any
+//! comparison with `NULL` yields `NULL`, `NULL AND false = false`,
+//! `NULL OR true = true`, and a filter keeps a row only when its predicate
+//! evaluates to `true` (not `NULL`).
+
+use crate::error::{DbError, DbResult};
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+` (Int, Float, Date+Int days)
+    Add,
+    /// `-` (Int, Float, Date-Int, Date-Date → days)
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (errors on division by zero)
+    Div,
+    /// `%` (integers only)
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Logical AND (3-valued).
+    And,
+    /// Logical OR (3-valued).
+    Or,
+    /// String concatenation.
+    Concat,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Concat => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Logical NOT (3-valued: NOT NULL = NULL).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Func {
+    /// Absolute value of a number.
+    Abs,
+    /// Lower-case a string.
+    Lower,
+    /// Upper-case a string.
+    Upper,
+    /// Length of a string in chars.
+    Length,
+    /// First non-null argument.
+    Coalesce,
+    /// `substr(s, start, len)` — 1-based start.
+    Substr,
+    /// Minimum of the arguments (ignores NULLs; NULL if all NULL).
+    Least,
+    /// Maximum of the arguments (ignores NULLs; NULL if all NULL).
+    Greatest,
+}
+
+impl Func {
+    /// Parses a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Func> {
+        match name.to_ascii_lowercase().as_str() {
+            "abs" => Some(Func::Abs),
+            "lower" => Some(Func::Lower),
+            "upper" => Some(Func::Upper),
+            "length" => Some(Func::Length),
+            "coalesce" => Some(Func::Coalesce),
+            "substr" => Some(Func::Substr),
+            "least" => Some(Func::Least),
+            "greatest" => Some(Func::Greatest),
+            _ => None,
+        }
+    }
+}
+
+/// Scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// Reference to a column by name, resolved at evaluation time.
+    Col(String),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `expr IS NULL` — never returns NULL itself.
+    IsNull(Box<Expr>),
+    /// `expr IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `expr IN (v1, v2, ...)`.
+    InList(Box<Expr>, Vec<Expr>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like(Box<Expr>, String),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+    /// `CASE WHEN c1 THEN v1 ... ELSE e END`.
+    Case(Vec<(Expr, Expr)>, Option<Box<Expr>>),
+}
+
+impl Expr {
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Column-reference shorthand.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Eq, Box::new(other))
+    }
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Ne, Box::new(other))
+    }
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Lt, Box::new(other))
+    }
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Le, Box::new(other))
+    }
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Gt, Box::new(other))
+    }
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Ge, Box::new(other))
+    }
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::And, Box::new(other))
+    }
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Or, Box::new(other))
+    }
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not operator overloading
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+    /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Add, Box::new(other))
+    }
+    /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Bin(Box::new(self), BinOp::Sub, Box::new(other))
+    }
+
+    /// Set of column names referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Col(c) => out.push(c),
+            Expr::Bin(l, _, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Un(_, e) | Expr::IsNull(e) | Expr::IsNotNull(e) | Expr::Like(e, _) => {
+                e.collect_columns(out)
+            }
+            Expr::Between(e, lo, hi) => {
+                e.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+            Expr::InList(e, list) => {
+                e.collect_columns(out);
+                for i in list {
+                    i.collect_columns(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Case(arms, els) => {
+                for (c, v) in arms {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = els {
+                    e.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates against a row under a schema.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> DbResult<Value> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Col(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(row[idx].clone())
+            }
+            Expr::Bin(l, op, r) => {
+                let lv = l.eval(schema, row)?;
+                // Short-circuit 3VL for AND/OR before evaluating rhs is not
+                // done: rhs may still decide the result when lhs is NULL.
+                let rv = r.eval(schema, row)?;
+                eval_binop(&lv, *op, &rv)
+            }
+            Expr::Un(op, e) => {
+                let v = e.eval(schema, row)?;
+                match op {
+                    UnOp::Not => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => Err(DbError::TypeMismatch {
+                            expected: "Bool".into(),
+                            found: other.type_name().into(),
+                        }),
+                    },
+                    UnOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(DbError::TypeMismatch {
+                            expected: "numeric".into(),
+                            found: other.type_name().into(),
+                        }),
+                    },
+                }
+            }
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval(schema, row)?.is_null())),
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(schema, row)?;
+                let lov = lo.eval(schema, row)?;
+                let hiv = hi.eval(schema, row)?;
+                if v.is_null() || lov.is_null() || hiv.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(v >= lov && v <= hiv))
+            }
+            Expr::InList(e, list) => {
+                let v = e.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(schema, row)?;
+                    if iv.is_null() {
+                        saw_null = true;
+                    } else if iv == v {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(false))
+                }
+            }
+            Expr::Like(e, pattern) => {
+                let v = e.eval(schema, row)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern))),
+                    other => Err(DbError::TypeMismatch {
+                        expected: "Text".into(),
+                        found: other.type_name().into(),
+                    }),
+                }
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(schema, row))
+                    .collect::<DbResult<_>>()?;
+                eval_func(*f, &vals)
+            }
+            Expr::Case(arms, els) => {
+                for (cond, out) in arms {
+                    if let Value::Bool(true) = cond.eval(schema, row)? {
+                        return out.eval(schema, row);
+                    }
+                }
+                match els {
+                    Some(e) => e.eval(schema, row),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Evaluates as a filter predicate: `true` keeps the row, `false`
+    /// or `NULL` drops it, non-boolean results are errors.
+    pub fn eval_predicate(&self, schema: &Schema, row: &Row) -> DbResult<bool> {
+        match self.eval(schema, row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(DbError::TypeMismatch {
+                expected: "Bool predicate".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` matches any run, `_` matches one char.
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+fn eval_binop(l: &Value, op: BinOp, r: &Value) -> DbResult<Value> {
+    use BinOp::*;
+    match op {
+        And => return eval_and(l, r),
+        Or => return eval_or(l, r),
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt => cmp_check(l, r).map(|_| Value::Bool(l < r)),
+        Le => cmp_check(l, r).map(|_| Value::Bool(l <= r)),
+        Gt => cmp_check(l, r).map(|_| Value::Bool(l > r)),
+        Ge => cmp_check(l, r).map(|_| Value::Bool(l >= r)),
+        Add | Sub | Mul | Div | Mod => eval_arith(l, op, r),
+        Concat => match (l, r) {
+            (Value::Text(a), Value::Text(b)) => Ok(Value::Text(format!("{a}{b}"))),
+            _ => Err(DbError::TypeMismatch {
+                expected: "Text || Text".into(),
+                found: format!("{} || {}", l.type_name(), r.type_name()),
+            }),
+        },
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+/// Ordering comparisons across unrelated types are almost always schema
+/// mistakes in quality predicates, so we reject them instead of using the
+/// arbitrary cross-type total order.
+fn cmp_check(l: &Value, r: &Value) -> DbResult<()> {
+    let ok = matches!(
+        (l, r),
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (Value::Text(_), Value::Text(_))
+            | (Value::Date(_), Value::Date(_))
+            | (Value::Bool(_), Value::Bool(_))
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(DbError::TypeMismatch {
+            expected: "comparable values of the same type".into(),
+            found: format!("{} vs {}", l.type_name(), r.type_name()),
+        })
+    }
+}
+
+fn eval_and(l: &Value, r: &Value) -> DbResult<Value> {
+    let lb = tribool(l)?;
+    let rb = tribool(r)?;
+    Ok(match (lb, rb) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    })
+}
+
+fn eval_or(l: &Value, r: &Value) -> DbResult<Value> {
+    let lb = tribool(l)?;
+    let rb = tribool(r)?;
+    Ok(match (lb, rb) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    })
+}
+
+fn tribool(v: &Value) -> DbResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(DbError::TypeMismatch {
+            expected: "Bool".into(),
+            found: other.type_name().into(),
+        }),
+    }
+}
+
+fn eval_arith(l: &Value, op: BinOp, r: &Value) -> DbResult<Value> {
+    use BinOp::*;
+    use Value::*;
+    match (l, r) {
+        (Int(a), Int(b)) => match op {
+            Add => Ok(Int(a.wrapping_add(*b))),
+            Sub => Ok(Int(a.wrapping_sub(*b))),
+            Mul => Ok(Int(a.wrapping_mul(*b))),
+            Div => {
+                if *b == 0 {
+                    Err(DbError::Arithmetic("division by zero".into()))
+                } else {
+                    Ok(Int(a / b))
+                }
+            }
+            Mod => {
+                if *b == 0 {
+                    Err(DbError::Arithmetic("modulo by zero".into()))
+                } else {
+                    Ok(Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        (Int(_) | Float(_), Int(_) | Float(_)) => {
+            let a = l.as_float()?;
+            let b = r.as_float()?;
+            match op {
+                Add => Ok(Float(a + b)),
+                Sub => Ok(Float(a - b)),
+                Mul => Ok(Float(a * b)),
+                Div => {
+                    if b == 0.0 {
+                        Err(DbError::Arithmetic("division by zero".into()))
+                    } else {
+                        Ok(Float(a / b))
+                    }
+                }
+                Mod => Err(DbError::TypeMismatch {
+                    expected: "Int % Int".into(),
+                    found: "Float".into(),
+                }),
+                _ => unreachable!(),
+            }
+        }
+        // Date arithmetic: Date ± days, Date - Date → days.
+        (Date(d), Int(n)) if matches!(op, Add | Sub) => {
+            let delta = if op == Add { *n } else { -*n };
+            Ok(Date(d.plus_days(delta)))
+        }
+        (Date(a), Date(b)) if op == Sub => Ok(Int(a.days_between(b))),
+        _ => Err(DbError::TypeMismatch {
+            expected: "numeric (or date) operands".into(),
+            found: format!("{} {op} {}", l.type_name(), r.type_name()),
+        }),
+    }
+}
+
+fn eval_func(f: Func, args: &[Value]) -> DbResult<Value> {
+    let need = |n: usize| -> DbResult<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(DbError::InvalidExpression(format!(
+                "{f:?} expects {n} arguments, got {}",
+                args.len()
+            )))
+        }
+    };
+    match f {
+        Func::Abs => {
+            need(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(x) => Ok(Value::Float(x.abs())),
+                other => Err(DbError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: other.type_name().into(),
+                }),
+            }
+        }
+        Func::Lower => {
+            need(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_lowercase())),
+                other => Err(DbError::TypeMismatch {
+                    expected: "Text".into(),
+                    found: other.type_name().into(),
+                }),
+            }
+        }
+        Func::Upper => {
+            need(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Text(s.to_uppercase())),
+                other => Err(DbError::TypeMismatch {
+                    expected: "Text".into(),
+                    found: other.type_name().into(),
+                }),
+            }
+        }
+        Func::Length => {
+            need(1)?;
+            match &args[0] {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(DbError::TypeMismatch {
+                    expected: "Text".into(),
+                    found: other.type_name().into(),
+                }),
+            }
+        }
+        Func::Coalesce => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        Func::Substr => {
+            need(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Text(s), Value::Int(start), Value::Int(len)) => {
+                    let start = (*start).max(1) as usize - 1;
+                    let len = (*len).max(0) as usize;
+                    Ok(Value::Text(s.chars().skip(start).take(len).collect()))
+                }
+                _ => Err(DbError::TypeMismatch {
+                    expected: "substr(Text, Int, Int)".into(),
+                    found: "other".into(),
+                }),
+            }
+        }
+        Func::Least => Ok(args
+            .iter()
+            .filter(|v| !v.is_null())
+            .min()
+            .cloned()
+            .unwrap_or(Value::Null)),
+        Func::Greatest => Ok(args
+            .iter()
+            .filter(|v| !v.is_null())
+            .max()
+            .cloned()
+            .unwrap_or(Value::Null)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+    use crate::value::DataType;
+
+    fn ctx() -> (Schema, Row) {
+        let schema = Schema::of(&[
+            ("name", DataType::Text),
+            ("employees", DataType::Int),
+            ("price", DataType::Float),
+            ("created", DataType::Date),
+            ("note", DataType::Text),
+        ]);
+        let row = vec![
+            Value::text("Fruit Co"),
+            Value::Int(4004),
+            Value::Float(12.5),
+            Value::Date(Date::parse("10-3-91").unwrap()),
+            Value::Null,
+        ];
+        (schema, row)
+    }
+
+    fn eval(e: &Expr) -> Value {
+        let (s, r) = ctx();
+        e.eval(&s, &r).unwrap()
+    }
+
+    #[test]
+    fn literals_and_columns() {
+        assert_eq!(eval(&Expr::lit(5i64)), Value::Int(5));
+        assert_eq!(eval(&Expr::col("employees")), Value::Int(4004));
+        let (s, r) = ctx();
+        assert!(Expr::col("bogus").eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            eval(&Expr::col("employees").gt(Expr::lit(1000i64))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&Expr::col("name").eq(Expr::lit("Fruit Co"))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&Expr::col("price").le(Expr::lit(12.5))),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        // NULL comparisons are NULL
+        assert_eq!(eval(&Expr::col("note").eq(Expr::lit("x"))), Value::Null);
+        // NULL AND false = false
+        let e = Expr::col("note")
+            .eq(Expr::lit("x"))
+            .and(Expr::lit(false));
+        assert_eq!(eval(&e), Value::Bool(false));
+        // NULL OR true = true
+        let e = Expr::col("note").eq(Expr::lit("x")).or(Expr::lit(true));
+        assert_eq!(eval(&e), Value::Bool(true));
+        // NOT NULL = NULL
+        let e = Expr::col("note").eq(Expr::lit("x")).not();
+        assert_eq!(eval(&e), Value::Null);
+        // predicate drops NULL
+        let (s, r) = ctx();
+        assert!(!Expr::col("note")
+            .eq(Expr::lit("x"))
+            .eval_predicate(&s, &r)
+            .unwrap());
+    }
+
+    #[test]
+    fn is_null_family() {
+        assert_eq!(eval(&Expr::IsNull(Box::new(Expr::col("note")))), Value::Bool(true));
+        assert_eq!(
+            eval(&Expr::IsNotNull(Box::new(Expr::col("name")))),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            eval(&Expr::col("employees").add(Expr::lit(1i64))),
+            Value::Int(4005)
+        );
+        assert_eq!(
+            eval(&Expr::lit(5i64).sub(Expr::lit(2.0))),
+            Value::Float(3.0)
+        );
+        let (s, r) = ctx();
+        let div0 = Expr::lit(1i64).eval(&s, &r).unwrap(); // warm-up
+        assert_eq!(div0, Value::Int(1));
+        assert!(matches!(
+            Expr::Bin(Box::new(Expr::lit(1i64)), BinOp::Div, Box::new(Expr::lit(0i64)))
+                .eval(&s, &r),
+            Err(DbError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        // created + 6 days = 10-9-91
+        let e = Expr::col("created").add(Expr::lit(6i64));
+        assert_eq!(
+            eval(&e),
+            Value::Date(Date::parse("10-9-91").unwrap())
+        );
+        // date difference in days (the paper's `age` indicator is
+        // `current_time - creation_time`)
+        let now = Expr::lit(Value::Date(Date::parse("10-24-91").unwrap()));
+        let e = now.sub(Expr::col("created"));
+        assert_eq!(eval(&e), Value::Int(21));
+    }
+
+    #[test]
+    fn between_and_in() {
+        let e = Expr::Between(
+            Box::new(Expr::col("employees")),
+            Box::new(Expr::lit(1000i64)),
+            Box::new(Expr::lit(5000i64)),
+        );
+        assert_eq!(eval(&e), Value::Bool(true));
+        let e = Expr::InList(
+            Box::new(Expr::col("name")),
+            vec![Expr::lit("Nut Co"), Expr::lit("Fruit Co")],
+        );
+        assert_eq!(eval(&e), Value::Bool(true));
+        // IN with only non-matching + NULL → NULL
+        let e = Expr::InList(
+            Box::new(Expr::col("name")),
+            vec![Expr::lit("Nut Co"), Expr::lit(Value::Null)],
+        );
+        assert_eq!(eval(&e), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("Fruit Co", "Fruit%"));
+        assert!(like_match("Fruit Co", "%Co"));
+        assert!(like_match("Fruit Co", "F_uit Co"));
+        assert!(!like_match("Fruit Co", "Nut%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert_eq!(
+            eval(&Expr::Like(Box::new(Expr::col("name")), "%Co".into())),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(
+            eval(&Expr::Call(Func::Upper, vec![Expr::col("name")])),
+            Value::text("FRUIT CO")
+        );
+        assert_eq!(
+            eval(&Expr::Call(Func::Length, vec![Expr::col("name")])),
+            Value::Int(8)
+        );
+        assert_eq!(
+            eval(&Expr::Call(
+                Func::Coalesce,
+                vec![Expr::col("note"), Expr::lit("fallback")]
+            )),
+            Value::text("fallback")
+        );
+        assert_eq!(
+            eval(&Expr::Call(
+                Func::Substr,
+                vec![Expr::col("name"), Expr::lit(1i64), Expr::lit(5i64)]
+            )),
+            Value::text("Fruit")
+        );
+        assert_eq!(
+            eval(&Expr::Call(
+                Func::Least,
+                vec![Expr::lit(3i64), Expr::lit(Value::Null), Expr::lit(1i64)]
+            )),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(&Expr::Call(
+                Func::Greatest,
+                vec![Expr::lit(3i64), Expr::lit(7i64)]
+            )),
+            Value::Int(7)
+        );
+        assert_eq!(Func::from_name("COALESCE"), Some(Func::Coalesce));
+        assert_eq!(Func::from_name("nope"), None);
+    }
+
+    #[test]
+    fn case_expression() {
+        // The paper's credibility mapping: source → credibility level.
+        let e = Expr::Case(
+            vec![
+                (
+                    Expr::col("name").eq(Expr::lit("Fruit Co")),
+                    Expr::lit("high"),
+                ),
+                (Expr::col("name").eq(Expr::lit("Nut Co")), Expr::lit("low")),
+            ],
+            Some(Box::new(Expr::lit("unknown"))),
+        );
+        assert_eq!(eval(&e), Value::text("high"));
+        let e = Expr::Case(vec![(Expr::lit(false), Expr::lit(1i64))], None);
+        assert_eq!(eval(&e), Value::Null);
+    }
+
+    #[test]
+    fn cross_type_ordering_is_rejected() {
+        let (s, r) = ctx();
+        let e = Expr::col("name").lt(Expr::lit(5i64));
+        assert!(e.eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn referenced_columns() {
+        let e = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::col("a")));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concat() {
+        let e = Expr::Bin(
+            Box::new(Expr::col("name")),
+            BinOp::Concat,
+            Box::new(Expr::lit("!")),
+        );
+        assert_eq!(eval(&e), Value::text("Fruit Co!"));
+    }
+}

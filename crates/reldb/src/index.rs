@@ -1,0 +1,218 @@
+//! Secondary indexes over table rows.
+//!
+//! Two classes: [`BTreeIndex`] supports range scans (used by quality
+//! predicates like `creation_time >= d`), [`HashIndex`] supports point
+//! lookups. Both map a key (one or more column values) to the positions of
+//! matching rows, and are maintained incrementally by [`crate::table::Table`].
+
+use crate::relation::Row;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// Composite index key.
+pub type IndexKey = Vec<Value>;
+
+/// Extracts the index key from a row given key column positions.
+pub fn key_of(row: &Row, cols: &[usize]) -> IndexKey {
+    cols.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Ordered index supporting point and range lookups.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<IndexKey, Vec<usize>>,
+    /// Positions of key columns within the table schema.
+    cols: Vec<usize>,
+}
+
+impl BTreeIndex {
+    /// New empty index over the given key column positions.
+    pub fn new(cols: Vec<usize>) -> Self {
+        BTreeIndex {
+            map: BTreeMap::new(),
+            cols,
+        }
+    }
+
+    /// Key column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Inserts `row` (located at `pos` in the table) into the index.
+    pub fn insert(&mut self, row: &Row, pos: usize) {
+        self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
+    }
+
+    /// Removes the entry for `row` at `pos`.
+    pub fn remove(&mut self, row: &Row, pos: usize) {
+        let key = key_of(row, &self.cols);
+        if let Some(v) = self.map.get_mut(&key) {
+            v.retain(|&p| p != pos);
+            if v.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Row positions matching `key` exactly.
+    pub fn get(&self, key: &IndexKey) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Row positions with keys in `[lo, hi]` under the given bounds.
+    pub fn range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Vec<usize> {
+        self.map
+            .range::<IndexKey, _>((lo, hi))
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
+    /// True iff any row has this key.
+    pub fn contains(&self, key: &IndexKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Rebuilds from scratch over all rows (after bulk mutation).
+    pub fn rebuild(&mut self, rows: &[Row]) {
+        self.map.clear();
+        for (pos, row) in rows.iter().enumerate() {
+            self.insert(row, pos);
+        }
+    }
+}
+
+/// Hash index for point lookups.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<IndexKey, Vec<usize>>,
+    cols: Vec<usize>,
+}
+
+impl HashIndex {
+    /// New empty index over the given key column positions.
+    pub fn new(cols: Vec<usize>) -> Self {
+        HashIndex {
+            map: HashMap::new(),
+            cols,
+        }
+    }
+
+    /// Key column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Inserts `row` at table position `pos`.
+    pub fn insert(&mut self, row: &Row, pos: usize) {
+        self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
+    }
+
+    /// Removes the entry for `row` at `pos`.
+    pub fn remove(&mut self, row: &Row, pos: usize) {
+        let key = key_of(row, &self.cols);
+        if let Some(v) = self.map.get_mut(&key) {
+            v.retain(|&p| p != pos);
+            if v.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Row positions matching `key`.
+    pub fn get(&self, key: &IndexKey) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// True iff any row has this key.
+    pub fn contains(&self, key: &IndexKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Rebuilds from scratch.
+    pub fn rebuild(&mut self, rows: &[Row]) {
+        self.map.clear();
+        for (pos, row) in rows.iter().enumerate() {
+            self.insert(row, pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(3), Value::text("c")],
+            vec![Value::Int(1), Value::text("a")],
+            vec![Value::Int(2), Value::text("b")],
+            vec![Value::Int(1), Value::text("a2")],
+        ]
+    }
+
+    #[test]
+    fn btree_point_lookup() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.rebuild(&rows());
+        assert_eq!(idx.get(&vec![Value::Int(1)]), &[1, 3]);
+        assert_eq!(idx.get(&vec![Value::Int(9)]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn btree_range_scan() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.rebuild(&rows());
+        let lo = vec![Value::Int(2)];
+        let hi = vec![Value::Int(3)];
+        let mut got = idx.range(Bound::Included(&lo), Bound::Included(&hi));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+        // unbounded
+        let got = idx.range(Bound::Unbounded, Bound::Excluded(&vec![Value::Int(2)]));
+        assert_eq!(got.len(), 2); // the two key=1 rows
+    }
+
+    #[test]
+    fn btree_remove() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.rebuild(&rows());
+        idx.remove(&rows()[1], 1);
+        assert_eq!(idx.get(&vec![Value::Int(1)]), &[3]);
+        idx.remove(&rows()[3], 3);
+        assert!(!idx.contains(&vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn hash_index_ops() {
+        let mut idx = HashIndex::new(vec![1]);
+        idx.rebuild(&rows());
+        assert_eq!(idx.get(&vec![Value::text("b")]), &[2]);
+        idx.insert(&vec![Value::Int(9), Value::text("b")], 4);
+        assert_eq!(idx.get(&vec![Value::text("b")]), &[2, 4]);
+        idx.remove(&vec![Value::Int(2), Value::text("b")], 2);
+        assert_eq!(idx.get(&vec![Value::text("b")]), &[4]);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut idx = BTreeIndex::new(vec![0, 1]);
+        idx.rebuild(&rows());
+        assert!(idx.contains(&vec![Value::Int(1), Value::text("a")]));
+        assert!(!idx.contains(&vec![Value::Int(1), Value::text("b")]));
+    }
+
+    #[test]
+    fn null_keys_indexed() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.insert(&vec![Value::Null, Value::text("x")], 0);
+        assert!(idx.contains(&vec![Value::Null]));
+    }
+}

@@ -1,0 +1,220 @@
+//! `relstore` — the in-memory relational engine substrate for the
+//! ICDE'93 data-quality reproduction.
+//!
+//! The paper assumes a relational database over which quality tagging and
+//! quality-constrained querying can be built; this crate is that database,
+//! built from scratch:
+//!
+//! * typed [`value::Value`]s with a total order (including calendar
+//!   [`date::Date`]s, the carrier of *creation time* / *age* indicators),
+//! * [`schema::Schema`]-validated [`relation::Relation`]s,
+//! * a scalar [`expr::Expr`] language with SQL three-valued logic,
+//! * a full relational [`algebra`] (σ, π, ×, joins, set ops, γ, τ),
+//! * [`table::Table`]s with maintained [`index`]es and
+//!   [`constraint::Constraint`]s,
+//! * a [`catalog::Database`] with foreign keys and transactional undo,
+//! * [`csv`] import/export.
+//!
+//! The quality layers ([`tagstore`](https://crates.io), `polygen`) mirror
+//! this algebra with tag/source propagation.
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod catalog;
+pub mod constraint;
+pub mod csv;
+pub mod date;
+pub mod error;
+pub mod expr;
+pub mod index;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Database;
+pub use date::Date;
+pub use error::{DbError, DbResult};
+pub use expr::{Expr, Func};
+pub use relation::{Relation, Row};
+pub use schema::{ColumnDef, Schema};
+pub use query::{extract_sargs, select_indexed, AccessPath, Sarg};
+pub use table::Table;
+pub use value::{DataType, Value};
+
+#[cfg(test)]
+mod proptests {
+    //! Property-based tests over the core algebra.
+    use crate::algebra::*;
+    use crate::expr::Expr;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+    use crate::value::{DataType, Value};
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            Just(Value::Null),
+            any::<i64>().prop_map(|i| Value::Int(i % 1000)),
+            any::<bool>().prop_map(Value::Bool),
+            "[a-z]{0,6}".prop_map(Value::Text),
+        ]
+    }
+
+    fn arb_int_relation() -> impl Strategy<Value = Relation> {
+        prop::collection::vec((0i64..50, 0i64..50), 0..40).prop_map(|rows| {
+            let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+            Relation::new(
+                schema,
+                rows.into_iter()
+                    .map(|(k, v)| vec![Value::Int(k), Value::Int(v)])
+                    .collect(),
+            )
+            .unwrap()
+        })
+    }
+
+    proptest! {
+        /// Value ordering is a total order: antisymmetric & transitive via
+        /// sort stability — sorting twice gives the same result.
+        #[test]
+        fn value_sort_is_stable_total(mut vals in prop::collection::vec(arb_value(), 0..50)) {
+            vals.sort();
+            let once = vals.clone();
+            vals.sort();
+            prop_assert_eq!(once, vals);
+        }
+
+        /// σ_p ∘ σ_p = σ_p (selection idempotence).
+        #[test]
+        fn selection_idempotent(rel in arb_int_relation(), c in 0i64..50) {
+            let p = Expr::col("k").lt(Expr::lit(c));
+            let once = select(&rel, &p).unwrap();
+            let twice = select(&once, &p).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        /// Selections commute: σ_p(σ_q(R)) = σ_q(σ_p(R)).
+        #[test]
+        fn selections_commute(rel in arb_int_relation(), a in 0i64..50, b in 0i64..50) {
+            let p = Expr::col("k").lt(Expr::lit(a));
+            let q = Expr::col("v").ge(Expr::lit(b));
+            let pq = select(&select(&rel, &q).unwrap(), &p).unwrap();
+            let qp = select(&select(&rel, &p).unwrap(), &q).unwrap();
+            prop_assert_eq!(pq, qp);
+        }
+
+        /// |σ(R)| ≤ |R| and projection preserves cardinality.
+        #[test]
+        fn cardinality_laws(rel in arb_int_relation(), c in 0i64..50) {
+            let p = Expr::col("k").eq(Expr::lit(c));
+            prop_assert!(select(&rel, &p).unwrap().len() <= rel.len());
+            prop_assert_eq!(project(&rel, &["v"]).unwrap().len(), rel.len());
+        }
+
+        /// The three equi-join algorithms agree on arbitrary inputs.
+        #[test]
+        fn join_algorithms_agree(l in arb_int_relation(), r in arb_int_relation()) {
+            let mut a = hash_join(&l, &r, "k", "k", JoinType::Inner).unwrap().into_rows();
+            let mut b = nested_loop_join(&l, &r, "k", "k", JoinType::Inner).unwrap().into_rows();
+            let mut c = merge_join(&l, &r, "k", "k").unwrap().into_rows();
+            a.sort(); b.sort(); c.sort();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&b, &c);
+        }
+
+        /// distinct is idempotent and never grows the relation.
+        #[test]
+        fn distinct_laws(rel in arb_int_relation()) {
+            let d = distinct(&rel);
+            prop_assert!(d.len() <= rel.len());
+            prop_assert_eq!(distinct(&d).len(), d.len());
+        }
+
+        /// Union cardinality: |A ∪all B| = |A| + |B|;
+        /// difference: A − B ⊆ A.
+        #[test]
+        fn set_op_laws(a in arb_int_relation(), b in arb_int_relation()) {
+            prop_assert_eq!(union_all(&a, &b).unwrap().len(), a.len() + b.len());
+            let diff = difference(&a, &b).unwrap();
+            prop_assert!(diff.len() <= distinct(&a).len());
+            // intersect(A, A) == distinct(A)
+            let ii = intersect(&a, &a).unwrap();
+            prop_assert_eq!(ii, distinct(&a));
+        }
+
+        /// Sorting preserves the bag of rows.
+        #[test]
+        fn sort_is_permutation(rel in arb_int_relation()) {
+            let s = sort_by(&rel, &[SortKey::asc("k"), SortKey::desc("v")]).unwrap();
+            let mut a = rel.rows().to_vec();
+            let mut b = s.rows().to_vec();
+            a.sort(); b.sort();
+            prop_assert_eq!(a, b);
+        }
+
+        /// SUM distributes over bag union.
+        #[test]
+        fn sum_distributes_over_union(a in arb_int_relation(), b in arb_int_relation()) {
+            let sum = |r: &Relation| -> i64 {
+                match aggregate(r, &[], &[AggCall::on(AggFunc::Sum, "v", "s")])
+                    .unwrap().rows()[0][0] {
+                    Value::Int(i) => i,
+                    Value::Null => 0,
+                    _ => unreachable!(),
+                }
+            };
+            let u = union_all(&a, &b).unwrap();
+            prop_assert_eq!(sum(&u), sum(&a) + sum(&b));
+        }
+
+        /// Calendar date round-trips: days → (y,m,d) → days is identity
+        /// over ±300 years around the epoch, and ordering matches days.
+        #[test]
+        fn date_roundtrip(days in -110_000i64..110_000, delta in -1000i64..1000) {
+            let d = crate::date::Date::from_days(days);
+            let (y, m, day) = d.ymd();
+            let back = crate::date::Date::new(y, m, day).unwrap();
+            prop_assert_eq!(back.days(), days);
+            let e = d.plus_days(delta);
+            prop_assert_eq!(e.days_between(&d), delta);
+            prop_assert_eq!(d < e, delta > 0);
+        }
+
+        /// Index-assisted selection always equals the scan, whatever
+        /// indexes exist and whatever the (sargable or not) predicate is.
+        #[test]
+        fn indexed_select_equals_scan(
+            rel in arb_int_relation(),
+            a in 0i64..50,
+            b in 0i64..50,
+            use_btree in proptest::bool::ANY,
+            use_hash in proptest::bool::ANY,
+        ) {
+            let mut t = crate::table::Table::new("t", rel.schema().clone());
+            for row in rel.iter() {
+                t.insert(row.clone()).unwrap();
+            }
+            if use_btree { t.create_btree_index("bt", &["k"]).unwrap(); }
+            if use_hash { t.create_hash_index("h", &["v"]).unwrap(); }
+            let p = Expr::col("k").ge(Expr::lit(a))
+                .and(Expr::col("v").eq(Expr::lit(b)));
+            let (indexed, _) = crate::query::select_indexed(&t, &p).unwrap();
+            let scan = select(&t.to_relation(), &p).unwrap();
+            let mut x = indexed.into_rows();
+            let mut y = scan.into_rows();
+            x.sort(); y.sort();
+            prop_assert_eq!(x, y);
+        }
+
+        /// CSV roundtrip is lossless for typed relations.
+        #[test]
+        fn csv_roundtrip(rel in arb_int_relation()) {
+            let text = crate::csv::to_csv(&rel);
+            let back = crate::csv::from_csv(rel.schema(), &text).unwrap();
+            prop_assert_eq!(back, rel);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Index-aware selection over tables.
+//!
+//! The base engine's σ is a scan; this module lets a [`Table`] answer
+//! simple predicates through its indexes instead. The planner here is
+//! deliberately small: it recognizes `col = lit`, `col < lit`,
+//! `col <= lit`, `col > lit`, `col >= lit`, and `col BETWEEN a AND b`
+//! conjuncts, uses a matching single-column index for the most selective
+//! one, and evaluates the full predicate over the narrowed candidate set
+//! — results are always identical to the scan (tested by property).
+
+use crate::error::DbResult;
+use crate::expr::{BinOp, Expr};
+use crate::relation::Relation;
+use crate::table::{Index, Table};
+use crate::value::Value;
+use std::ops::Bound;
+
+/// A sargable constraint extracted from a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sarg {
+    /// `col = v`
+    Point(String, Value),
+    /// `lo ≤/< col ≤/< hi` (bounds optional).
+    Range {
+        /// Constrained column.
+        column: String,
+        /// Lower bound.
+        lo: Bound<Value>,
+        /// Upper bound.
+        hi: Bound<Value>,
+    },
+}
+
+impl Sarg {
+    /// The constrained column.
+    pub fn column(&self) -> &str {
+        match self {
+            Sarg::Point(c, _) => c,
+            Sarg::Range { column, .. } => column,
+        }
+    }
+}
+
+/// Extracts sargable conjuncts from a predicate (top-level ANDs only —
+/// ORs and anything else are left for residual evaluation).
+pub fn extract_sargs(predicate: &Expr) -> Vec<Sarg> {
+    let mut out = Vec::new();
+    collect(predicate, &mut out);
+    out
+}
+
+fn collect(e: &Expr, out: &mut Vec<Sarg>) {
+    match e {
+        Expr::Bin(l, BinOp::And, r) => {
+            collect(l, out);
+            collect(r, out);
+        }
+        Expr::Bin(l, op, r) => {
+            // col OP lit  /  lit OP col
+            let (col, lit, op) = match (&**l, &**r) {
+                (Expr::Col(c), Expr::Lit(v)) => (c, v, *op),
+                (Expr::Lit(v), Expr::Col(c)) => (c, v, flip(*op)),
+                _ => return,
+            };
+            if lit.is_null() {
+                return; // comparisons with NULL never match
+            }
+            let sarg = match op {
+                BinOp::Eq => Sarg::Point(col.clone(), lit.clone()),
+                BinOp::Lt => Sarg::Range {
+                    column: col.clone(),
+                    lo: Bound::Unbounded,
+                    hi: Bound::Excluded(lit.clone()),
+                },
+                BinOp::Le => Sarg::Range {
+                    column: col.clone(),
+                    lo: Bound::Unbounded,
+                    hi: Bound::Included(lit.clone()),
+                },
+                BinOp::Gt => Sarg::Range {
+                    column: col.clone(),
+                    lo: Bound::Excluded(lit.clone()),
+                    hi: Bound::Unbounded,
+                },
+                BinOp::Ge => Sarg::Range {
+                    column: col.clone(),
+                    lo: Bound::Included(lit.clone()),
+                    hi: Bound::Unbounded,
+                },
+                _ => return,
+            };
+            out.push(sarg);
+        }
+        Expr::Between(x, lo, hi) => {
+            if let (Expr::Col(c), Expr::Lit(a), Expr::Lit(b)) = (&**x, &**lo, &**hi) {
+                if !a.is_null() && !b.is_null() {
+                    out.push(Sarg::Range {
+                        column: c.clone(),
+                        lo: Bound::Included(a.clone()),
+                        hi: Bound::Included(b.clone()),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// How a selection was answered (exposed for tests/benches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full scan.
+    Scan,
+    /// Narrowed through the named index.
+    Index(String),
+}
+
+/// Index-aware σ over a table: uses a single-column index matching a
+/// sargable conjunct when one exists, then applies the full predicate to
+/// the candidates. Returns the result and the access path taken.
+pub fn select_indexed(table: &Table, predicate: &Expr) -> DbResult<(Relation, AccessPath)> {
+    let schema = table.schema().clone();
+    let sargs = extract_sargs(predicate);
+
+    // find (index name, candidate positions) for the first usable sarg
+    let mut narrowed: Option<(String, Vec<usize>)> = None;
+    'outer: for sarg in &sargs {
+        let Some(ci) = schema.index_of(sarg.column()) else {
+            continue;
+        };
+        for name in table.index_names() {
+            let idx = table.index(&name).expect("listed index exists");
+            match idx {
+                Index::BTree(bt) if bt.columns() == [ci] => {
+                    let positions = match sarg {
+                        Sarg::Point(_, v) => bt.get(&vec![v.clone()]).to_vec(),
+                        Sarg::Range { lo, hi, .. } => {
+                            let lo_key = bound_key(lo);
+                            let hi_key = bound_key(hi);
+                            bt.range(as_ref_bound(&lo_key), as_ref_bound(&hi_key))
+                        }
+                    };
+                    narrowed = Some((name, positions));
+                    break 'outer;
+                }
+                Index::Hash(h) if h.columns() == [ci] => {
+                    if let Sarg::Point(_, v) = sarg {
+                        narrowed = Some((name, h.get(&vec![v.clone()]).to_vec()));
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    match narrowed {
+        Some((name, positions)) => {
+            let mut rows = Vec::with_capacity(positions.len());
+            for p in positions {
+                let row = &table.rows()[p];
+                if predicate.eval_predicate(&schema, row)? {
+                    rows.push(row.clone());
+                }
+            }
+            Ok((
+                Relation::new(schema, rows)?,
+                AccessPath::Index(name),
+            ))
+        }
+        None => {
+            let rel = crate::algebra::select(&table.to_relation(), predicate)?;
+            Ok((rel, AccessPath::Scan))
+        }
+    }
+}
+
+fn bound_key(b: &Bound<Value>) -> Bound<Vec<Value>> {
+    match b {
+        Bound::Included(v) => Bound::Included(vec![v.clone()]),
+        Bound::Excluded(v) => Bound::Excluded(vec![v.clone()]),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+fn as_ref_bound(b: &Bound<Vec<Value>>) -> Bound<&Vec<Value>> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table(with_btree: bool, with_hash: bool) -> Table {
+        let schema = Schema::of(&[("id", DataType::Int), ("name", DataType::Text)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i % 25), Value::text(format!("n{}", i % 10))])
+                .unwrap();
+        }
+        if with_btree {
+            t.create_btree_index("by_id", &["id"]).unwrap();
+        }
+        if with_hash {
+            t.create_hash_index("by_name", &["name"]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sarg_extraction() {
+        let p = Expr::col("id")
+            .ge(Expr::lit(3i64))
+            .and(Expr::col("name").eq(Expr::lit("n1")))
+            .and(Expr::col("id").lt(Expr::col("id"))); // non-sargable
+        let sargs = extract_sargs(&p);
+        assert_eq!(sargs.len(), 2);
+        assert_eq!(sargs[0].column(), "id");
+        assert_eq!(sargs[1], Sarg::Point("name".into(), Value::text("n1")));
+        // flipped literal side
+        let p = Expr::lit(5i64).gt(Expr::col("id"));
+        match &extract_sargs(&p)[0] {
+            Sarg::Range { hi: Bound::Excluded(v), .. } => assert_eq!(v, &Value::Int(5)),
+            other => panic!("{other:?}"),
+        }
+        // NULL comparisons are not sargable
+        assert!(extract_sargs(&Expr::col("id").eq(Expr::Lit(Value::Null))).is_empty());
+        // OR is not decomposed
+        let p = Expr::col("id").eq(Expr::lit(1i64)).or(Expr::col("id").eq(Expr::lit(2i64)));
+        assert!(extract_sargs(&p).is_empty());
+    }
+
+    #[test]
+    fn point_lookup_uses_hash_index() {
+        let t = table(false, true);
+        let p = Expr::col("name").eq(Expr::lit("n3"));
+        let (rel, path) = select_indexed(&t, &p).unwrap();
+        assert_eq!(path, AccessPath::Index("by_name".into()));
+        assert_eq!(rel.len(), 10);
+    }
+
+    #[test]
+    fn range_uses_btree_index() {
+        let t = table(true, false);
+        let p = Expr::Between(
+            Box::new(Expr::col("id")),
+            Box::new(Expr::lit(5i64)),
+            Box::new(Expr::lit(9i64)),
+        );
+        let (rel, path) = select_indexed(&t, &p).unwrap();
+        assert_eq!(path, AccessPath::Index("by_id".into()));
+        assert_eq!(rel.len(), 20); // 5 ids × 4 rows each
+    }
+
+    #[test]
+    fn falls_back_to_scan() {
+        let t = table(false, false);
+        let p = Expr::col("id").eq(Expr::lit(3i64));
+        let (_, path) = select_indexed(&t, &p).unwrap();
+        assert_eq!(path, AccessPath::Scan);
+        // hash index can't serve a range
+        let t = table(false, true);
+        let p = Expr::col("name").gt(Expr::lit("n5"));
+        let (_, path) = select_indexed(&t, &p).unwrap();
+        assert_eq!(path, AccessPath::Scan);
+    }
+
+    #[test]
+    fn residual_predicate_still_applied() {
+        let t = table(true, false);
+        // index narrows on id, residual name constraint filters further
+        let p = Expr::col("id")
+            .eq(Expr::lit(3i64))
+            .and(Expr::col("name").eq(Expr::lit("n3")));
+        let (rel, path) = select_indexed(&t, &p).unwrap();
+        assert!(matches!(path, AccessPath::Index(_)));
+        for row in rel.iter() {
+            assert_eq!(row[0], Value::Int(3));
+            assert_eq!(row[1], Value::text("n3"));
+        }
+        // compare with scan result
+        let scan = crate::algebra::select(&t.to_relation(), &p).unwrap();
+        let mut a = rel.into_rows();
+        let mut b = scan.into_rows();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexed_equals_scan_for_many_predicates() {
+        let t = table(true, true);
+        let preds = vec![
+            Expr::col("id").lt(Expr::lit(7i64)),
+            Expr::col("id").ge(Expr::lit(20i64)),
+            Expr::col("name").eq(Expr::lit("n0")),
+            Expr::col("id").gt(Expr::lit(5i64)).and(Expr::col("id").le(Expr::lit(10i64))),
+            Expr::lit(true), // no sargs at all
+        ];
+        for p in preds {
+            let (indexed, _) = select_indexed(&t, &p).unwrap();
+            let scan = crate::algebra::select(&t.to_relation(), &p).unwrap();
+            let mut a = indexed.into_rows();
+            let mut b = scan.into_rows();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "mismatch for {p:?}");
+        }
+    }
+}

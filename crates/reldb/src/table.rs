@@ -1,0 +1,391 @@
+//! A mutable table: rows plus constraints plus maintained indexes.
+
+use crate::constraint::Constraint;
+use crate::error::{DbError, DbResult};
+use crate::index::{BTreeIndex, HashIndex, IndexKey};
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use std::collections::HashMap;
+
+/// A secondary index of either kind.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// Ordered index (range scans).
+    BTree(BTreeIndex),
+    /// Hash index (point lookups).
+    Hash(HashIndex),
+}
+
+impl Index {
+    fn insert(&mut self, row: &Row, pos: usize) {
+        match self {
+            Index::BTree(i) => i.insert(row, pos),
+            Index::Hash(i) => i.insert(row, pos),
+        }
+    }
+    fn remove(&mut self, row: &Row, pos: usize) {
+        match self {
+            Index::BTree(i) => i.remove(row, pos),
+            Index::Hash(i) => i.remove(row, pos),
+        }
+    }
+    fn rebuild(&mut self, rows: &[Row]) {
+        match self {
+            Index::BTree(i) => i.rebuild(rows),
+            Index::Hash(i) => i.rebuild(rows),
+        }
+    }
+    /// Point lookup.
+    pub fn get(&self, key: &IndexKey) -> &[usize] {
+        match self {
+            Index::BTree(i) => i.get(key),
+            Index::Hash(i) => i.get(key),
+        }
+    }
+}
+
+/// A table in the catalog.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    constraints: Vec<Constraint>,
+    indexes: HashMap<String, Index>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            constraints: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Current rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Attached constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint after validating it against the schema and all
+    /// existing rows (so a constraint can never be added in a violated
+    /// state — "quality by design").
+    pub fn add_constraint(&mut self, c: Constraint) -> DbResult<()> {
+        c.validate_against(&self.schema)?;
+        for (pos, row) in self.rows.iter().enumerate() {
+            c.check_row(&self.schema, row)?;
+            c.check_key_against(&self.schema, row, &self.rows, Some(pos))?;
+        }
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// Creates a named B-tree index over the given columns.
+    pub fn create_btree_index(&mut self, index_name: &str, columns: &[&str]) -> DbResult<()> {
+        let cols = self.resolve_index_cols(index_name, columns)?;
+        let mut idx = BTreeIndex::new(cols);
+        idx.rebuild(&self.rows);
+        self.indexes.insert(index_name.to_owned(), Index::BTree(idx));
+        Ok(())
+    }
+
+    /// Creates a named hash index over the given columns.
+    pub fn create_hash_index(&mut self, index_name: &str, columns: &[&str]) -> DbResult<()> {
+        let cols = self.resolve_index_cols(index_name, columns)?;
+        let mut idx = HashIndex::new(cols);
+        idx.rebuild(&self.rows);
+        self.indexes.insert(index_name.to_owned(), Index::Hash(idx));
+        Ok(())
+    }
+
+    fn resolve_index_cols(&self, index_name: &str, columns: &[&str]) -> DbResult<Vec<usize>> {
+        if self.indexes.contains_key(index_name) {
+            return Err(DbError::IndexError(format!(
+                "index `{index_name}` already exists on `{}`",
+                self.name
+            )));
+        }
+        columns.iter().map(|c| self.schema.resolve(c)).collect()
+    }
+
+    /// Looks up an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.get(name)
+    }
+
+    /// Names of all indexes on this table, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.indexes.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Validates a row against schema and all row-local constraints
+    /// without modifying the table.
+    pub fn validate_insert(&self, row: &Row) -> DbResult<()> {
+        self.schema.check_row(row)?;
+        for c in &self.constraints {
+            c.check_row(&self.schema, row)?;
+            c.check_key_against(&self.schema, row, &self.rows, None)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a row, enforcing constraints and maintaining indexes.
+    /// Returns the new row's position.
+    pub fn insert(&mut self, row: Row) -> DbResult<usize> {
+        self.validate_insert(&row)?;
+        let pos = self.rows.len();
+        for idx in self.indexes.values_mut() {
+            idx.insert(&row, pos);
+        }
+        self.rows.push(row);
+        Ok(pos)
+    }
+
+    /// Replaces the row at `pos`, enforcing constraints.
+    pub fn update(&mut self, pos: usize, row: Row) -> DbResult<Row> {
+        if pos >= self.rows.len() {
+            return Err(DbError::InvalidExpression(format!(
+                "row position {pos} out of range in `{}`",
+                self.name
+            )));
+        }
+        self.schema.check_row(&row)?;
+        for c in &self.constraints {
+            c.check_row(&self.schema, &row)?;
+            c.check_key_against(&self.schema, &row, &self.rows, Some(pos))?;
+        }
+        let old = std::mem::replace(&mut self.rows[pos], row);
+        for idx in self.indexes.values_mut() {
+            idx.remove(&old, pos);
+            idx.insert(&self.rows[pos], pos);
+        }
+        Ok(old)
+    }
+
+    /// Deletes the row at `pos` (swap-remove; the moved row's index entries
+    /// are fixed up). Returns the removed row.
+    pub fn delete(&mut self, pos: usize) -> DbResult<Row> {
+        if pos >= self.rows.len() {
+            return Err(DbError::InvalidExpression(format!(
+                "row position {pos} out of range in `{}`",
+                self.name
+            )));
+        }
+        let last = self.rows.len() - 1;
+        let removed = self.rows.swap_remove(pos);
+        for idx in self.indexes.values_mut() {
+            idx.remove(&removed, pos);
+            if pos != last {
+                // The former last row now lives at `pos`.
+                idx.remove(&self.rows[pos], last);
+                idx.insert(&self.rows[pos], pos);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Restores a previously deleted row at the end (used by rollback).
+    pub(crate) fn restore(&mut self, row: Row) {
+        let pos = self.rows.len();
+        for idx in self.indexes.values_mut() {
+            idx.insert(&row, pos);
+        }
+        self.rows.push(row);
+    }
+
+    /// Removes the last row unconditionally (used by rollback of insert).
+    pub(crate) fn pop_last(&mut self) -> Option<Row> {
+        let row = self.rows.pop()?;
+        let pos = self.rows.len();
+        for idx in self.indexes.values_mut() {
+            idx.remove(&row, pos);
+        }
+        Some(row)
+    }
+
+    /// Overwrites a row without constraint checks (used by rollback).
+    pub(crate) fn overwrite(&mut self, pos: usize, row: Row) {
+        let old = std::mem::replace(&mut self.rows[pos], row);
+        for idx in self.indexes.values_mut() {
+            idx.remove(&old, pos);
+            idx.insert(&self.rows[pos], pos);
+        }
+    }
+
+    /// Rebuilds every index (after bulk operations).
+    pub fn rebuild_indexes(&mut self) {
+        for idx in self.indexes.values_mut() {
+            idx.rebuild(&self.rows);
+        }
+    }
+
+    /// Snapshot as an immutable relation.
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_parts_unchecked(self.schema.clone(), self.rows.clone())
+    }
+
+    /// Point lookup through a named index; falls back to a scan when the
+    /// index is absent.
+    pub fn lookup(&self, index_name: &str, key: &IndexKey) -> Vec<&Row> {
+        match self.indexes.get(index_name) {
+            Some(idx) => idx.get(key).iter().map(|&p| &self.rows[p]).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::value::{DataType, Value};
+
+    fn make_table() -> Table {
+        let schema = Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Text),
+            ("employees", DataType::Int),
+        ]);
+        let mut t = Table::new("customer", schema);
+        t.add_constraint(Constraint::PrimaryKey {
+            name: "pk_customer".into(),
+            columns: vec!["id".into()],
+        })
+        .unwrap();
+        t.add_constraint(Constraint::Check {
+            name: "emp_nonneg".into(),
+            predicate: Expr::col("employees").ge(Expr::lit(0i64)),
+        })
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_respects_constraints() {
+        let mut t = make_table();
+        t.insert(vec![Value::Int(1), Value::text("Fruit Co"), Value::Int(4004)])
+            .unwrap();
+        // duplicate PK
+        let e = t
+            .insert(vec![Value::Int(1), Value::text("Dup"), Value::Int(3)])
+            .unwrap_err();
+        assert!(matches!(e, DbError::ConstraintViolation { .. }));
+        // check violation
+        assert!(t
+            .insert(vec![Value::Int(2), Value::text("Bad"), Value::Int(-1)])
+            .is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_and_delete_maintain_indexes() {
+        let mut t = make_table();
+        t.create_hash_index("by_name", &["name"]).unwrap();
+        for i in 0..5i64 {
+            t.insert(vec![Value::Int(i), Value::text(format!("co{i}")), Value::Int(10)])
+                .unwrap();
+        }
+        // lookup via index
+        assert_eq!(t.lookup("by_name", &vec![Value::text("co3")]).len(), 1);
+        // update renames
+        t.update(3, vec![Value::Int(3), Value::text("renamed"), Value::Int(10)])
+            .unwrap();
+        assert!(t.lookup("by_name", &vec![Value::text("co3")]).is_empty());
+        assert_eq!(t.lookup("by_name", &vec![Value::text("renamed")]).len(), 1);
+        // delete (swap-remove) keeps the moved row findable
+        t.delete(0).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.lookup("by_name", &vec![Value::text("co4")]).len(), 1);
+        assert!(t.lookup("by_name", &vec![Value::text("co0")]).is_empty());
+    }
+
+    #[test]
+    fn update_constraint_enforced() {
+        let mut t = make_table();
+        t.insert(vec![Value::Int(1), Value::text("a"), Value::Int(1)])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::text("b"), Value::Int(2)])
+            .unwrap();
+        // updating row 1 to clash with row 0's PK fails
+        assert!(t
+            .update(1, vec![Value::Int(1), Value::text("b"), Value::Int(2)])
+            .is_err());
+        // updating a row to keep its own key succeeds
+        assert!(t
+            .update(1, vec![Value::Int(2), Value::text("b2"), Value::Int(2)])
+            .is_ok());
+    }
+
+    #[test]
+    fn add_constraint_checks_existing_rows() {
+        let schema = Schema::of(&[("id", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        t.insert(vec![Value::Int(1)]).unwrap();
+        t.insert(vec![Value::Int(1)]).unwrap();
+        // adding PK over duplicated data fails
+        let e = t.add_constraint(Constraint::PrimaryKey {
+            name: "pk".into(),
+            columns: vec!["id".into()],
+        });
+        assert!(e.is_err());
+        assert!(t.constraints().is_empty());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = make_table();
+        t.create_btree_index("i", &["id"]).unwrap();
+        assert!(t.create_hash_index("i", &["name"]).is_err());
+        assert!(t.create_btree_index("j", &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_positions() {
+        let mut t = make_table();
+        assert!(t.update(0, vec![Value::Int(1), Value::Null, Value::Null]).is_err());
+        assert!(t.delete(0).is_err());
+    }
+
+    #[test]
+    fn to_relation_snapshot() {
+        let mut t = make_table();
+        t.insert(vec![Value::Int(1), Value::text("a"), Value::Int(1)])
+            .unwrap();
+        let r = t.to_relation();
+        assert_eq!(r.len(), 1);
+        t.insert(vec![Value::Int(2), Value::text("b"), Value::Int(2)])
+            .unwrap();
+        assert_eq!(r.len(), 1); // snapshot unaffected
+    }
+}

@@ -1,0 +1,697 @@
+//! Tag-propagating relational algebra over [`TaggedRelation`]s.
+//!
+//! Each operator mirrors its `relstore::algebra` counterpart and defines
+//! how quality tags travel:
+//!
+//! * σ / π / ρ / τ — tags ride along with their cells unchanged;
+//! * ⋈ / × — each output cell keeps the tags of the input cell it came
+//!   from (cells are never synthesized, so provenance is exact);
+//! * γ — aggregate output cells get tags *derived* from the input group
+//!   under an explicit [`TagPolicy`] (e.g. a SUM's `creation_time` is the
+//!   *oldest* input creation time — conservative staleness);
+//! * predicates may reference pseudo-columns `col@indicator`, which is the
+//!   paper's query-time quality filtering.
+
+use crate::cell::QualityCell;
+use crate::indicator::IndicatorValue;
+use crate::relation::{TaggedRelation, TaggedRow, TAG_SEP};
+use relstore::algebra::AggCall;
+use relstore::{ColumnDef, DataType, Date, DbError, DbResult, Expr, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Builds the evaluation schema for a predicate that may reference
+/// pseudo-columns, plus the `(column index, indicator path)` extraction
+/// plan. A path longer than one segment reaches into meta tags
+/// (Premise 1.4): `price@source@credibility` is the credibility of the
+/// source tag on the price cell.
+/// Extraction plan: for each pseudo-column, the application column index
+/// and the indicator path into (possibly meta-) tags.
+type TagPlan = Vec<(usize, Vec<String>)>;
+
+fn eval_plan(rel: &TaggedRelation, predicate: &Expr) -> DbResult<(Schema, TagPlan)> {
+    let mut cols: Vec<ColumnDef> = rel.schema().columns().to_vec();
+    let mut plan = Vec::new();
+    for name in predicate.referenced_columns() {
+        if rel.schema().index_of(name).is_some() {
+            continue;
+        }
+        match TaggedRelation::split_pseudo(name) {
+            Some((col, ind_path)) => {
+                let ci = rel.schema().resolve(col)?;
+                let path: Vec<String> = ind_path.split(TAG_SEP).map(str::to_owned).collect();
+                // the leaf segment's declared domain types the pseudo-column
+                let leaf = path.last().expect("split yields at least one");
+                let dtype = rel
+                    .dictionary()
+                    .get(leaf)
+                    .map(|d| d.dtype)
+                    .unwrap_or(DataType::Any);
+                cols.push(ColumnDef::new(format!("{col}{TAG_SEP}{ind_path}"), dtype));
+                plan.push((ci, path));
+            }
+            None => return Err(DbError::UnknownColumn(name.to_owned())),
+        }
+    }
+    Ok((Schema::new(cols)?, plan))
+}
+
+fn eval_row(row: &TaggedRow, plan: &[(usize, Vec<String>)]) -> Row {
+    let mut out: Row = row.iter().map(|c| c.value.clone()).collect();
+    for (ci, path) in plan {
+        let segs: Vec<&str> = path.iter().map(String::as_str).collect();
+        out.push(row[*ci].tag_value_path(&segs));
+    }
+    out
+}
+
+/// Evaluates an expression (which may reference `col@indicator` and
+/// nested `col@ind@meta` pseudo-columns) once per row, returning the
+/// results in row order. This is the building block for quality
+/// selection, retro-tagging (`TAG ... SET`), and derived indicators.
+pub fn evaluate(rel: &TaggedRelation, expr: &Expr) -> DbResult<Vec<Value>> {
+    let (schema, plan) = eval_plan(rel, expr)?;
+    rel.iter()
+        .map(|row| expr.eval(&schema, &eval_row(row, &plan)))
+        .collect()
+}
+
+/// Like [`evaluate`] but as a boolean mask (NULL counts as `false`,
+/// matching predicate semantics).
+pub fn evaluate_mask(rel: &TaggedRelation, predicate: &Expr) -> DbResult<Vec<bool>> {
+    let (schema, plan) = eval_plan(rel, predicate)?;
+    rel.iter()
+        .map(|row| predicate.eval_predicate(&schema, &eval_row(row, &plan)))
+        .collect()
+}
+
+/// σ — keeps rows whose predicate holds. The predicate may mix application
+/// columns and `col@indicator` pseudo-columns; rows whose referenced tag is
+/// missing evaluate to NULL and are dropped, so *untagged data never
+/// satisfies a quality constraint*.
+pub fn select(rel: &TaggedRelation, predicate: &Expr) -> DbResult<TaggedRelation> {
+    let (schema, plan) = eval_plan(rel, predicate)?;
+    let mut rows = Vec::new();
+    for row in rel.iter() {
+        if predicate.eval_predicate(&schema, &eval_row(row, &plan))? {
+            rows.push(row.clone());
+        }
+    }
+    Ok(TaggedRelation::from_parts_unchecked(
+        rel.schema().clone(),
+        rel.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// π — projects onto named columns; tags travel with cells.
+pub fn project(rel: &TaggedRelation, columns: &[&str]) -> DbResult<TaggedRelation> {
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| rel.schema().resolve(c))
+        .collect::<DbResult<_>>()?;
+    let schema = rel.schema().project(&indices)?;
+    let rows = rel
+        .iter()
+        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+        .collect();
+    Ok(TaggedRelation::from_parts_unchecked(
+        schema,
+        rel.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// ρ — renames one column. Tags are untouched (they are keyed by
+/// indicator, not by column name).
+pub fn rename(rel: &TaggedRelation, from: &str, to: &str) -> DbResult<TaggedRelation> {
+    let schema = rel.schema().rename(from, to)?;
+    Ok(TaggedRelation::from_parts_unchecked(
+        schema,
+        rel.dictionary().clone(),
+        rel.rows().to_vec(),
+    ))
+}
+
+/// ⋈ — hash equi-join on application values. Output cells keep the tags of
+/// the input cell they came from. Dictionaries must be merged by the
+/// caller if they differ; we require the left dictionary to cover both.
+pub fn hash_join(
+    left: &TaggedRelation,
+    right: &TaggedRelation,
+    left_key: &str,
+    right_key: &str,
+) -> DbResult<TaggedRelation> {
+    let li = left.schema().resolve(left_key)?;
+    let ri = right.schema().resolve(right_key)?;
+    let schema = left.schema().join(right.schema(), "l", "r")?;
+    let mut table: HashMap<&Value, Vec<&TaggedRow>> = HashMap::with_capacity(right.len());
+    for rr in right.iter() {
+        if !rr[ri].value.is_null() {
+            table.entry(&rr[ri].value).or_default().push(rr);
+        }
+    }
+    let mut rows = Vec::new();
+    for lr in left.iter() {
+        if lr[li].value.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&lr[li].value) {
+            for rr in matches {
+                let mut combined = lr.clone();
+                combined.extend(rr.iter().cloned());
+                rows.push(combined);
+            }
+        }
+    }
+    Ok(TaggedRelation::from_parts_unchecked(
+        schema,
+        left.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// ∪ — bag union; requires union-compatible application schemas.
+pub fn union_all(a: &TaggedRelation, b: &TaggedRelation) -> DbResult<TaggedRelation> {
+    if !a.schema().union_compatible(b.schema()) {
+        return Err(DbError::TypeMismatch {
+            expected: format!("union-compatible schemas ({})", a.schema()),
+            found: b.schema().to_string(),
+        });
+    }
+    let mut rows = a.rows().to_vec();
+    rows.extend(b.rows().iter().cloned());
+    Ok(TaggedRelation::from_parts_unchecked(
+        a.schema().clone(),
+        a.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// δ over application values: rows with equal *values* collapse to one row
+/// whose cell tags are the merge of the duplicates' tags (conflicting tags
+/// drop — ambiguous provenance is not invented).
+pub fn distinct_merging(rel: &TaggedRelation) -> TaggedRelation {
+    let mut index: HashMap<Row, usize> = HashMap::new();
+    let mut out: Vec<TaggedRow> = Vec::new();
+    for row in rel.iter() {
+        let key: Row = row.iter().map(|c| c.value.clone()).collect();
+        match index.get(&key) {
+            Some(&pos) => {
+                for (mine, theirs) in out[pos].iter_mut().zip(row.iter()) {
+                    mine.merge_tags_from(theirs);
+                }
+            }
+            None => {
+                index.insert(key, out.len());
+                out.push(row.clone());
+            }
+        }
+    }
+    TaggedRelation::from_parts_unchecked(rel.schema().clone(), rel.dictionary().clone(), out)
+}
+
+/// τ — stable sort by application values, ascending.
+pub fn sort_by_value(rel: &TaggedRelation, column: &str) -> DbResult<TaggedRelation> {
+    let ci = rel.schema().resolve(column)?;
+    let mut rows = rel.rows().to_vec();
+    rows.sort_by(|a, b| a[ci].value.cmp(&b[ci].value));
+    Ok(TaggedRelation::from_parts_unchecked(
+        rel.schema().clone(),
+        rel.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// How an aggregate output cell derives one indicator from its input group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagRule {
+    /// Minimum input tag value — e.g. oldest `creation_time`, the
+    /// conservative staleness of a derived datum.
+    Min,
+    /// Maximum input tag value — e.g. the most recent inspection.
+    Max,
+    /// Keep only if all inputs agree; drop otherwise.
+    Unanimous,
+    /// Distinct text values joined with `+` — e.g. `source=sales+Nexis`
+    /// for a figure computed from two departments' data.
+    MergeText,
+}
+
+/// One derivation: apply `rule` to indicator `indicator` of the input
+/// cells feeding each aggregate.
+#[derive(Debug, Clone)]
+pub struct TagPolicy {
+    /// The indicator to derive.
+    pub indicator: String,
+    /// The derivation rule.
+    pub rule: TagRule,
+}
+
+impl TagPolicy {
+    /// Shorthand constructor.
+    pub fn new(indicator: impl Into<String>, rule: TagRule) -> Self {
+        TagPolicy {
+            indicator: indicator.into(),
+            rule,
+        }
+    }
+
+    fn derive(&self, inputs: &[&QualityCell]) -> Option<IndicatorValue> {
+        let vals: Vec<Value> = inputs
+            .iter()
+            .filter_map(|c| c.tag(&self.indicator).map(|t| t.value.clone()))
+            .collect();
+        if vals.is_empty() {
+            return None;
+        }
+        let value = match self.rule {
+            TagRule::Min => vals.iter().min().cloned()?,
+            TagRule::Max => vals.iter().max().cloned()?,
+            TagRule::Unanimous => {
+                let first = &vals[0];
+                if vals.len() == inputs.len() && vals.iter().all(|v| v == first) {
+                    first.clone()
+                } else {
+                    return None;
+                }
+            }
+            TagRule::MergeText => {
+                let mut texts: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+                texts.sort();
+                texts.dedup();
+                Value::Text(texts.join("+"))
+            }
+        };
+        Some(IndicatorValue::new(self.indicator.clone(), value))
+    }
+}
+
+/// γ — group by `group_by` application values and compute `aggs`, deriving
+/// output-cell tags per `policies`. Group-key output cells merge the tags
+/// of the group's key cells (conflicts drop); aggregate output cells get
+/// tags derived from the aggregated column's input cells.
+pub fn aggregate(
+    rel: &TaggedRelation,
+    group_by: &[&str],
+    aggs: &[AggCall],
+    policies: &[TagPolicy],
+) -> DbResult<TaggedRelation> {
+    // Compute the value-level aggregate via the base engine for exact
+    // SQL semantics, then attach derived tags.
+    let plain = rel.strip();
+    let value_result = relstore::algebra::aggregate(&plain, group_by, aggs)?;
+
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| rel.schema().resolve(c))
+        .collect::<DbResult<_>>()?;
+    let agg_src: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => rel.schema().resolve(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<DbResult<_>>()?;
+
+    // Bucket input rows per group key.
+    let mut groups: HashMap<Row, Vec<&TaggedRow>> = HashMap::new();
+    for row in rel.iter() {
+        let key: Row = key_idx.iter().map(|&i| row[i].value.clone()).collect();
+        groups.entry(key).or_default().push(row);
+    }
+
+    let mut rows: Vec<TaggedRow> = Vec::with_capacity(value_result.len());
+    for vrow in value_result.iter() {
+        let key: Row = vrow[..key_idx.len()].to_vec();
+        let members: &[&TaggedRow] = groups.get(&key).map(|v| v.as_slice()).unwrap_or(&[]);
+        let mut out: TaggedRow = Vec::with_capacity(vrow.len());
+        // Group-key cells: merge tags across the group.
+        for (k, &src) in key_idx.iter().enumerate() {
+            let mut cell = QualityCell::bare(vrow[k].clone());
+            let mut first = true;
+            for m in members {
+                if first {
+                    cell = QualityCell::tagged(vrow[k].clone(), m[src].tags().to_vec());
+                    first = false;
+                } else {
+                    // merge_tags_from drops disagreeing tags but keeps tags
+                    // `cell` has and `m` lacks; intersect instead: drop tags
+                    // absent from `m`.
+                    let keep: Vec<IndicatorValue> = cell
+                        .tags()
+                        .iter()
+                        .filter(|t| m[src].tag(&t.indicator) == Some(*t))
+                        .cloned()
+                        .collect();
+                    cell = QualityCell::tagged(vrow[k].clone(), keep);
+                }
+            }
+            out.push(cell);
+        }
+        // Aggregate cells: derive tags from the inputs of their source col.
+        for (a, &src) in agg_src.iter().enumerate() {
+            let value = vrow[key_idx.len() + a].clone();
+            let mut cell = QualityCell::bare(value);
+            if let Some(src) = src {
+                let inputs: Vec<&QualityCell> = members.iter().map(|m| &m[src]).collect();
+                for p in policies {
+                    if let Some(tag) = p.derive(&inputs) {
+                        cell.set_tag(tag);
+                    }
+                }
+            }
+            out.push(cell);
+        }
+        rows.push(out);
+    }
+    Ok(TaggedRelation::from_parts_unchecked(
+        value_result.schema().clone(),
+        rel.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// Derives the `age` indicator (in days) from `creation_time` for every
+/// tagged cell of `column` — the paper's Step-4 example of indicator
+/// derivability: "age can be computed given current time and creation
+/// time".
+pub fn derive_age(rel: &mut TaggedRelation, column: &str, now: Date) -> DbResult<usize> {
+    let mut derived = 0;
+    for row in 0..rel.len() {
+        let created = rel.cell(row, column)?.tag_value("creation_time");
+        if let Value::Date(d) = created {
+            rel.tag_cell(
+                row,
+                column,
+                IndicatorValue::new("age", Value::Int(now.days_between(&d))),
+            )?;
+            derived += 1;
+        }
+    }
+    Ok(derived)
+}
+
+/// Convenience re-export of aggregate call constructors.
+pub use relstore::algebra::{AggCall as Agg, AggFunc as AggF};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicator::IndicatorDictionary;
+
+    fn d(s: &str) -> Value {
+        Value::Date(Date::parse(s).unwrap())
+    }
+
+    /// Trading-style tagged relation: price cells tagged with
+    /// creation_time + source.
+    fn prices() -> TaggedRelation {
+        let schema = Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mk = |t: &str, p: f64, ct: &str, src: &str| {
+            vec![
+                QualityCell::bare(t),
+                QualityCell::bare(p)
+                    .with_tag(IndicatorValue::new("creation_time", d(ct)))
+                    .with_tag(IndicatorValue::new("source", src)),
+            ]
+        };
+        TaggedRelation::new(
+            schema,
+            dict,
+            vec![
+                mk("FRT", 10.0, "10-1-91", "NYSE feed"),
+                mk("NUT", 20.0, "10-20-91", "NYSE feed"),
+                mk("BLT", 30.0, "9-1-91", "manual entry"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_on_values_preserves_tags() {
+        let r = select(&prices(), &Expr::col("price").gt(Expr::lit(15.0))).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.cell(0, "price").unwrap().tag_value("source"),
+            Value::text("NYSE feed")
+        );
+    }
+
+    #[test]
+    fn select_on_quality_pseudo_columns() {
+        // the paper's headline capability: filter by tag at query time
+        let p = Expr::col("price@source").eq(Expr::lit("NYSE feed"));
+        let r = select(&prices(), &p).unwrap();
+        assert_eq!(r.len(), 2);
+        // freshness constraint
+        let p = Expr::col("price@creation_time").ge(Expr::lit(d("10-10-91")));
+        let r = select(&prices(), &p).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "ticker").unwrap().value, Value::text("NUT"));
+    }
+
+    #[test]
+    fn untagged_cells_fail_quality_predicates() {
+        let mut rel = prices();
+        // add an untagged row
+        rel.push(vec![QualityCell::bare("ZZZ"), QualityCell::bare(5.0)])
+            .unwrap();
+        let p = Expr::col("price@source").eq(Expr::lit("NYSE feed"));
+        let r = select(&rel, &p).unwrap();
+        assert_eq!(r.len(), 2); // untagged row dropped, not matched
+                                // negated predicate also drops it (NULL ≠ true)
+        let p = Expr::col("price@source").ne(Expr::lit("NYSE feed"));
+        let r = select(&rel, &p).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn mixed_value_and_quality_predicate() {
+        let p = Expr::col("price")
+            .gt(Expr::lit(5.0))
+            .and(Expr::col("price@source").ne(Expr::lit("manual entry")));
+        let r = select(&prices(), &p).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_on_meta_tags_premise_1_4() {
+        // tag the source tag itself with its own creation_time
+        let rel = prices();
+        let mut dict_rel = rel.clone();
+        for row in 0..rel.len() {
+            let src = rel.cell(row, "price").unwrap().tag("source").unwrap().clone();
+            let stamped = src.with_meta(IndicatorValue::new(
+                "creation_time",
+                d(if row == 0 { "10-23-91" } else { "1-1-90" }),
+            ));
+            dict_rel.tag_cell(row, "price", stamped).unwrap();
+        }
+        // filter on the quality of the quality: sources recorded in 1991
+        let p = Expr::col("price@source@creation_time").ge(Expr::lit(d("1-1-91")));
+        let r = select(&dict_rel, &p).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "ticker").unwrap().value, Value::text("FRT"));
+        // rows whose source tag lacks the meta tag never match
+        let p = Expr::col("price@source@inspection").eq(Expr::lit("x"));
+        assert!(select(&dict_rel, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_pseudo_column_errors() {
+        let p = Expr::col("ghost@source").eq(Expr::lit("x"));
+        assert!(select(&prices(), &p).is_err());
+        let p = Expr::col("nosuchcolumn").eq(Expr::lit("x"));
+        assert!(select(&prices(), &p).is_err());
+    }
+
+    #[test]
+    fn project_carries_tags() {
+        let r = project(&prices(), &["price"]).unwrap();
+        assert_eq!(r.schema().names(), vec!["price"]);
+        assert_eq!(
+            r.cell(2, "price").unwrap().tag_value("source"),
+            Value::text("manual entry")
+        );
+    }
+
+    #[test]
+    fn rename_keeps_tags() {
+        let r = rename(&prices(), "price", "share_price").unwrap();
+        assert_eq!(
+            r.cell(0, "share_price").unwrap().tag_value("source"),
+            Value::text("NYSE feed")
+        );
+    }
+
+    #[test]
+    fn join_propagates_tags_from_both_sides() {
+        let schema = Schema::of(&[("ticker", DataType::Text), ("qty", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let trades = TaggedRelation::new(
+            schema,
+            dict,
+            vec![vec![
+                QualityCell::bare("FRT").with_tag(IndicatorValue::new("source", "order desk")),
+                QualityCell::bare(100i64),
+            ]],
+        )
+        .unwrap();
+        let j = hash_join(&trades, &prices(), "ticker", "ticker").unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(
+            j.cell(0, "l.ticker").unwrap().tag_value("source"),
+            Value::text("order desk")
+        );
+        assert_eq!(
+            j.cell(0, "price").unwrap().tag_value("source"),
+            Value::text("NYSE feed")
+        );
+    }
+
+    #[test]
+    fn union_and_distinct_merge() {
+        let a = prices();
+        let b = prices();
+        let u = union_all(&a, &b).unwrap();
+        assert_eq!(u.len(), 6);
+        let dd = distinct_merging(&u);
+        assert_eq!(dd.len(), 3);
+        // identical tags merge losslessly
+        assert_eq!(
+            dd.cell(0, "price").unwrap().tag_value("source"),
+            Value::text("NYSE feed")
+        );
+    }
+
+    #[test]
+    fn distinct_merging_drops_conflicts() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let rel = TaggedRelation::new(
+            schema,
+            dict,
+            vec![
+                vec![QualityCell::bare(1i64).with_tag(IndicatorValue::new("source", "a"))],
+                vec![QualityCell::bare(1i64).with_tag(IndicatorValue::new("source", "b"))],
+            ],
+        )
+        .unwrap();
+        let dd = distinct_merging(&rel);
+        assert_eq!(dd.len(), 1);
+        assert_eq!(dd.cell(0, "x").unwrap().tag_value("source"), Value::Null);
+    }
+
+    #[test]
+    fn aggregate_derives_tags() {
+        let out = aggregate(
+            &prices(),
+            &[],
+            &[Agg::on(AggF::Sum, "price", "total")],
+            &[
+                TagPolicy::new("creation_time", TagRule::Min),
+                TagPolicy::new("source", TagRule::MergeText),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let cell = out.cell(0, "total").unwrap();
+        assert_eq!(cell.value, Value::Float(60.0));
+        // oldest input creation time
+        assert_eq!(cell.tag_value("creation_time"), d("9-1-91"));
+        // merged sources
+        assert_eq!(
+            cell.tag_value("source"),
+            Value::text("NYSE feed+manual entry")
+        );
+    }
+
+    #[test]
+    fn aggregate_group_keys_intersect_tags() {
+        let schema = Schema::of(&[("k", DataType::Text), ("v", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let rel = TaggedRelation::new(
+            schema,
+            dict,
+            vec![
+                vec![
+                    QualityCell::bare("a").with_tag(IndicatorValue::new("source", "s1")),
+                    QualityCell::bare(1i64),
+                ],
+                vec![
+                    QualityCell::bare("a").with_tag(IndicatorValue::new("source", "s1")),
+                    QualityCell::bare(2i64),
+                ],
+                vec![
+                    QualityCell::bare("b").with_tag(IndicatorValue::new("source", "s2")),
+                    QualityCell::bare(3i64),
+                ],
+            ],
+        )
+        .unwrap();
+        let out = aggregate(
+            &rel,
+            &["k"],
+            &[Agg::on(AggF::Sum, "v", "s")],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // group "a": both key cells agree on source=s1 → kept
+        let a_row = out
+            .iter()
+            .position(|r| r[0].value == Value::text("a"))
+            .unwrap();
+        assert_eq!(
+            out.rows()[a_row][0].tag_value("source"),
+            Value::text("s1")
+        );
+    }
+
+    #[test]
+    fn unanimous_rule() {
+        let p = TagPolicy::new("source", TagRule::Unanimous);
+        let a = QualityCell::bare(1i64).with_tag(IndicatorValue::new("source", "s"));
+        let b = QualityCell::bare(2i64).with_tag(IndicatorValue::new("source", "s"));
+        let c = QualityCell::bare(3i64).with_tag(IndicatorValue::new("source", "t"));
+        assert_eq!(
+            p.derive(&[&a, &b]).unwrap().value,
+            Value::text("s")
+        );
+        assert!(p.derive(&[&a, &c]).is_none());
+        // a cell missing the tag also breaks unanimity
+        let bare = QualityCell::bare(4i64);
+        assert!(p.derive(&[&a, &bare]).is_none());
+        assert!(p.derive(&[]).is_none());
+    }
+
+    #[test]
+    fn derive_age_from_creation_time() {
+        let mut rel = prices();
+        let n = derive_age(&mut rel, "price", Date::parse("10-24-91").unwrap()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(
+            rel.cell(0, "price").unwrap().tag_value("age"),
+            Value::Int(23)
+        );
+        assert_eq!(
+            rel.cell(1, "price").unwrap().tag_value("age"),
+            Value::Int(4)
+        );
+        // now filter by the derived indicator — the trader's ten-minute
+        // analogue in days (Premise 2.2)
+        let fresh = select(&rel, &Expr::col("price@age").le(Expr::lit(10i64))).unwrap();
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn sort_by_value_keeps_tags() {
+        let s = sort_by_value(&prices(), "price").unwrap();
+        assert_eq!(s.cell(0, "ticker").unwrap().value, Value::text("FRT"));
+        assert_eq!(
+            s.cell(2, "price").unwrap().tag_value("source"),
+            Value::text("manual entry")
+        );
+    }
+}

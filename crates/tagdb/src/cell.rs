@@ -1,0 +1,243 @@
+//! Quality cells: an application value plus its cell-level quality tags.
+//!
+//! This is the paper's Table 2 made concrete: `62 Lois Av (10-24-91,
+//! acct'g)` is a [`QualityCell`] whose value is `"62 Lois Av"` and whose
+//! tags are `creation_time=1991-10-24` and `source=acct'g`.
+
+use crate::indicator::IndicatorValue;
+use relstore::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An application value with attached quality indicator values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualityCell {
+    /// The application datum.
+    pub value: Value,
+    /// Cell-level quality tags, kept sorted by indicator name so that
+    /// logically equal cells compare equal.
+    tags: Vec<IndicatorValue>,
+}
+
+impl QualityCell {
+    /// An untagged cell.
+    pub fn bare(value: impl Into<Value>) -> Self {
+        QualityCell {
+            value: value.into(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// A cell with tags.
+    pub fn tagged(value: impl Into<Value>, tags: Vec<IndicatorValue>) -> Self {
+        let mut cell = QualityCell::bare(value);
+        for t in tags {
+            cell.set_tag(t);
+        }
+        cell
+    }
+
+    /// The cell's tags, sorted by indicator name.
+    pub fn tags(&self) -> &[IndicatorValue] {
+        &self.tags
+    }
+
+    /// Adds or replaces the tag for its indicator.
+    pub fn set_tag(&mut self, tag: IndicatorValue) {
+        match self.tags.binary_search_by(|t| t.indicator.cmp(&tag.indicator)) {
+            Ok(i) => self.tags[i] = tag,
+            Err(i) => self.tags.insert(i, tag),
+        }
+    }
+
+    /// Builder-style [`QualityCell::set_tag`].
+    pub fn with_tag(mut self, tag: IndicatorValue) -> Self {
+        self.set_tag(tag);
+        self
+    }
+
+    /// The tag for `indicator`, if present.
+    pub fn tag(&self, indicator: &str) -> Option<&IndicatorValue> {
+        self.tags
+            .binary_search_by(|t| t.indicator.as_str().cmp(indicator))
+            .ok()
+            .map(|i| &self.tags[i])
+    }
+
+    /// The tag *value* for `indicator`; `Value::Null` when untagged.
+    /// Quality predicates use this: an untagged cell never satisfies a
+    /// quality constraint (3-valued logic drops NULL).
+    pub fn tag_value(&self, indicator: &str) -> Value {
+        self.tag(indicator)
+            .map(|t| t.value.clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Follows a path of indicator names through the meta-tag tree
+    /// (Premise 1.4): `["source"]` is the source tag itself,
+    /// `["source", "credibility"]` is the credibility *of the source tag*.
+    pub fn tag_path(&self, path: &[&str]) -> Option<&IndicatorValue> {
+        let (first, rest) = path.split_first()?;
+        let mut node = self.tag(first)?;
+        for seg in rest {
+            node = node.meta_tag(seg)?;
+        }
+        Some(node)
+    }
+
+    /// The value at a meta-tag path; `Value::Null` when any step is
+    /// missing — so quality predicates over meta tags drop untagged rows
+    /// exactly like first-level predicates do.
+    pub fn tag_value_path(&self, path: &[&str]) -> Value {
+        self.tag_path(path)
+            .map(|t| t.value.clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Removes the tag for `indicator`, returning it.
+    pub fn remove_tag(&mut self, indicator: &str) -> Option<IndicatorValue> {
+        self.tags
+            .binary_search_by(|t| t.indicator.as_str().cmp(indicator))
+            .ok()
+            .map(|i| self.tags.remove(i))
+    }
+
+    /// Number of tags.
+    pub fn tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Merges tags from `other` into this cell. On conflict (same
+    /// indicator, different value) the tag is *dropped* — the merged datum's
+    /// provenance is ambiguous, and fabricating a winner would violate the
+    /// attribute-based model's faithfulness to the manufacturing history.
+    pub fn merge_tags_from(&mut self, other: &QualityCell) {
+        for t in &other.tags {
+            match self.tag(&t.indicator) {
+                None => self.set_tag(t.clone()),
+                Some(mine) if mine == t => {}
+                Some(_) => {
+                    self.remove_tag(&t.indicator);
+                }
+            }
+        }
+    }
+
+    /// Renders the cell in the paper's Table 2 style:
+    /// `62 Lois Av (10-24-91, acct'g)` — tag values in indicator-name
+    /// order, parenthesized after the value. Untagged cells render bare.
+    pub fn to_paper_string(&self) -> String {
+        if self.tags.is_empty() {
+            return self.value.to_string();
+        }
+        let tags = self
+            .tags
+            .iter()
+            .map(|t| t.value.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{} ({tags})", self.value)
+    }
+}
+
+impl fmt::Display for QualityCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.tags.is_empty() {
+            return write!(f, "{}", self.value);
+        }
+        write!(f, "{} (", self.value)?;
+        for (i, t) in self.tags.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Value> for QualityCell {
+    fn from(v: Value) -> Self {
+        QualityCell::bare(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::Date;
+
+    fn addr_cell() -> QualityCell {
+        QualityCell::bare("62 Lois Av")
+            .with_tag(IndicatorValue::new(
+                "creation_time",
+                Value::Date(Date::parse("10-24-91").unwrap()),
+            ))
+            .with_tag(IndicatorValue::new("source", "acct'g"))
+    }
+
+    #[test]
+    fn tags_sorted_and_looked_up() {
+        let c = addr_cell();
+        assert_eq!(c.tag_count(), 2);
+        assert_eq!(c.tags()[0].indicator, "creation_time");
+        assert_eq!(c.tag_value("source"), Value::text("acct'g"));
+        assert_eq!(c.tag_value("missing"), Value::Null);
+    }
+
+    #[test]
+    fn set_tag_replaces() {
+        let mut c = addr_cell();
+        c.set_tag(IndicatorValue::new("source", "sales"));
+        assert_eq!(c.tag_count(), 2);
+        assert_eq!(c.tag_value("source"), Value::text("sales"));
+    }
+
+    #[test]
+    fn remove_tag() {
+        let mut c = addr_cell();
+        assert!(c.remove_tag("source").is_some());
+        assert!(c.remove_tag("source").is_none());
+        assert_eq!(c.tag_count(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = QualityCell::bare("x")
+            .with_tag(IndicatorValue::new("source", "s"))
+            .with_tag(IndicatorValue::new("age", 3i64));
+        let b = QualityCell::bare("x")
+            .with_tag(IndicatorValue::new("age", 3i64))
+            .with_tag(IndicatorValue::new("source", "s"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_agreeing_and_conflicting() {
+        let mut a = QualityCell::bare("62 Lois Av")
+            .with_tag(IndicatorValue::new("source", "acct'g"))
+            .with_tag(IndicatorValue::new("media", "ASCII"));
+        let b = QualityCell::bare("62 Lois Av")
+            .with_tag(IndicatorValue::new("source", "sales")) // conflict
+            .with_tag(IndicatorValue::new("media", "ASCII")) // agree
+            .with_tag(IndicatorValue::new("collection_method", "phone")); // new
+        a.merge_tags_from(&b);
+        assert_eq!(a.tag_value("source"), Value::Null); // dropped on conflict
+        assert_eq!(a.tag_value("media"), Value::text("ASCII"));
+        assert_eq!(a.tag_value("collection_method"), Value::text("phone"));
+    }
+
+    #[test]
+    fn paper_rendering() {
+        // Exactly Table 2's cell format (dates render ISO in our engine).
+        assert_eq!(addr_cell().to_paper_string(), "62 Lois Av (1991-10-24, acct'g)");
+        assert_eq!(QualityCell::bare(700i64).to_paper_string(), "700");
+    }
+
+    #[test]
+    fn display_with_indicator_names() {
+        let s = addr_cell().to_string();
+        assert!(s.contains("creation_time=1991-10-24"));
+        assert!(s.contains("source=acct'g"));
+    }
+}

@@ -1,0 +1,161 @@
+//! `tagstore` — the attribute-based data quality model: cell-level quality
+//! indicator tagging with a tag-propagating relational algebra.
+//!
+//! This crate implements the formal substrate the ICDE'93 paper builds on
+//! (its reference \[28\], "Toward Quality Data: An Attribute-based
+//! Approach"): every stored cell may carry *quality indicator values*
+//! describing its manufacture — source, creation time, collection method —
+//! recursively (indicators may themselves be tagged, Premise 1.4). The
+//! algebra propagates tags through σ/π/⋈/∪/γ so that query results retain
+//! the production history of each datum, and quality predicates over
+//! `column@indicator` pseudo-columns filter data by quality at query time.
+//!
+//! ```
+//! use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
+//! use tagstore::algebra::select;
+//! use relstore::{Schema, DataType, Expr, Value};
+//!
+//! let schema = Schema::of(&[("address", DataType::Text)]);
+//! let dict = IndicatorDictionary::with_paper_defaults();
+//! let mut rel = TaggedRelation::empty(schema, dict);
+//! rel.push(vec![QualityCell::bare("62 Lois Av")
+//!     .with_tag(IndicatorValue::new("source", "acct'g"))]).unwrap();
+//!
+//! // Query-time quality filtering: only accounting-sourced addresses.
+//! let trusted = select(&rel, &Expr::col("address@source").eq(Expr::lit("acct'g"))).unwrap();
+//! assert_eq!(trusted.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod cell;
+pub mod indicator;
+pub mod relation;
+pub mod store;
+
+pub use cell::QualityCell;
+pub use indicator::{IndicatorDef, IndicatorDictionary, IndicatorValue};
+pub use relation::{TaggedRelation, TaggedRow, TAG_SEP};
+pub use store::{from_quality_store, to_quality_store, QualityStore, QKEY_SUFFIX};
+
+#[cfg(test)]
+mod proptests {
+    //! Algebra laws under tagging.
+    use crate::algebra::*;
+    use crate::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
+    use proptest::prelude::*;
+    use relstore::{DataType, Expr, Schema, Value};
+
+    /// Arbitrary tagged relation over (k:Int, v:Int) with optional
+    /// source/age tags on v.
+    fn arb_tagged() -> impl Strategy<Value = TaggedRelation> {
+        prop::collection::vec(
+            (0i64..20, 0i64..20, prop::option::of("[a-c]"), prop::option::of(0i64..30)),
+            0..30,
+        )
+        .prop_map(|rows| {
+            let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+            let dict = IndicatorDictionary::with_paper_defaults();
+            let rows = rows
+                .into_iter()
+                .map(|(k, v, src, age)| {
+                    let mut cell = QualityCell::bare(v);
+                    if let Some(s) = src {
+                        cell.set_tag(IndicatorValue::new("source", s));
+                    }
+                    if let Some(a) = age {
+                        cell.set_tag(IndicatorValue::new("age", a));
+                    }
+                    vec![QualityCell::bare(k), cell]
+                })
+                .collect();
+            TaggedRelation::new(schema, dict, rows).unwrap()
+        })
+    }
+
+    proptest! {
+        /// Stripping commutes with selection on application values:
+        /// strip(σ_p(R)) = σ_p(strip(R)).
+        #[test]
+        fn strip_commutes_with_value_select(rel in arb_tagged(), c in 0i64..20) {
+            let p = Expr::col("v").lt(Expr::lit(c));
+            let lhs = select(&rel, &p).unwrap().strip();
+            let rhs = relstore::algebra::select(&rel.strip(), &p).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        /// Selection never invents or mutates tags: every output row
+        /// appears identically in the input.
+        #[test]
+        fn select_preserves_rows_exactly(rel in arb_tagged(), c in 0i64..20) {
+            let p = Expr::col("k").ge(Expr::lit(c));
+            let out = select(&rel, &p).unwrap();
+            for row in out.iter() {
+                prop_assert!(rel.iter().any(|r| r == row));
+            }
+        }
+
+        /// Quality selection is a restriction of value rows: filtering on
+        /// `v@age` returns a sub-bag of the input.
+        #[test]
+        fn quality_select_is_restriction(rel in arb_tagged(), c in 0i64..30) {
+            let p = Expr::col("v@age").le(Expr::lit(c));
+            let out = select(&rel, &p).unwrap();
+            prop_assert!(out.len() <= rel.len());
+            // every surviving row really satisfies the constraint
+            for row in out.iter() {
+                match row[1].tag_value("age") {
+                    Value::Int(a) => prop_assert!(a <= c),
+                    other => prop_assert!(false, "untagged row survived: {other:?}"),
+                }
+            }
+        }
+
+        /// distinct_merging collapses to the distinct count of values and
+        /// is idempotent.
+        #[test]
+        fn distinct_merging_laws(rel in arb_tagged()) {
+            let d = distinct_merging(&rel);
+            let value_distinct = relstore::algebra::distinct(&rel.strip());
+            prop_assert_eq!(d.len(), value_distinct.len());
+            let dd = distinct_merging(&d);
+            prop_assert_eq!(d.len(), dd.len());
+        }
+
+        /// Join tag propagation: strip(R ⋈ S) = strip(R) ⋈ strip(S).
+        #[test]
+        fn strip_commutes_with_join(a in arb_tagged(), b in arb_tagged()) {
+            let tagged = hash_join(&a, &b, "k", "k").unwrap().strip();
+            let plain = relstore::algebra::hash_join(
+                &a.strip(), &b.strip(), "k", "k",
+                relstore::algebra::JoinType::Inner).unwrap();
+            let mut x = tagged.into_rows();
+            let mut y = plain.into_rows();
+            x.sort(); y.sort();
+            prop_assert_eq!(x, y);
+        }
+
+        /// The quality-key storage form is lossless for arbitrary tagged
+        /// relations: to_quality_store ∘ from_quality_store = id.
+        #[test]
+        fn quality_store_roundtrip(rel in arb_tagged()) {
+            let store = crate::store::to_quality_store(&rel).unwrap();
+            let back = crate::store::from_quality_store(
+                &store, rel.dictionary().clone()).unwrap();
+            prop_assert_eq!(back, rel);
+        }
+
+        /// expand_all never changes row count and prefixes the original
+        /// application columns unchanged.
+        #[test]
+        fn expand_preserves_values(rel in arb_tagged()) {
+            let x = rel.expand_all().unwrap();
+            prop_assert_eq!(x.len(), rel.len());
+            let stripped = rel.strip();
+            for (er, sr) in x.iter().zip(stripped.iter()) {
+                prop_assert_eq!(&er[..2], sr.as_slice());
+            }
+        }
+    }
+}

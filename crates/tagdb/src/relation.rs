@@ -1,0 +1,517 @@
+//! Tagged relations: relations whose cells carry quality indicator values.
+//!
+//! A [`TaggedRelation`] pairs an application [`Schema`] with rows of
+//! [`QualityCell`]s and an [`IndicatorDictionary`] governing admissible
+//! tags. The pseudo-column syntax `column@indicator` (see
+//! [`TaggedRelation::expand`]) exposes tags to the ordinary expression
+//! language, which is how "users can filter out data having undesirable
+//! characteristics" at query time.
+
+use crate::cell::QualityCell;
+use crate::indicator::{IndicatorDictionary, IndicatorValue};
+use relstore::{ColumnDef, DataType, DbError, DbResult, Relation, Row, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Separator between column and indicator in a pseudo-column name.
+pub const TAG_SEP: char = '@';
+
+/// A row of quality cells.
+pub type TaggedRow = Vec<QualityCell>;
+
+/// A relation whose cells are quality-tagged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedRelation {
+    schema: Schema,
+    dict: IndicatorDictionary,
+    rows: Vec<TaggedRow>,
+    /// Relation-level quality tags — "tagging higher aggregations, such
+    /// as the table or database level" (§1.2): e.g. `population_method`
+    /// as an indication of the table's completeness.
+    relation_tags: Vec<IndicatorValue>,
+}
+
+impl TaggedRelation {
+    /// Empty tagged relation.
+    pub fn empty(schema: Schema, dict: IndicatorDictionary) -> Self {
+        TaggedRelation {
+            schema,
+            dict,
+            rows: Vec::new(),
+            relation_tags: Vec::new(),
+        }
+    }
+
+    /// Builds from rows, validating values against the schema and tags
+    /// against the dictionary.
+    pub fn new(
+        schema: Schema,
+        dict: IndicatorDictionary,
+        rows: Vec<TaggedRow>,
+    ) -> DbResult<Self> {
+        let mut rel = TaggedRelation::empty(schema, dict);
+        for r in rows {
+            rel.push(r)?;
+        }
+        Ok(rel)
+    }
+
+    /// Lifts an untagged relation (every cell bare).
+    pub fn from_relation(rel: &Relation, dict: IndicatorDictionary) -> Self {
+        let rows = rel
+            .iter()
+            .map(|r| r.iter().cloned().map(QualityCell::bare).collect())
+            .collect();
+        TaggedRelation {
+            schema: rel.schema().clone(),
+            dict,
+            rows,
+            relation_tags: Vec::new(),
+        }
+    }
+
+    /// Internal unchecked constructor for operator results.
+    pub(crate) fn from_parts_unchecked(
+        schema: Schema,
+        dict: IndicatorDictionary,
+        rows: Vec<TaggedRow>,
+    ) -> Self {
+        TaggedRelation {
+            schema,
+            dict,
+            rows,
+            relation_tags: Vec::new(),
+        }
+    }
+
+    /// Application schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Indicator dictionary in force.
+    pub fn dictionary(&self) -> &IndicatorDictionary {
+        &self.dict
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> &[TaggedRow] {
+        &self.rows
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterator over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, TaggedRow> {
+        self.rows.iter()
+    }
+
+    /// Validates and appends a row.
+    pub fn push(&mut self, row: TaggedRow) -> DbResult<()> {
+        let values: Row = row.iter().map(|c| c.value.clone()).collect();
+        self.schema.check_row(&values)?;
+        for cell in &row {
+            for tag in cell.tags() {
+                self.dict.check(tag)?;
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The cell at `(row, column-name)`.
+    pub fn cell(&self, row: usize, column: &str) -> DbResult<&QualityCell> {
+        let c = self.schema.resolve(column)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[c])
+            .ok_or_else(|| DbError::InvalidExpression(format!("row index {row} out of range")))
+    }
+
+    /// Mutable cell access (for tagging in place).
+    pub fn cell_mut(&mut self, row: usize, column: &str) -> DbResult<&mut QualityCell> {
+        let c = self.schema.resolve(column)?;
+        self.rows
+            .get_mut(row)
+            .map(|r| &mut r[c])
+            .ok_or_else(|| DbError::InvalidExpression(format!("row index {row} out of range")))
+    }
+
+    /// Relation-level quality tags, sorted by indicator name.
+    pub fn relation_tags(&self) -> &[IndicatorValue] {
+        &self.relation_tags
+    }
+
+    /// Attaches (or replaces) a relation-level tag — §1.2: "the means by
+    /// which a database table was populated may give some indication of
+    /// its completeness."
+    pub fn tag_relation(&mut self, tag: IndicatorValue) -> DbResult<()> {
+        self.dict.check(&tag)?;
+        match self
+            .relation_tags
+            .binary_search_by(|t| t.indicator.cmp(&tag.indicator))
+        {
+            Ok(i) => self.relation_tags[i] = tag,
+            Err(i) => self.relation_tags.insert(i, tag),
+        }
+        Ok(())
+    }
+
+    /// The relation-level tag value for `indicator`; NULL when untagged.
+    pub fn relation_tag_value(&self, indicator: &str) -> relstore::Value {
+        self.relation_tags
+            .iter()
+            .find(|t| t.indicator == indicator)
+            .map(|t| t.value.clone())
+            .unwrap_or(relstore::Value::Null)
+    }
+
+    /// Tags one cell, validating against the dictionary.
+    pub fn tag_cell(&mut self, row: usize, column: &str, tag: IndicatorValue) -> DbResult<()> {
+        self.dict.check(&tag)?;
+        self.cell_mut(row, column)?.set_tag(tag);
+        Ok(())
+    }
+
+    /// Tags every cell of a column with the same indicator value — the
+    /// common bulk case ("this whole column came from Nexis").
+    pub fn tag_column(&mut self, column: &str, tag: IndicatorValue) -> DbResult<()> {
+        self.dict.check(&tag)?;
+        let c = self.schema.resolve(column)?;
+        for row in &mut self.rows {
+            row[c].set_tag(tag.clone());
+        }
+        Ok(())
+    }
+
+    /// Strips all tags, yielding the plain application relation
+    /// (the inverse of [`TaggedRelation::from_relation`]).
+    pub fn strip(&self) -> Relation {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.value.clone()).collect())
+            .collect();
+        Relation::new(self.schema.clone(), rows).expect("tagged rows conform by construction")
+    }
+
+    /// Splits a pseudo-column name `col@indicator` into its parts.
+    pub fn split_pseudo(name: &str) -> Option<(&str, &str)> {
+        name.split_once(TAG_SEP)
+    }
+
+    /// The indicators actually used on a column across all rows, sorted.
+    pub fn indicators_on(&self, column: &str) -> DbResult<Vec<String>> {
+        let c = self.schema.resolve(column)?;
+        let mut set = BTreeSet::new();
+        for row in &self.rows {
+            for t in row[c].tags() {
+                set.insert(t.indicator.clone());
+            }
+        }
+        Ok(set.into_iter().collect())
+    }
+
+    /// Materializes the relation with tags expanded into pseudo-columns.
+    /// `pairs` lists `(column, indicator)`; each contributes a column named
+    /// `column@indicator` whose value is the tag value (NULL if untagged).
+    pub fn expand(&self, pairs: &[(&str, &str)]) -> DbResult<Relation> {
+        let mut cols: Vec<ColumnDef> = self.schema.columns().to_vec();
+        let mut idx = Vec::with_capacity(pairs.len());
+        for (col, ind) in pairs {
+            let ci = self.schema.resolve(col)?;
+            let dtype = self.dict.get(ind).map(|d| d.dtype).unwrap_or(DataType::Any);
+            cols.push(ColumnDef::new(format!("{col}{TAG_SEP}{ind}"), dtype));
+            idx.push((ci, (*ind).to_owned()));
+        }
+        let schema = Schema::new(cols)?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut out: Row = row.iter().map(|c| c.value.clone()).collect();
+            for (ci, ind) in &idx {
+                out.push(row[*ci].tag_value(ind));
+            }
+            rows.push(out);
+        }
+        Relation::new(schema, rows)
+    }
+
+    /// [`TaggedRelation::expand`] over every `(column, indicator)` pair
+    /// present anywhere in the data, in schema-then-indicator order.
+    pub fn expand_all(&self) -> DbResult<Relation> {
+        let names: Vec<String> = self.schema.names().iter().map(|s| s.to_string()).collect();
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for col in &names {
+            for ind in self.indicators_on(col)? {
+                pairs.push((col.clone(), ind));
+            }
+        }
+        let borrowed: Vec<(&str, &str)> =
+            pairs.iter().map(|(c, i)| (c.as_str(), i.as_str())).collect();
+        self.expand(&borrowed)
+    }
+
+    /// Renders in the paper's Table 2 layout: each cell as
+    /// `value (tag, tag)`.
+    pub fn to_paper_table(&self) -> String {
+        let names = self.schema.names();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_paper_string()).collect())
+            .collect();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.len()).collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!(" {n:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        if !self.relation_tags.is_empty() {
+            out.push_str("relation tags: ");
+            for (i, t) in self.relation_tags.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&t.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TaggedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_paper_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{Date, Value};
+
+    /// The paper's Table 2, verbatim.
+    pub(crate) fn table2() -> TaggedRelation {
+        let schema = Schema::of(&[
+            ("co_name", DataType::Text),
+            ("address", DataType::Text),
+            ("employees", DataType::Int),
+        ]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+        let rows = vec![
+            vec![
+                QualityCell::bare("Fruit Co"),
+                QualityCell::bare("12 Jay St")
+                    .with_tag(IndicatorValue::new("creation_time", d("1-2-91")))
+                    .with_tag(IndicatorValue::new("source", "sales")),
+                QualityCell::bare(4004i64)
+                    .with_tag(IndicatorValue::new("creation_time", d("10-3-91")))
+                    .with_tag(IndicatorValue::new("source", "Nexis")),
+            ],
+            vec![
+                QualityCell::bare("Nut Co"),
+                QualityCell::bare("62 Lois Av")
+                    .with_tag(IndicatorValue::new("creation_time", d("10-24-91")))
+                    .with_tag(IndicatorValue::new("source", "acct'g")),
+                QualityCell::bare(700i64)
+                    .with_tag(IndicatorValue::new("creation_time", d("10-9-91")))
+                    .with_tag(IndicatorValue::new("source", "estimate")),
+            ],
+        ];
+        TaggedRelation::new(schema, dict, rows).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_values_and_tags() {
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        // bad value type
+        let bad = vec![vec![QualityCell::bare("text")]];
+        assert!(TaggedRelation::new(schema.clone(), dict.clone(), bad).is_err());
+        // undeclared indicator
+        let bad = vec![vec![
+            QualityCell::bare(1i64).with_tag(IndicatorValue::new("ghost", "x")),
+        ]];
+        assert!(TaggedRelation::new(schema.clone(), dict.clone(), bad).is_err());
+        // mistyped tag value
+        let bad = vec![vec![
+            QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", "old")),
+        ]];
+        assert!(TaggedRelation::new(schema, dict, bad).is_err());
+    }
+
+    #[test]
+    fn cell_access_and_tagging() {
+        let mut t = table2();
+        assert_eq!(
+            t.cell(1, "address").unwrap().tag_value("source"),
+            Value::text("acct'g")
+        );
+        t.tag_cell(0, "co_name", IndicatorValue::new("source", "registry"))
+            .unwrap();
+        assert_eq!(
+            t.cell(0, "co_name").unwrap().tag_value("source"),
+            Value::text("registry")
+        );
+        assert!(t
+            .tag_cell(0, "co_name", IndicatorValue::new("ghost", "x"))
+            .is_err());
+        assert!(t.cell(9, "co_name").is_err());
+    }
+
+    #[test]
+    fn tag_column_bulk() {
+        let mut t = table2();
+        t.tag_column("co_name", IndicatorValue::new("collection_method", "registry import"))
+            .unwrap();
+        for i in 0..t.len() {
+            assert_eq!(
+                t.cell(i, "co_name").unwrap().tag_value("collection_method"),
+                Value::text("registry import")
+            );
+        }
+    }
+
+    #[test]
+    fn strip_recovers_table1() {
+        let t = table2();
+        let plain = t.strip();
+        assert_eq!(plain.len(), 2);
+        assert_eq!(plain.value_at(0, "employees").unwrap(), &Value::Int(4004));
+        // round-trip: lifting the stripped relation gives bare cells
+        let lifted = TaggedRelation::from_relation(&plain, t.dictionary().clone());
+        assert_eq!(lifted.strip(), plain);
+        assert!(lifted.rows()[0].iter().all(|c| c.tag_count() == 0));
+    }
+
+    #[test]
+    fn indicators_on_column() {
+        let t = table2();
+        assert_eq!(
+            t.indicators_on("address").unwrap(),
+            vec!["creation_time".to_string(), "source".to_string()]
+        );
+        assert!(t.indicators_on("co_name").unwrap().is_empty());
+        assert!(t.indicators_on("ghost").is_err());
+    }
+
+    #[test]
+    fn expansion_creates_pseudo_columns() {
+        let t = table2();
+        let x = t
+            .expand(&[("employees", "source"), ("employees", "creation_time")])
+            .unwrap();
+        assert_eq!(
+            x.schema().names(),
+            vec![
+                "co_name",
+                "address",
+                "employees",
+                "employees@source",
+                "employees@creation_time"
+            ]
+        );
+        assert_eq!(
+            x.value_at(1, "employees@source").unwrap(),
+            &Value::text("estimate")
+        );
+        // untagged pseudo-cells are NULL
+        let x = t.expand(&[("co_name", "source")]).unwrap();
+        assert!(x.value_at(0, "co_name@source").unwrap().is_null());
+    }
+
+    #[test]
+    fn expand_all_covers_used_pairs() {
+        let x = table2().expand_all().unwrap();
+        assert_eq!(x.schema().arity(), 3 + 4); // address×2 + employees×2
+    }
+
+    #[test]
+    fn pseudo_name_splitting() {
+        assert_eq!(
+            TaggedRelation::split_pseudo("price@age"),
+            Some(("price", "age"))
+        );
+        assert_eq!(TaggedRelation::split_pseudo("price"), None);
+    }
+
+    #[test]
+    fn relation_level_tags() {
+        let t = table2();
+        assert!(t.relation_tags().is_empty());
+        assert!(t.relation_tag_value("population_method").is_null());
+        // declare the table-level indicator, then tag the relation
+        let mut dict = t.dictionary().clone();
+        dict.declare(tagstore_test_def()).unwrap();
+        let mut t = TaggedRelation::new(t.schema().clone(), dict, t.rows().to_vec()).unwrap();
+        t.tag_relation(IndicatorValue::new(
+            "population_method",
+            "bulk import from sales ledger",
+        ))
+        .unwrap();
+        assert_eq!(
+            t.relation_tag_value("population_method"),
+            Value::text("bulk import from sales ledger")
+        );
+        // replace
+        t.tag_relation(IndicatorValue::new("population_method", "manual entry"))
+            .unwrap();
+        assert_eq!(t.relation_tags().len(), 1);
+        // undeclared indicator rejected
+        assert!(t.tag_relation(IndicatorValue::new("sparkle", "x")).is_err());
+        // rendered as a footer
+        let s = t.to_paper_table();
+        assert!(s.contains("relation tags: population_method=manual entry"));
+    }
+
+    fn tagstore_test_def() -> crate::indicator::IndicatorDef {
+        crate::indicator::IndicatorDef::new(
+            "population_method",
+            DataType::Text,
+            "the means by which the table was populated (completeness proxy)",
+        )
+    }
+
+    #[test]
+    fn paper_table_rendering_matches_table2() {
+        let s = table2().to_paper_table();
+        assert!(s.contains("4004 (1991-10-03, Nexis)"), "got\n{s}");
+        assert!(s.contains("62 Lois Av (1991-10-24, acct'g)"), "got\n{s}");
+        assert!(s.contains("700 (1991-10-09, estimate)"), "got\n{s}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The paper's §1.2 customer example: Table 1 (plain) and Table 2
+//! (quality-tagged), both verbatim and scaled up with seeded synthesis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relstore::{DataType, Date, DbResult, Relation, Schema, Value};
+use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
+
+/// The Table-1 schema: `co_name`, `address`, `employees`.
+pub fn customer_schema() -> Schema {
+    Schema::of(&[
+        ("co_name", DataType::Text),
+        ("address", DataType::Text),
+        ("employees", DataType::Int),
+    ])
+}
+
+/// Table 1, exactly as printed in the paper.
+pub fn table1() -> Relation {
+    Relation::new(
+        customer_schema(),
+        vec![
+            vec![
+                Value::text("Fruit Co"),
+                Value::text("12 Jay St"),
+                Value::Int(4004),
+            ],
+            vec![
+                Value::text("Nut Co"),
+                Value::text("62 Lois Av"),
+                Value::Int(700),
+            ],
+        ],
+    )
+    .expect("table 1 is well-formed")
+}
+
+/// Table 2, exactly as printed: Table 1 with `(creation_time, source)`
+/// tags on the address and employees cells.
+pub fn table2() -> TaggedRelation {
+    let d = |s: &str| Value::Date(Date::parse(s).expect("paper dates parse"));
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let rows = vec![
+        vec![
+            QualityCell::bare("Fruit Co"),
+            QualityCell::bare("12 Jay St")
+                .with_tag(IndicatorValue::new("creation_time", d("1-2-91")))
+                .with_tag(IndicatorValue::new("source", "sales")),
+            QualityCell::bare(4004i64)
+                .with_tag(IndicatorValue::new("creation_time", d("10-3-91")))
+                .with_tag(IndicatorValue::new("source", "Nexis")),
+        ],
+        vec![
+            QualityCell::bare("Nut Co"),
+            QualityCell::bare("62 Lois Av")
+                .with_tag(IndicatorValue::new("creation_time", d("10-24-91")))
+                .with_tag(IndicatorValue::new("source", "acct'g")),
+            QualityCell::bare(700i64)
+                .with_tag(IndicatorValue::new("creation_time", d("10-9-91")))
+                .with_tag(IndicatorValue::new("source", "estimate")),
+        ],
+    ];
+    TaggedRelation::new(customer_schema(), dict, rows).expect("table 2 is well-formed")
+}
+
+/// Parameters for the scaled customer generator.
+#[derive(Debug, Clone)]
+pub struct CustomerGenConfig {
+    /// Number of customer rows.
+    pub rows: usize,
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// Departments/sources data may come from ("the data may have been
+    /// originally collected ... by a variety of company departments").
+    pub sources: Vec<String>,
+    /// Probability a cell is untagged (provenance lost).
+    pub untagged_prob: f64,
+    /// Earliest possible creation date.
+    pub earliest: Date,
+    /// Latest possible creation date.
+    pub latest: Date,
+    /// Number of indicator tags per tagged cell (1..=4): creation_time,
+    /// source, collection_method, inspection — used by bench B1's
+    /// tags-per-cell sweep.
+    pub tags_per_cell: usize,
+}
+
+impl Default for CustomerGenConfig {
+    fn default() -> Self {
+        CustomerGenConfig {
+            rows: 1000,
+            seed: 17,
+            sources: ["sales", "acct'g", "Nexis", "estimate", "survey"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            untagged_prob: 0.1,
+            earliest: Date::new(1988, 1, 1).expect("valid"),
+            latest: Date::new(1991, 10, 24).expect("valid"),
+            tags_per_cell: 2,
+        }
+    }
+}
+
+const STREETS: &[&str] = &[
+    "Jay St", "Lois Av", "Main St", "Oak Av", "Elm St", "Fir Rd", "Ash Ln", "Mill Rd",
+];
+const NAME_A: &[&str] = &[
+    "Fruit", "Nut", "Bolt", "Gear", "Wire", "Pipe", "Lens", "Coil", "Board", "Brick",
+];
+const NAME_B: &[&str] = &["Co", "Corp", "Inc", "Ltd", "Group", "Works"];
+const METHODS: &[&str] = &[
+    "over the phone",
+    "from an information service",
+    "bar code scanner",
+    "keyed entry",
+];
+
+/// Generates a scaled, quality-tagged customer relation.
+pub fn generate_customers(cfg: &CustomerGenConfig) -> DbResult<TaggedRelation> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let mut rel = TaggedRelation::empty(customer_schema(), dict);
+    let span = cfg.latest.days() - cfg.earliest.days();
+    for i in 0..cfg.rows {
+        let name = format!(
+            "{} {} {i}",
+            NAME_A[rng.gen_range(0..NAME_A.len())],
+            NAME_B[rng.gen_range(0..NAME_B.len())]
+        );
+        let address = format!(
+            "{} {}",
+            rng.gen_range(1..999),
+            STREETS[rng.gen_range(0..STREETS.len())]
+        );
+        let employees = rng.gen_range(1..50_000i64);
+
+        let tag_cell = |rng: &mut StdRng, mut cell: QualityCell| -> QualityCell {
+            if rng.gen_bool(cfg.untagged_prob) {
+                return cell; // provenance lost
+            }
+            let tags = [
+                IndicatorValue::new(
+                    "creation_time",
+                    Value::Date(Date::from_days(
+                        cfg.earliest.days() + rng.gen_range(0..=span.max(1)),
+                    )),
+                ),
+                IndicatorValue::new(
+                    "source",
+                    cfg.sources[rng.gen_range(0..cfg.sources.len())].clone(),
+                ),
+                IndicatorValue::new(
+                    "collection_method",
+                    METHODS[rng.gen_range(0..METHODS.len())],
+                ),
+                IndicatorValue::new("inspection", "none"),
+            ];
+            for t in tags.into_iter().take(cfg.tags_per_cell.clamp(1, 4)) {
+                cell.set_tag(t);
+            }
+            cell
+        };
+
+        let row = vec![
+            QualityCell::bare(name),
+            tag_cell(&mut rng, QualityCell::bare(address)),
+            tag_cell(&mut rng, QualityCell::bare(employees)),
+        ];
+        rel.push(row)?;
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value_at(0, "employees").unwrap(), &Value::Int(4004));
+        assert_eq!(t.value_at(1, "address").unwrap(), &Value::text("62 Lois Av"));
+    }
+
+    #[test]
+    fn table2_strips_to_table1() {
+        assert_eq!(table2().strip(), table1());
+    }
+
+    #[test]
+    fn table2_tags_match_paper() {
+        let t = table2();
+        let cell = t.cell(1, "address").unwrap();
+        assert_eq!(cell.tag_value("source"), Value::text("acct'g"));
+        assert_eq!(
+            cell.tag_value("creation_time"),
+            Value::Date(Date::parse("10-24-91").unwrap())
+        );
+        let cell = t.cell(0, "employees").unwrap();
+        assert_eq!(cell.tag_value("source"), Value::text("Nexis"));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = CustomerGenConfig {
+            rows: 50,
+            ..Default::default()
+        };
+        let a = generate_customers(&cfg).unwrap();
+        let b = generate_customers(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_customers(&CustomerGenConfig {
+            rows: 50,
+            seed: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = generate_customers(&CustomerGenConfig {
+            rows: 50,
+            seed: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn untagged_probability_respected() {
+        let all_tagged = generate_customers(&CustomerGenConfig {
+            rows: 100,
+            untagged_prob: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(all_tagged
+            .iter()
+            .all(|r| r[1].tag_count() > 0 && r[2].tag_count() > 0));
+        let none_tagged = generate_customers(&CustomerGenConfig {
+            rows: 100,
+            untagged_prob: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(none_tagged.iter().all(|r| r[1].tag_count() == 0));
+    }
+
+    #[test]
+    fn tags_per_cell_sweep() {
+        for k in 1..=4 {
+            let rel = generate_customers(&CustomerGenConfig {
+                rows: 20,
+                untagged_prob: 0.0,
+                tags_per_cell: k,
+                ..Default::default()
+            })
+            .unwrap();
+            assert!(rel.iter().all(|r| r[1].tag_count() == k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn creation_dates_in_range() {
+        let cfg = CustomerGenConfig {
+            rows: 100,
+            untagged_prob: 0.0,
+            ..Default::default()
+        };
+        let rel = generate_customers(&cfg).unwrap();
+        for row in rel.iter() {
+            if let Value::Date(d) = row[1].tag_value("creation_time") {
+                assert!(d >= cfg.earliest && d <= cfg.latest);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `dq-workloads` — seeded workload generators reproducing the paper's
+//! running examples at scale.
+//!
+//! * [`customer`] — Tables 1 & 2 verbatim, plus a scaled tagged-customer
+//!   generator with a tags-per-cell sweep for the overhead benches;
+//! * [`trading`] — Figure 3's ER schema, the Figure-4 parameter view and
+//!   Figure-5 quality view built through the real methodology pipeline,
+//!   and generators for clients / stocks / trades;
+//! * [`mailing`] — the §4 clearing-house address database with quality
+//!   grades (mass mailing vs. fund raising);
+//! * [`errors`] — error injection keyed to each cell's
+//!   `collection_method` tag (per-device error rates, §3.3);
+//! * [`survey`] — the Appendix-A survey simulation (ranked facet table).
+//!
+//! All generators are seeded (`StdRng::seed_from_u64`) and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod customer;
+pub mod errors;
+pub mod mailing;
+pub mod survey;
+pub mod trading;
+
+pub use customer::{generate_customers, table1, table2, CustomerGenConfig};
+pub use errors::{default_profiles, inject_errors, InjectionStats, MethodProfile};
+pub use mailing::{generate_addresses, MailingGenConfig};
+pub use survey::{render_appendix, run_survey, FacetCount, SurveyConfig};
+pub use trading::{
+    figure3_schema, figure4_parameter_view, figure5_quality_view, generate_trading,
+    trading_dictionary, trading_quality_schema, TradingGenConfig, TradingWorkload,
+};

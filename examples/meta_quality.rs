@@ -1,0 +1,93 @@
+//! Premise 1.4 in practice: "what is the quality of the quality indicator
+//! values?" — meta tags, querying them through nested pseudo-columns,
+//! retro-tagging with the TAG statement, and exporting tags losslessly
+//! through plain relational storage (the attribute-based model's
+//! quality-key form).
+//!
+//! ```sh
+//! cargo run --example meta_quality
+//! ```
+
+use dq_query::{run, run_mut, QueryCatalog};
+use relstore::{DataType, Date, Schema, Value};
+use tagstore::{
+    from_quality_store, to_quality_store, IndicatorDictionary, IndicatorValue, QualityCell,
+    TaggedRelation,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = |s: &str| Value::Date(Date::parse(s).expect("example dates are valid"));
+
+    // Quotes whose *source tags are themselves tagged*: when was the
+    // source attribution recorded, and by what?
+    let schema = Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let mut quotes = TaggedRelation::empty(schema, dict);
+    let mk = |t: &str, p: f64, src: &str, attributed_on: Value| -> Result<Vec<QualityCell>, Box<dyn std::error::Error>> {
+        Ok(vec![
+            QualityCell::bare(t),
+            QualityCell::bare(p).with_tag(
+                IndicatorValue::new("source", src).with_meta(
+                    IndicatorValue::new("creation_time", attributed_on)
+                        .with_meta(IndicatorValue::new("source", "feed handler log")),
+                ),
+            ),
+        ])
+    };
+    quotes.push(mk("FRT", 10.25, "NYSE feed", d("10-23-91"))?)?;
+    quotes.push(mk("NUT", 20.50, "NYSE feed", d("1-2-90"))?)?; // stale attribution!
+    quotes.push(vec![QualityCell::bare("BLT"), QualityCell::bare(31.0)])?;
+
+    let mut cat = QueryCatalog::new();
+    cat.register("quotes", quotes.clone());
+
+    // Meta-quality query: keep quotes whose *source attribution* is
+    // recent — a constraint two levels deep.
+    let q = "SELECT ticker, price@source AS src, \
+                    price@source@creation_time AS attributed_on \
+             FROM quotes \
+             WITH QUALITY (price@source@creation_time >= DATE '1991-01-01')";
+    println!("meta-quality query:\n  {q}\n");
+    let out = run(&cat, q)?;
+    println!("{}", out.relation().to_paper_table());
+    assert_eq!(out.relation().len(), 1);
+
+    // Retro-tagging with the TAG statement: the administrator stamps an
+    // inspection marker on every quote from the NYSE feed.
+    let tagged = run_mut(
+        &mut cat,
+        "TAG quotes SET price@inspection = 'feed reconciliation 1991-10-24' \
+         WHERE price@source = 'NYSE feed'",
+    )?;
+    println!(
+        "TAG statement stamped {} cells\n",
+        tagged.relation().cell(0, "cells_tagged")?.value
+    );
+    let inspected = run(
+        &cat,
+        "SELECT ticker FROM quotes WITH QUALITY (price@inspection IS NOT NULL)",
+    )?;
+    assert_eq!(inspected.relation().len(), 2);
+
+    // Storage form: quality keys + quality relations. Tags — including
+    // the recursive meta tags — survive any plain relational channel.
+    let rel = cat.get("quotes")?.clone();
+    let store = to_quality_store(&rel)?;
+    println!("data relation (quality keys paired with each column):");
+    println!("{}", store.data.to_ascii_table());
+    println!("quality relation (parent links encode meta-quality):");
+    println!("{}", store.quality.to_ascii_table());
+
+    let csv_data = relstore::csv::to_csv(&store.data);
+    let csv_quality = relstore::csv::to_csv(&store.quality);
+    let rebuilt = from_quality_store(
+        &tagstore::QualityStore {
+            data: relstore::csv::from_csv(store.data.schema(), &csv_data)?,
+            quality: relstore::csv::from_csv(store.quality.schema(), &csv_quality)?,
+        },
+        rel.dictionary().clone(),
+    )?;
+    assert_eq!(rebuilt, rel);
+    println!("round-trip through CSV: lossless ✓");
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Step 4 at full strength: two departments model overlapping worlds with
+//! different names (synonyms), different indicators for the same concern
+//! (derivability), and an indicator that really wants to be an
+//! application attribute (structural re-examination, Premise 1.1).
+//!
+//! ```sh
+//! cargo run --example multi_view_integration
+//! ```
+
+use dq_core::{
+    default_rules, promote_indicator_to_attribute, spec, step1_application_view, step4_integrate,
+    CandidateCatalog, Step2, Step3, Target,
+};
+use er_model::{Correspondences, EntityType, ErAttribute, ErSchema};
+use relstore::DataType;
+use tagstore::IndicatorDef;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Trading desk's view ---------------------------------------------
+    let trading_er = ErSchema::new("trading").with_entity(
+        EntityType::new("company_stock")
+            .with(ErAttribute::key("ticker_symbol", DataType::Text))
+            .with(ErAttribute::new("share_price", DataType::Float)),
+    );
+    let app = step1_application_view(trading_er)?;
+    let pv = Step2::new(app, CandidateCatalog::appendix_a())
+        .parameter(
+            Target::attr("company_stock", "share_price"),
+            "timeliness",
+            "desk quotes must be fresh",
+        )?
+        .finish();
+    let trading_view = Step3::new(pv)
+        .operationalize(
+            Target::attr("company_stock", "share_price"),
+            "timeliness",
+            IndicatorDef::new("age", DataType::Int, "days since the quote"),
+        )?
+        .finish()?;
+
+    // --- Risk department's view (synonym: `security`) ---------------------
+    let risk_er = ErSchema::new("risk").with_entity(
+        EntityType::new("security")
+            .with(ErAttribute::key("ticker_symbol", DataType::Text))
+            .with(ErAttribute::new("share_price", DataType::Float))
+            .with(ErAttribute::new("var_limit", DataType::Float)),
+    );
+    let app = step1_application_view(risk_er)?;
+    let pv = Step2::new(app, CandidateCatalog::appendix_a())
+        .parameter(
+            Target::attr("security", "share_price"),
+            "timeliness",
+            "risk models need dated inputs",
+        )?
+        .parameter(
+            Target::attr("security", "ticker_symbol"),
+            "interpretability",
+            "reports must show full company names",
+        )?
+        .finish();
+    let risk_view = Step3::new(pv)
+        .operationalize(
+            Target::attr("security", "share_price"),
+            "timeliness",
+            IndicatorDef::new("creation_time", DataType::Date, "quote date"),
+        )?
+        .operationalize(
+            Target::attr("security", "ticker_symbol"),
+            "interpretability",
+            IndicatorDef::new("company_name", DataType::Text, "full legal name"),
+        )?
+        .finish()?;
+
+    // --- Integrate under the synonym correspondence -----------------------
+    let corr = Correspondences::new().synonym("security", "company_stock");
+    let mut qs = step4_integrate(
+        "bank_wide_quality",
+        &[&trading_view, &risk_view],
+        &corr,
+        &default_rules(),
+    )?;
+
+    println!("integration notes:");
+    for n in &qs.notes {
+        println!("  [{}] {}", n.category, n.detail);
+    }
+    // The paper's §3.4 choice fell out automatically: creation_time kept,
+    // age dropped because it is derivable.
+    assert!(qs.indicator_names().contains(&"creation_time"));
+    assert!(!qs.indicator_names().contains(&"age"));
+
+    // --- Structural re-examination (Premise 1.1) ---------------------------
+    // company_name looks like application data: promote it.
+    promote_indicator_to_attribute(
+        &mut qs,
+        &Target::attr("company_stock", "ticker_symbol"),
+        "company_name",
+    )?;
+    println!("\nafter promotion, company_stock attributes:");
+    for a in &qs.er.entity("company_stock").expect("merged entity").attributes {
+        println!("  {}: {}", a.name, a.dtype);
+    }
+    assert!(qs
+        .er
+        .entity("company_stock")
+        .expect("exists")
+        .attribute("company_name")
+        .is_some());
+
+    // --- The final requirements specification -------------------------------
+    println!("\n{}", spec::quality_schema_markdown(&qs));
+    let json = spec::quality_schema_json(&qs)?;
+    println!("machine-readable spec: {} bytes of JSON", json.len());
+    Ok(())
+}

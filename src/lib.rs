@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the whole reproduction suite.
+//!
+//! See the individual crates for the actual implementation:
+//! [`dq_core`], [`er_model`], [`relstore`], [`tagstore`], [`polygen`],
+//! [`dq_query`], [`dq_admin`], [`dq_workloads`].
+
+pub use dq_admin;
+pub use dq_core;
+pub use dq_query;
+pub use dq_workloads;
+pub use er_model;
+pub use polygen;
+pub use relstore;
+pub use tagstore;

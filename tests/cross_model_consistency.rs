@@ -1,0 +1,156 @@
+//! Integration: the three data models (plain relational, attribute-based
+//! tagging, polygen source sets) agree on application values under every
+//! shared operator, and the storage layer round-trips through CSV.
+
+use polygen::{PolyRelation, SourceId};
+use relstore::algebra as ra;
+use relstore::{csv, DataType, Expr, Relation, Schema, Value};
+use tagstore::algebra as ta;
+use tagstore::{IndicatorDictionary, TaggedRelation};
+
+fn base_relation(seed: u64, rows: usize) -> Relation {
+    // small deterministic LCG — keeps this test free of rand
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 20) as i64
+    };
+    let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    Relation::new(
+        schema,
+        (0..rows).map(|_| vec![Value::Int(next()), Value::Int(next())]).collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn three_models_agree_on_select_project_join() {
+    let left = base_relation(1, 60);
+    let right = base_relation(2, 40);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let t_left = TaggedRelation::from_relation(&left, dict.clone());
+    let t_right = TaggedRelation::from_relation(&right, dict);
+    let p_left = PolyRelation::retrieve(&left, SourceId::new("A"));
+    let p_right = PolyRelation::retrieve(&right, SourceId::new("B"));
+
+    let pred = Expr::col("v").ge(Expr::lit(7i64));
+
+    // select
+    let r0 = ra::select(&left, &pred).unwrap();
+    let r1 = ta::select(&t_left, &pred).unwrap().strip();
+    let r2 = p_left.restrict(&pred).unwrap().strip();
+    assert_eq!(r0, r1);
+    assert_eq!(r0, r2);
+
+    // project
+    let q0 = ra::project(&left, &["v"]).unwrap();
+    let q1 = ta::project(&t_left, &["v"]).unwrap().strip();
+    let q2 = p_left.project(&["v"]).unwrap().strip();
+    assert_eq!(q0, q1);
+    assert_eq!(q0, q2);
+
+    // join (sorted bags — join orders may differ)
+    let sort_rows = |r: Relation| {
+        let mut v = r.into_rows();
+        v.sort();
+        v
+    };
+    let j0 = sort_rows(ra::hash_join(&left, &right, "k", "k", ra::JoinType::Inner).unwrap());
+    let j1 = sort_rows(ta::hash_join(&t_left, &t_right, "k", "k").unwrap().strip());
+    let j2 = sort_rows(p_left.join(&p_right, "k", "k").unwrap().strip());
+    assert_eq!(j0, j1);
+    assert_eq!(j0, j2);
+}
+
+#[test]
+fn polygen_union_matches_value_distinct_union() {
+    let a = base_relation(3, 30);
+    let b = base_relation(4, 30);
+    let pa = PolyRelation::retrieve(&a, SourceId::new("A"));
+    let pb = PolyRelation::retrieve(&b, SourceId::new("B"));
+    let pu = pa.union(&pb).unwrap().strip();
+    let ru = ra::distinct(&ra::union_all(&a, &b).unwrap());
+    let mut x = pu.into_rows();
+    let mut y = ru.into_rows();
+    x.sort();
+    y.sort();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn tagged_distinct_matches_value_distinct() {
+    let a = base_relation(5, 50);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let t = TaggedRelation::from_relation(&a, dict);
+    let td = ta::distinct_merging(&t).strip();
+    let rd = ra::distinct(&a);
+    let mut x = td.into_rows();
+    let mut y = rd.into_rows();
+    x.sort();
+    y.sort();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn aggregation_consistent_between_layers() {
+    use relstore::algebra::{AggCall, AggFunc};
+    let a = base_relation(6, 80);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let t = TaggedRelation::from_relation(&a, dict);
+    let aggs = [
+        AggCall::count_star("n"),
+        AggCall::on(AggFunc::Sum, "v", "s"),
+        AggCall::on(AggFunc::Min, "v", "lo"),
+    ];
+    let plain = ra::aggregate(&a, &["k"], &aggs).unwrap();
+    let tagged = ta::aggregate(&t, &["k"], &aggs, &[]).unwrap().strip();
+    let mut x = plain.into_rows();
+    let mut y = tagged.into_rows();
+    x.sort();
+    y.sort();
+    assert_eq!(x, y);
+}
+
+#[test]
+fn csv_roundtrip_of_workload_data() {
+    let w = dq_workloads::generate_trading(&dq_workloads::TradingGenConfig {
+        clients: 20,
+        stocks: 10,
+        trades: 100,
+        ..Default::default()
+    })
+    .unwrap();
+    for rel in [w.clients.strip(), w.stocks.strip(), w.trades.strip()] {
+        let text = csv::to_csv(&rel);
+        let back = csv::from_csv(rel.schema(), &text).unwrap();
+        assert_eq!(back, rel);
+    }
+}
+
+#[test]
+fn er_mapping_accepts_generated_rows() {
+    // map Figure 3 to a database and load (stripped) generated rows
+    // through full constraint enforcement.
+    let er = dq_workloads::figure3_schema();
+    let mut db = er_model::to_database(&er).unwrap();
+    let w = dq_workloads::generate_trading(&dq_workloads::TradingGenConfig {
+        clients: 10,
+        stocks: 5,
+        trades: 0,
+        ..Default::default()
+    })
+    .unwrap();
+    for row in w.clients.strip().rows() {
+        db.insert("client", row.clone()).unwrap();
+    }
+    for row in w.stocks.strip().rows() {
+        db.insert("company_stock", row.clone()).unwrap();
+    }
+    assert_eq!(db.table("client").unwrap().len(), 10);
+    assert_eq!(db.table("company_stock").unwrap().len(), 5);
+    // PK enforcement still active after bulk load
+    let first = w.clients.strip().rows()[0].clone();
+    assert!(db.insert("client", first).is_err());
+}

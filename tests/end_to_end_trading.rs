@@ -1,0 +1,159 @@
+//! Integration: generated trading workload → quality queries → user
+//! profiles → administrator assessment, across five crates.
+
+use dq_admin::{completeness, interpretability, timeliness};
+use dq_core::{
+    CredibilityFromSource, MappingContext, ParameterMapper, QualityLevel, QualityStandard,
+    StandardOp, TimelinessFromAge, UserProfile,
+};
+use dq_query::{run, run_with, Planner, QueryCatalog, QueryResult};
+use dq_workloads::{generate_trading, TradingGenConfig};
+use relstore::Value;
+
+fn setup() -> (QueryCatalog, TradingGenConfig) {
+    let cfg = TradingGenConfig {
+        clients: 50,
+        stocks: 40,
+        trades: 500,
+        ..Default::default()
+    };
+    let w = generate_trading(&cfg).unwrap();
+    let mut catalog = QueryCatalog::new();
+    catalog.register("company_stock", w.stocks);
+    catalog.register("trade", w.trades);
+    catalog.register("client", w.clients);
+    (catalog, cfg)
+}
+
+#[test]
+fn quality_filter_is_monotone_in_strictness() {
+    let (catalog, _) = setup();
+    let count = |age: i64| -> usize {
+        let q = format!(
+            "SELECT ticker_symbol FROM company_stock WITH QUALITY (share_price@age <= {age})"
+        );
+        run(&catalog, &q).unwrap().relation().len()
+    };
+    let loose = count(60);
+    let mid = count(14);
+    let strict = count(1);
+    assert!(loose >= mid && mid >= strict);
+    assert_eq!(loose, 40); // every generated quote is at most 60 days old
+}
+
+#[test]
+fn pushdown_and_no_pushdown_agree_on_join_aggregates() {
+    let (catalog, _) = setup();
+    let q = "SELECT l.ticker_symbol, COUNT(*) AS n, SUM(quantity) AS net \
+             FROM trade JOIN company_stock ON ticker_symbol = ticker_symbol \
+             WHERE quantity > 0 \
+             WITH QUALITY (share_price@source <> 'manual entry') \
+             GROUP BY l.ticker_symbol ORDER BY l.ticker_symbol";
+    let a = run_with(&catalog, q, &Planner { pushdown: true }).unwrap();
+    let b = run_with(&catalog, q, &Planner { pushdown: false }).unwrap();
+    assert_eq!(a.relation().strip(), b.relation().strip());
+    assert!(!a.relation().is_empty());
+}
+
+#[test]
+fn profiles_partition_by_standards() {
+    let (catalog, _) = setup();
+    let quotes = catalog.get("company_stock").unwrap();
+    let total = quotes.len();
+
+    let strict = UserProfile::new("trader", "")
+        .with_standard(QualityStandard::new("share_price", "age", StandardOp::Le, 2i64))
+        .with_standard(QualityStandard::new(
+            "share_price",
+            "source",
+            StandardOp::Eq,
+            "NYSE feed",
+        ));
+    let loose = UserProfile::new("investor", "").with_standard(QualityStandard::new(
+        "share_price",
+        "age",
+        StandardOp::Le,
+        60i64,
+    ));
+    let s = strict.filter(quotes).unwrap();
+    let l = loose.filter(quotes).unwrap();
+    assert!(s.len() <= l.len());
+    assert_eq!(l.len(), total);
+    // every strict survivor satisfies both standards
+    for row in s.iter() {
+        let cell = &row[1];
+        assert!(cell.tag_value("age").as_int().unwrap() <= 2);
+        assert_eq!(cell.tag_value("source"), Value::text("NYSE feed"));
+    }
+}
+
+#[test]
+fn parameter_values_derive_from_tags() {
+    let (catalog, cfg) = setup();
+    let quotes = catalog.get("company_stock").unwrap();
+    let cred = CredibilityFromSource::new()
+        .rate("NYSE feed", 0.95)
+        .rate("consolidated tape", 0.8)
+        .rate("manual entry", 0.3);
+    let timely = TimelinessFromAge {
+        volatility_days: 30.0,
+        sensitivity: 1.0,
+    };
+    let ctx = MappingContext { today: cfg.today };
+    let mut evaluated = 0;
+    for row in quotes.iter() {
+        let cell = &row[1];
+        let c = cred.level(cell, &ctx).expect("every quote has a source");
+        let t = timely.score(cell, &ctx).expect("every quote has an age");
+        assert!((0.0..=1.0).contains(&t));
+        if cell.tag_value("source") == Value::text("manual entry") {
+            assert!(c <= QualityLevel::Low);
+        }
+        evaluated += 1;
+    }
+    assert_eq!(evaluated, quotes.len());
+}
+
+#[test]
+fn administrator_assessment_over_workload() {
+    let (catalog, cfg) = setup();
+    let quotes = catalog.get("company_stock").unwrap();
+    // completeness of the stripped data is total (generator emits no NULLs)
+    let c = completeness(&quotes.strip(), "share_price").unwrap();
+    assert_eq!(c.score, 1.0);
+    // timeliness is strictly between 0 and 1 for a 60-day age spread
+    let t = timeliness(quotes, "share_price", cfg.today, 30.0, 1.0).unwrap();
+    assert!(t.score > 0.0 && t.score < 1.0, "got {}", t.score);
+    // interpretability of reports requires the media tag — all tagged
+    let i = interpretability(quotes, "research_report", &["media", "analyst"]).unwrap();
+    assert_eq!(i.score, 1.0);
+}
+
+#[test]
+fn inspect_statement_shows_manufacturing_history() {
+    let (catalog, _) = setup();
+    let r = run(
+        &catalog,
+        "INSPECT FROM company_stock WHERE share_price@source = 'manual entry'",
+    )
+    .unwrap();
+    match r {
+        QueryResult::Inspection { report, rows } => {
+            assert!(!rows.is_empty());
+            assert!(report.contains("manual entry"));
+        }
+        other => panic!("expected inspection, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_carry_derived_provenance() {
+    let (catalog, _) = setup();
+    let q = "SELECT MIN(share_price) AS lo, MAX(share_price) AS hi FROM company_stock";
+    let out = run(&catalog, q).unwrap();
+    let rel = out.relation();
+    let lo = rel.cell(0, "lo").unwrap();
+    // derived cells carry merged sources and the oldest creation time
+    assert_ne!(lo.tag_value("source"), Value::Null);
+    assert_ne!(lo.tag_value("creation_time"), Value::Null);
+}

@@ -1,0 +1,134 @@
+//! Snapshot-style checks that every exhibit of the paper regenerates with
+//! the content the paper prints (see DESIGN.md §4 for the index).
+
+use dq_core::{spec, CandidateCatalog};
+use dq_workloads::{
+    figure3_schema, figure4_parameter_view, figure5_quality_view, render_appendix, run_survey,
+    table1, table2, SurveyConfig,
+};
+use er_model::{to_ascii, to_dot};
+use relstore::Value;
+
+#[test]
+fn table1_exact_cells() {
+    let t = table1();
+    assert_eq!(t.schema().names(), vec!["co_name", "address", "employees"]);
+    assert_eq!(t.rows().len(), 2);
+    assert_eq!(t.value_at(0, "co_name").unwrap(), &Value::text("Fruit Co"));
+    assert_eq!(t.value_at(0, "address").unwrap(), &Value::text("12 Jay St"));
+    assert_eq!(t.value_at(0, "employees").unwrap(), &Value::Int(4004));
+    assert_eq!(t.value_at(1, "co_name").unwrap(), &Value::text("Nut Co"));
+    assert_eq!(t.value_at(1, "address").unwrap(), &Value::text("62 Lois Av"));
+    assert_eq!(t.value_at(1, "employees").unwrap(), &Value::Int(700));
+}
+
+#[test]
+fn table2_exact_tags() {
+    // Every (cell, tag) pair the paper prints in Table 2.
+    let t = table2();
+    let expect = [
+        (0, "address", "creation_time", "1991-01-02"),
+        (0, "address", "source", "sales"),
+        (0, "employees", "creation_time", "1991-10-03"),
+        (0, "employees", "source", "Nexis"),
+        (1, "address", "creation_time", "1991-10-24"),
+        (1, "address", "source", "acct'g"),
+        (1, "employees", "creation_time", "1991-10-09"),
+        (1, "employees", "source", "estimate"),
+    ];
+    for (row, col, ind, val) in expect {
+        assert_eq!(
+            t.cell(row, col).unwrap().tag_value(ind).to_string(),
+            val,
+            "{row}/{col}/{ind}"
+        );
+    }
+    // the rendering reproduces the paper's cell format
+    let s = t.to_paper_table();
+    assert!(s.contains("62 Lois Av (1991-10-24, acct'g)"));
+    assert!(s.contains("700 (1991-10-09, estimate)"));
+}
+
+#[test]
+fn figure1_taxonomy_partition() {
+    // Figure 1: attributes = parameters (subjective) ∪ indicators
+    // (objective). The catalog realizes the partition.
+    use dq_core::AttributeKind;
+    let c = CandidateCatalog::appendix_a();
+    let p = c.by_kind(AttributeKind::Parameter).len();
+    let i = c.by_kind(AttributeKind::Indicator).len();
+    assert_eq!(p + i, c.len());
+    assert!(p > 0 && i > 0);
+}
+
+#[test]
+fn figure3_er_diagram() {
+    let er = figure3_schema();
+    er.validate().unwrap();
+    let dot = to_dot(&er, &[]);
+    // the three boxes/diamond of Figure 3
+    assert!(dot.contains("client [shape=box"));
+    assert!(dot.contains("company_stock [shape=box"));
+    assert!(dot.contains("trade [shape=diamond"));
+    // keys underlined; N/N cardinality labels
+    assert!(dot.contains("<u>account_number</u>"));
+    assert!(dot.contains("<u>ticker_symbol</u>"));
+    assert!(dot.matches("label=\"N\"").count() >= 2);
+    let ascii = to_ascii(&er, &[]);
+    for a in [
+        "account_number",
+        "name",
+        "address",
+        "telephone",
+        "share_price",
+        "research_report",
+        "date",
+        "quantity",
+        "trade_price",
+    ] {
+        assert!(ascii.contains(a), "figure 3 missing attribute {a}");
+    }
+}
+
+#[test]
+fn figure4_parameter_clouds() {
+    let pv = figure4_parameter_view();
+    let anns = spec::parameter_annotations(&pv);
+    let dot = to_dot(&pv.app.er, &anns);
+    // clouds are dashed ellipses in our rendering
+    assert!(dot.contains("style=dashed, label=\"timeliness\""));
+    assert!(dot.contains("style=dashed, label=\"credibility\""));
+    assert!(dot.contains("style=dashed, label=\"cost\""));
+    assert!(dot.contains("✓ inspection"));
+}
+
+#[test]
+fn figure5_indicator_rectangles() {
+    let qv = figure5_quality_view();
+    let anns = spec::indicator_annotations(&qv);
+    let dot = to_dot(&qv.app.er, &anns);
+    for ind in ["age", "analyst", "media", "collection_method", "company_name", "inspection"] {
+        assert!(
+            dot.contains(&format!("style=dotted, label=\"{ind}\"")),
+            "figure 5 missing indicator {ind}"
+        );
+    }
+}
+
+#[test]
+fn appendix_a_regenerates_ranked() {
+    let catalog = CandidateCatalog::appendix_a();
+    let ranked = run_survey(&catalog, &SurveyConfig::default());
+    assert!(ranked.len() >= 50, "appendix too small: {}", ranked.len());
+    // descending by citations
+    for w in ranked.windows(2) {
+        assert!(w[0].citations >= w[1].citations);
+    }
+    let txt = render_appendix(&ranked, 20);
+    assert!(txt.contains("APPENDIX A"));
+    // §4's universal dimensions near the top
+    let top: String = txt.lines().take(9).collect::<Vec<_>>().join("\n");
+    for u in ["completeness", "timeliness", "accuracy", "interpretability"] {
+        assert!(top.contains(u), "{u} should rank in the top 8:\n{txt}");
+    }
+}
