@@ -64,5 +64,31 @@ fn bench_constraint_count(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_selectivity, bench_constraint_count);
+/// Serial vs. parallel quality filtering over the same aged relation —
+/// the chunked-execution payoff on the paper's headline operation.
+fn bench_parallel(c: &mut Criterion) {
+    use relstore::par;
+    let rel = rel_with_ages();
+    let pred = Expr::col("employees@age")
+        .le(Expr::lit(700i64))
+        .and(Expr::col("employees@source").ne(Expr::lit("estimate")));
+    let mut g = c.benchmark_group("B2/parallel");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rel.len() as u64));
+    g.bench_function("select_serial", |b| {
+        b.iter(|| par::with_thread_count(1, || ta::select(&rel, &pred).unwrap()))
+    });
+    g.bench_function("select_parallel", |b| {
+        b.iter(|| ta::select(&rel, &pred).unwrap())
+    });
+    g.bench_function("mask_serial", |b| {
+        b.iter(|| par::with_thread_count(1, || ta::evaluate_mask(&rel, &pred).unwrap()))
+    });
+    g.bench_function("mask_parallel", |b| {
+        b.iter(|| ta::evaluate_mask(&rel, &pred).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_selectivity, bench_constraint_count, bench_parallel);
 criterion_main!(benches);

@@ -87,5 +87,25 @@ fn bench_execute(c: &mut Criterion) {
     assert_eq!(a.relation().strip(), b.relation().strip());
 }
 
-criterion_group!(benches, bench_parse_plan, bench_execute);
+/// Serial vs. parallel end-to-end execution of the quality join query —
+/// the chunked operators seen from the query layer.
+fn bench_parallel(c: &mut Criterion) {
+    use relstore::par;
+    let mut g = c.benchmark_group("B6/parallel");
+    g.sample_size(10);
+    let cat = catalog(10_000);
+    g.bench_function("join_serial", |b| {
+        b.iter(|| {
+            par::with_thread_count(1, || {
+                run_with(&cat, JOIN_Q, &Planner::default()).unwrap()
+            })
+        })
+    });
+    g.bench_function("join_parallel", |b| {
+        b.iter(|| run_with(&cat, JOIN_Q, &Planner::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse_plan, bench_execute, bench_parallel);
 criterion_main!(benches);

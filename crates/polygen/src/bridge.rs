@@ -64,14 +64,14 @@ pub fn to_tagged(
         let mut tagged_row = Vec::with_capacity(row.len());
         for cell in row {
             let mut qc = QualityCell::bare(cell.value.clone());
-            if let Some(src) = join_sources(&cell.originating) {
+            if let Some(src) = join_sources(cell.originating()) {
                 qc.set_tag(IndicatorValue::new("source", src));
             }
-            if let Some(mid) = join_sources(&cell.intermediate) {
+            if let Some(mid) = join_sources(cell.intermediate()) {
                 qc.set_tag(IndicatorValue::new(INTERMEDIATE_INDICATOR, mid));
             }
             if let Some(reg) = registry {
-                if let Some(cred) = reg.min_credibility(cell.originating.iter()) {
+                if let Some(cred) = reg.min_credibility(cell.originating().iter()) {
                     qc.set_tag(IndicatorValue::new("credibility", Value::Float(cred)));
                 }
             }

@@ -10,25 +10,35 @@
 //!   was matched against).
 //!
 //! Both sets only ever grow through the algebra — provenance is monotone.
+//!
+//! Source sets are stored behind `Arc`s with copy-on-write: in the common
+//! case — every cell of a retrieved relation originates from the same
+//! source, a whole join consults one key's sources — thousands of cells
+//! share a handful of allocations, and σ/π/⋈ propagate provenance by
+//! refcount bump.
 
 use crate::source::SourceId;
 use relstore::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A set of sources, ordered for deterministic display and comparison.
 pub type SourceSet = BTreeSet<SourceId>;
+
+fn empty_set() -> &'static Arc<SourceSet> {
+    static EMPTY: OnceLock<Arc<SourceSet>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(SourceSet::new()))
+}
 
 /// A value with polygen provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PolyCell {
     /// The application value.
     pub value: Value,
-    /// Where the value originated.
-    pub originating: SourceSet,
-    /// What was consulted to produce/select it.
-    pub intermediate: SourceSet,
+    originating: Arc<SourceSet>,
+    intermediate: Arc<SourceSet>,
 }
 
 impl PolyCell {
@@ -38,8 +48,18 @@ impl PolyCell {
         originating.insert(source);
         PolyCell {
             value: value.into(),
-            originating,
-            intermediate: SourceSet::new(),
+            originating: Arc::new(originating),
+            intermediate: Arc::clone(empty_set()),
+        }
+    }
+
+    /// A cell whose originating set is an existing shared `Arc` — bulk
+    /// retrieval points every cell of a relation at one allocation.
+    pub fn originated_shared(value: impl Into<Value>, sources: Arc<SourceSet>) -> Self {
+        PolyCell {
+            value: value.into(),
+            originating: sources,
+            intermediate: Arc::clone(empty_set()),
         }
     }
 
@@ -47,21 +67,71 @@ impl PolyCell {
     pub fn bare(value: impl Into<Value>) -> Self {
         PolyCell {
             value: value.into(),
-            originating: SourceSet::new(),
-            intermediate: SourceSet::new(),
+            originating: Arc::clone(empty_set()),
+            intermediate: Arc::clone(empty_set()),
         }
     }
 
-    /// Adds intermediate sources.
+    /// Where the value originated.
+    pub fn originating(&self) -> &SourceSet {
+        &self.originating
+    }
+
+    /// What was consulted to produce/select it.
+    pub fn intermediate(&self) -> &SourceSet {
+        &self.intermediate
+    }
+
+    /// Adds one originating source (un-shares first if needed).
+    pub fn add_originating(&mut self, source: SourceId) {
+        if !self.originating.contains(&source) {
+            Arc::make_mut(&mut self.originating).insert(source);
+        }
+    }
+
+    /// Adds one intermediate source (un-shares first if needed).
+    pub fn add_intermediate(&mut self, source: SourceId) {
+        if !self.intermediate.contains(&source) {
+            Arc::make_mut(&mut self.intermediate).insert(source);
+        }
+    }
+
+    /// Adds intermediate sources. No-op (and no un-share) when `sources`
+    /// is already a subset of the current intermediate set.
     pub fn consult(&mut self, sources: &SourceSet) {
-        self.intermediate.extend(sources.iter().cloned());
+        if sources.is_empty() || sources.is_subset(&self.intermediate) {
+            return;
+        }
+        Arc::make_mut(&mut self.intermediate).extend(sources.iter().cloned());
+    }
+
+    /// Like [`PolyCell::consult`] with a shared set: when the cell has no
+    /// intermediate sources yet, it adopts the `Arc` itself — the whole
+    /// relation ends up sharing one consulted-set allocation.
+    pub fn consult_shared(&mut self, sources: &Arc<SourceSet>) {
+        if sources.is_empty() {
+            return;
+        }
+        if self.intermediate.is_empty() {
+            self.intermediate = Arc::clone(sources);
+        } else {
+            self.consult(sources);
+        }
     }
 
     /// Merges another cell's provenance into this one (used when duplicate
-    /// tuples coalesce under union).
+    /// tuples coalesce under union). Pointer-equal sets skip the merge.
     pub fn absorb(&mut self, other: &PolyCell) {
-        self.originating.extend(other.originating.iter().cloned());
-        self.intermediate.extend(other.intermediate.iter().cloned());
+        if !Arc::ptr_eq(&self.originating, &other.originating)
+            && !other.originating.is_subset(&self.originating)
+        {
+            Arc::make_mut(&mut self.originating).extend(other.originating.iter().cloned());
+        }
+        if !Arc::ptr_eq(&self.intermediate, &other.intermediate)
+            && !other.intermediate.is_subset(&self.intermediate)
+        {
+            Arc::make_mut(&mut self.intermediate).extend(other.intermediate.iter().cloned());
+        }
     }
 
     /// All sources that touched this cell (originating ∪ intermediate).
@@ -70,6 +140,12 @@ impl PolyCell {
             .union(&self.intermediate)
             .cloned()
             .collect()
+    }
+
+    /// True iff both cells share the same physical originating set — the
+    /// zero-copy propagation tests assert on this.
+    pub fn shares_originating_with(&self, other: &PolyCell) -> bool {
+        Arc::ptr_eq(&self.originating, &other.originating)
     }
 }
 
@@ -98,8 +174,8 @@ mod tests {
     #[test]
     fn originated_has_single_source() {
         let c = PolyCell::originated(42i64, SourceId::new("db1"));
-        assert_eq!(c.originating.len(), 1);
-        assert!(c.intermediate.is_empty());
+        assert_eq!(c.originating().len(), 1);
+        assert!(c.intermediate().is_empty());
         assert_eq!(c.value, Value::Int(42));
     }
 
@@ -110,24 +186,24 @@ mod tests {
         consulted.insert(SourceId::new("b"));
         consulted.insert(SourceId::new("a")); // overlap fine
         c.consult(&consulted);
-        assert_eq!(c.originating.len(), 1);
-        assert_eq!(c.intermediate.len(), 2);
+        assert_eq!(c.originating().len(), 1);
+        assert_eq!(c.intermediate().len(), 2);
     }
 
     #[test]
     fn absorb_merges_both_sets() {
         let mut a = PolyCell::originated(1i64, SourceId::new("a"));
         let mut b = PolyCell::originated(1i64, SourceId::new("b"));
-        b.intermediate.insert(SourceId::new("c"));
+        b.add_intermediate(SourceId::new("c"));
         a.absorb(&b);
-        assert_eq!(a.originating.len(), 2);
-        assert_eq!(a.intermediate.len(), 1);
+        assert_eq!(a.originating().len(), 2);
+        assert_eq!(a.intermediate().len(), 1);
     }
 
     #[test]
     fn lineage_is_union() {
         let mut c = PolyCell::originated(1i64, SourceId::new("a"));
-        c.intermediate.insert(SourceId::new("b"));
+        c.add_intermediate(SourceId::new("b"));
         let l = c.lineage();
         assert!(l.contains(&SourceId::new("a")));
         assert!(l.contains(&SourceId::new("b")));
@@ -137,8 +213,38 @@ mod tests {
     #[test]
     fn display_format() {
         let mut c = PolyCell::originated(7i64, SourceId::new("a"));
-        c.intermediate.insert(SourceId::new("b"));
+        c.add_intermediate(SourceId::new("b"));
         assert_eq!(c.to_string(), "7 <a; b>");
         assert_eq!(PolyCell::bare(7i64).to_string(), "7");
+    }
+
+    #[test]
+    fn shared_origins_are_one_allocation() {
+        let shared = Arc::new(SourceSet::from([SourceId::new("a")]));
+        let x = PolyCell::originated_shared(1i64, Arc::clone(&shared));
+        let y = PolyCell::originated_shared(2i64, Arc::clone(&shared));
+        assert!(x.shares_originating_with(&y));
+        // clones still share
+        assert!(x.clone().shares_originating_with(&y));
+        // mutation un-shares only the mutated cell
+        let mut z = x.clone();
+        z.add_originating(SourceId::new("b"));
+        assert!(!z.shares_originating_with(&x));
+        assert_eq!(x.originating().len(), 1);
+        assert_eq!(z.originating().len(), 2);
+    }
+
+    #[test]
+    fn consult_shared_adopts_arc() {
+        let consulted = Arc::new(SourceSet::from([SourceId::new("a"), SourceId::new("b")]));
+        let mut c = PolyCell::bare(1i64);
+        c.consult_shared(&consulted);
+        assert_eq!(c.intermediate().len(), 2);
+        let mut d = PolyCell::bare(2i64);
+        d.consult_shared(&consulted);
+        assert!(Arc::ptr_eq(&c.intermediate, &d.intermediate));
+        // subset consult is a no-op that keeps sharing
+        c.consult(&SourceSet::from([SourceId::new("a")]));
+        assert!(Arc::ptr_eq(&c.intermediate, &d.intermediate));
     }
 }

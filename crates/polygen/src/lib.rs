@@ -16,7 +16,7 @@
 //! let local = Relation::new(schema, vec![vec![Value::text("FRT")]]).unwrap();
 //! let poly = PolyRelation::retrieve(&local, SourceId::new("NYSE"));
 //! let filtered = poly.restrict(&Expr::col("ticker").eq(Expr::lit("FRT"))).unwrap();
-//! assert!(filtered.cell(0, "ticker").unwrap().intermediate.contains(&SourceId::new("NYSE")));
+//! assert!(filtered.cell(0, "ticker").unwrap().intermediate().contains(&SourceId::new("NYSE")));
 //! ```
 
 #![warn(missing_docs)]
@@ -59,7 +59,7 @@ mod proptests {
             let out = rel.restrict(&Expr::col("k").lt(Expr::lit(c))).unwrap();
             for row in out.iter() {
                 for cell in row {
-                    prop_assert!(cell.originating.contains(&SourceId::new("A")));
+                    prop_assert!(cell.originating().contains(&SourceId::new("A")));
                 }
             }
         }
@@ -97,8 +97,8 @@ mod proptests {
             for row in j.iter() {
                 for cell in row {
                     if !j.is_empty() {
-                        prop_assert!(cell.intermediate.contains(&SourceId::new("A")));
-                        prop_assert!(cell.intermediate.contains(&SourceId::new("B")));
+                        prop_assert!(cell.intermediate().contains(&SourceId::new("A")));
+                        prop_assert!(cell.intermediate().contains(&SourceId::new("B")));
                     }
                 }
             }

@@ -41,13 +41,17 @@ impl PolyRelation {
     }
 
     /// **retrieve** — lifts a local relation into the polygen algebra with
-    /// every cell originating from `source`.
+    /// every cell originating from `source`. All cells share **one**
+    /// originating-set allocation.
     pub fn retrieve(rel: &Relation, source: SourceId) -> Self {
+        let shared = std::sync::Arc::new(SourceSet::from([source]));
         let rows = rel
             .iter()
             .map(|r| {
                 r.iter()
-                    .map(|v| PolyCell::originated(v.clone(), source.clone()))
+                    .map(|v| {
+                        PolyCell::originated_shared(v.clone(), std::sync::Arc::clone(&shared))
+                    })
                     .collect()
             })
             .collect();
@@ -119,8 +123,8 @@ impl PolyRelation {
         let mut out = SourceSet::new();
         for row in &self.rows {
             for cell in row {
-                out.extend(cell.originating.iter().cloned());
-                out.extend(cell.intermediate.iter().cloned());
+                out.extend(cell.originating().iter().cloned());
+                out.extend(cell.intermediate().iter().cloned());
             }
         }
         out
@@ -140,11 +144,14 @@ impl PolyRelation {
             if predicate.eval_predicate(&self.schema, &values)? {
                 let mut consulted = SourceSet::new();
                 for &i in &examined {
-                    consulted.extend(row[i].originating.iter().cloned());
+                    consulted.extend(row[i].originating().iter().cloned());
                 }
+                // One shared consulted-set per tuple: cells with no prior
+                // intermediate sources adopt the Arc instead of copying.
+                let consulted = std::sync::Arc::new(consulted);
                 let mut out = row.clone();
                 for cell in &mut out {
-                    cell.consult(&consulted);
+                    cell.consult_shared(&consulted);
                 }
                 rows.push(out);
             }
@@ -213,12 +220,13 @@ impl PolyRelation {
             if let Some(matches) = table.get(&lr[li].value) {
                 for rr in matches {
                     let mut consulted = SourceSet::new();
-                    consulted.extend(lr[li].originating.iter().cloned());
-                    consulted.extend(rr[ri].originating.iter().cloned());
+                    consulted.extend(lr[li].originating().iter().cloned());
+                    consulted.extend(rr[ri].originating().iter().cloned());
+                    let consulted = std::sync::Arc::new(consulted);
                     let mut row = lr.clone();
                     row.extend(rr.iter().cloned());
                     for cell in &mut row {
-                        cell.consult(&consulted);
+                        cell.consult_shared(&consulted);
                     }
                     rows.push(row);
                 }
@@ -271,7 +279,7 @@ impl PolyRelation {
         let mut other_values: std::collections::HashSet<Row> = std::collections::HashSet::new();
         for row in &other.rows {
             for (i, cell) in row.iter().enumerate() {
-                col_sources[i].extend(cell.originating.iter().cloned());
+                col_sources[i].extend(cell.originating().iter().cloned());
             }
             other_values.insert(row.iter().map(|c| c.value.clone()).collect());
         }
@@ -366,8 +374,8 @@ mod tests {
         let s = stocks();
         for row in s.iter() {
             for cell in row {
-                assert!(cell.originating.contains(&src("NYSE")));
-                assert!(cell.intermediate.is_empty());
+                assert!(cell.originating().contains(&src("NYSE")));
+                assert!(cell.intermediate().is_empty());
             }
         }
     }
@@ -379,7 +387,7 @@ mod tests {
         assert_eq!(r.len(), 1);
         // every retained cell consulted the price cell's source
         for cell in &r.rows()[0] {
-            assert!(cell.intermediate.contains(&src("NYSE")));
+            assert!(cell.intermediate().contains(&src("NYSE")));
         }
     }
 
@@ -387,7 +395,7 @@ mod tests {
     fn project_preserves_provenance() {
         let p = stocks().project(&["price"]).unwrap();
         assert_eq!(p.schema().names(), vec!["price"]);
-        assert!(p.rows()[0][0].originating.contains(&src("NYSE")));
+        assert!(p.rows()[0][0].originating().contains(&src("NYSE")));
     }
 
     #[test]
@@ -395,13 +403,13 @@ mod tests {
         let j = stocks().join(&reports(), "ticker", "ticker").unwrap();
         assert_eq!(j.len(), 1); // only FRT matches
         for cell in &j.rows()[0] {
-            assert!(cell.intermediate.contains(&src("NYSE")), "{cell}");
-            assert!(cell.intermediate.contains(&src("WSJ")), "{cell}");
+            assert!(cell.intermediate().contains(&src("NYSE")), "{cell}");
+            assert!(cell.intermediate().contains(&src("WSJ")), "{cell}");
         }
         // originating sources stay with their side
         let rating = j.cell(0, "rating").unwrap();
-        assert!(rating.originating.contains(&src("WSJ")));
-        assert!(!rating.originating.contains(&src("NYSE")));
+        assert!(rating.originating().contains(&src("WSJ")));
+        assert!(!rating.originating().contains(&src("NYSE")));
     }
 
     #[test]
@@ -418,8 +426,8 @@ mod tests {
             .iter()
             .find(|r| r[0].value == Value::Int(1))
             .unwrap();
-        assert!(one[0].originating.contains(&src("A")));
-        assert!(one[0].originating.contains(&src("B")));
+        assert!(one[0].originating().contains(&src("A")));
+        assert!(one[0].originating().contains(&src("B")));
     }
 
     #[test]
@@ -433,7 +441,7 @@ mod tests {
         let d = a.difference(&b).unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d.rows()[0][0].value, Value::Int(2));
-        assert!(d.rows()[0][0].intermediate.contains(&src("B")));
+        assert!(d.rows()[0][0].intermediate().contains(&src("B")));
     }
 
     #[test]

@@ -212,7 +212,7 @@ fn project_mixed(rel: &TaggedRelation, columns: &[(String, String)]) -> DbResult
     enum Src {
         Plain(usize),
         /// Meta-tag paths are supported: `price@source@credibility`.
-        Pseudo(usize, Vec<String>),
+        Pseudo(usize, Vec<tagstore::Symbol>),
     }
     let mut srcs = Vec::with_capacity(columns.len());
     let mut defs = Vec::with_capacity(columns.len());
@@ -227,7 +227,8 @@ fn project_mixed(rel: &TaggedRelation, columns: &[(String, String)]) -> DbResult
             }
             Some((col, ind_path)) => {
                 let i = rel.schema().resolve(col)?;
-                let path: Vec<String> = ind_path.split('@').map(str::to_owned).collect();
+                let path: Vec<tagstore::Symbol> =
+                    ind_path.split('@').map(tagstore::Symbol::intern).collect();
                 let leaf = path.last().expect("non-empty path");
                 let dtype = rel
                     .dictionary()
@@ -240,20 +241,30 @@ fn project_mixed(rel: &TaggedRelation, columns: &[(String, String)]) -> DbResult
         }
     }
     let schema = Schema::new(defs)?;
-    let rows = rel
-        .iter()
-        .map(|row| {
-            srcs.iter()
-                .map(|s| match s {
-                    Src::Plain(i) => row[*i].clone(),
-                    Src::Pseudo(i, path) => {
-                        let segs: Vec<&str> = path.iter().map(String::as_str).collect();
-                        QualityCell::bare(row[*i].tag_value_path(&segs))
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let project_row = |row: &tagstore::TaggedRow| -> tagstore::TaggedRow {
+        srcs.iter()
+            .map(|s| match s {
+                Src::Plain(i) => row[*i].clone(),
+                Src::Pseudo(i, path) => QualityCell::bare(
+                    row[*i]
+                        .tag_path_syms(path)
+                        .map(|t| t.value.clone())
+                        .unwrap_or(relstore::Value::Null),
+                ),
+            })
+            .collect()
+    };
+    let rows = match relstore::par::plan(rel.len()) {
+        Some(threads) => {
+            relstore::par::run_chunked(rel.rows(), threads, |_, chunk| {
+                chunk.iter().map(project_row).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+        None => rel.iter().map(project_row).collect(),
+    };
     TaggedRelation::new(schema, rel.dictionary().clone(), rows)
 }
 

@@ -6,6 +6,7 @@
 
 use crate::error::{DbError, DbResult};
 use crate::expr::Expr;
+use crate::par;
 use crate::relation::{Relation, Row};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -82,6 +83,12 @@ pub fn nested_loop_join(
 }
 
 /// Equi-join via a hash table built on the right input.
+///
+/// Both phases run in parallel chunks on large inputs (see
+/// [`crate::par`]): the build merges per-chunk partial tables in chunk
+/// order — reproducing the serial per-key insertion order exactly — and
+/// the probe concatenates per-chunk outputs in chunk order, so the
+/// result is identical to the serial join for every thread count.
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -93,36 +100,65 @@ pub fn hash_join(
     let ri = right.schema().resolve(right_key)?;
     let schema = left.schema().join(right.schema(), "l", "r")?;
 
-    let mut table: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(right.len());
-    for rr in right.iter() {
-        if !rr[ri].is_null() {
-            table.entry(&rr[ri]).or_default().push(rr);
-        }
-    }
-    let mut rows = Vec::new();
-    for lr in left.iter() {
-        let matches = if lr[li].is_null() {
-            None
-        } else {
-            table.get(&lr[li])
-        };
-        match matches {
-            Some(rs) => {
-                for rr in rs {
-                    let mut combined = lr.clone();
-                    combined.extend(rr.iter().cloned());
-                    rows.push(combined);
-                }
-            }
-            None => {
-                if join_type == JoinType::LeftOuter {
-                    let mut combined = lr.clone();
-                    combined.extend(std::iter::repeat_n(Value::Null, right.schema().arity()));
-                    rows.push(combined);
-                }
+    fn build_chunk(chunk: &[Row], ri: usize) -> HashMap<&Value, Vec<&Row>> {
+        let mut t: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(chunk.len());
+        for rr in chunk {
+            if !rr[ri].is_null() {
+                t.entry(&rr[ri]).or_default().push(rr);
             }
         }
+        t
     }
+    let table: HashMap<&Value, Vec<&Row>> = match par::plan(right.len()) {
+        Some(threads) => {
+            let mut merged: HashMap<&Value, Vec<&Row>> = HashMap::with_capacity(right.len());
+            let partials = par::run_ranges(right.len(), threads, |_, r| {
+                build_chunk(&right.rows()[r], ri)
+            });
+            for partial in partials {
+                for (k, mut v) in partial {
+                    merged.entry(k).or_default().append(&mut v);
+                }
+            }
+            merged
+        }
+        None => build_chunk(right.rows(), ri),
+    };
+
+    let probe_chunk = |chunk: &[Row]| {
+        let mut out = Vec::new();
+        for lr in chunk {
+            let matches = if lr[li].is_null() {
+                None
+            } else {
+                table.get(&lr[li])
+            };
+            match matches {
+                Some(rs) => {
+                    for rr in rs {
+                        let mut combined = lr.clone();
+                        combined.extend(rr.iter().cloned());
+                        out.push(combined);
+                    }
+                }
+                None => {
+                    if join_type == JoinType::LeftOuter {
+                        let mut combined = lr.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right.schema().arity()));
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        out
+    };
+    let rows: Vec<Row> = match par::plan(left.len()) {
+        Some(threads) => par::run_chunked(left.rows(), threads, |_, c| probe_chunk(c))
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => probe_chunk(left.rows()),
+    };
     Ok(Relation::from_parts_unchecked(schema, rows))
 }
 

@@ -19,32 +19,58 @@ pub use sort::{sort_by, SortKey, SortOrder};
 
 use crate::error::DbResult;
 use crate::expr::Expr;
+use crate::par;
 use crate::relation::{Relation, Row};
 use crate::schema::{ColumnDef, Schema};
 
 /// σ — keeps rows whose predicate evaluates to `true`.
+///
+/// The predicate is compiled once; rows are filtered in parallel chunks
+/// when the input is large (see [`crate::par`]). Output order is the
+/// input order regardless of thread count.
 pub fn select(input: &Relation, predicate: &Expr) -> DbResult<Relation> {
     let schema = input.schema().clone();
-    let mut rows = Vec::new();
-    for row in input.iter() {
-        if predicate.eval_predicate(&schema, row)? {
-            rows.push(row.clone());
+    let compiled = predicate.compile(&schema)?;
+    let filter_chunk = |chunk: &[Row]| -> DbResult<Vec<Row>> {
+        let mut out = Vec::new();
+        for row in chunk {
+            if compiled.eval_predicate(row.as_slice())? {
+                out.push(row.clone());
+            }
         }
-    }
+        Ok(out)
+    };
+    let rows = match par::plan(input.len()) {
+        Some(threads) => par::merge_results(par::run_chunked(input.rows(), threads, |_, c| {
+            filter_chunk(c)
+        }))?,
+        None => filter_chunk(input.rows())?,
+    };
     Ok(Relation::from_parts_unchecked(schema, rows))
 }
 
 /// π — projects onto the named columns (bag semantics, duplicates kept).
+///
+/// Runs in parallel chunks on large inputs; output order matches input.
 pub fn project(input: &Relation, columns: &[&str]) -> DbResult<Relation> {
     let indices: Vec<usize> = columns
         .iter()
         .map(|c| input.schema().resolve(c))
         .collect::<DbResult<_>>()?;
     let schema = input.schema().project(&indices)?;
-    let rows = input
-        .iter()
-        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-        .collect();
+    let project_chunk = |chunk: &[Row]| -> Vec<Row> {
+        chunk
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect()
+    };
+    let rows = match par::plan(input.len()) {
+        Some(threads) => par::run_chunked(input.rows(), threads, |_, c| project_chunk(c))
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => project_chunk(input.rows()),
+    };
     Ok(Relation::from_parts_unchecked(schema, rows))
 }
 
@@ -52,6 +78,10 @@ pub fn project(input: &Relation, columns: &[&str]) -> DbResult<Relation> {
 /// (`SELECT expr AS name, ...`).
 pub fn extend(input: &Relation, exprs: &[(&str, Expr)]) -> DbResult<Relation> {
     let in_schema = input.schema().clone();
+    let compiled: Vec<_> = exprs
+        .iter()
+        .map(|(_, e)| e.compile(&in_schema))
+        .collect::<DbResult<_>>()?;
     let mut rows: Vec<Row> = Vec::with_capacity(input.len());
     let mut out_cols: Vec<ColumnDef> = Vec::with_capacity(exprs.len());
     // Infer each output column's type from the first non-null result; this
@@ -59,8 +89,8 @@ pub fn extend(input: &Relation, exprs: &[(&str, Expr)]) -> DbResult<Relation> {
     let mut inferred: Vec<Option<crate::value::DataType>> = vec![None; exprs.len()];
     for row in input.iter() {
         let mut out = Vec::with_capacity(exprs.len());
-        for (i, (_, e)) in exprs.iter().enumerate() {
-            let v = e.eval(&in_schema, row)?;
+        for (i, e) in compiled.iter().enumerate() {
+            let v = e.eval_value(row.as_slice())?;
             if inferred[i].is_none() {
                 inferred[i] = v.data_type();
             }

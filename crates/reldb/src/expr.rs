@@ -11,6 +11,7 @@ use crate::relation::Row;
 use crate::schema::Schema;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Binary operators.
@@ -249,111 +250,247 @@ impl Expr {
         }
     }
 
-    /// Evaluates against a row under a schema.
-    pub fn eval(&self, schema: &Schema, row: &Row) -> DbResult<Value> {
-        match self {
-            Expr::Lit(v) => Ok(v.clone()),
-            Expr::Col(name) => {
-                let idx = schema.resolve(name)?;
-                Ok(row[idx].clone())
+    /// Compiles against a schema, resolving every column reference to its
+    /// position once. Operators call this once per relation and evaluate
+    /// the result per row.
+    pub fn compile(&self, schema: &Schema) -> DbResult<CompiledExpr> {
+        self.compile_with(&mut |name| schema.resolve(name))
+    }
+
+    /// Like [`Expr::compile`] with a caller-supplied column resolver —
+    /// the tagged layer uses this to map `col@indicator` pseudo-columns
+    /// onto extraction-plan slots beyond the base schema.
+    pub fn compile_with(
+        &self,
+        resolve: &mut dyn FnMut(&str) -> DbResult<usize>,
+    ) -> DbResult<CompiledExpr> {
+        Ok(match self {
+            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Col(name) => CompiledExpr::Col(resolve(name)?),
+            Expr::Bin(l, op, r) => CompiledExpr::Bin(
+                Box::new(l.compile_with(resolve)?),
+                *op,
+                Box::new(r.compile_with(resolve)?),
+            ),
+            Expr::Un(op, e) => CompiledExpr::Un(*op, Box::new(e.compile_with(resolve)?)),
+            Expr::IsNull(e) => CompiledExpr::IsNull(Box::new(e.compile_with(resolve)?)),
+            Expr::IsNotNull(e) => CompiledExpr::IsNotNull(Box::new(e.compile_with(resolve)?)),
+            Expr::Between(e, lo, hi) => CompiledExpr::Between(
+                Box::new(e.compile_with(resolve)?),
+                Box::new(lo.compile_with(resolve)?),
+                Box::new(hi.compile_with(resolve)?),
+            ),
+            Expr::InList(e, list) => CompiledExpr::InList(
+                Box::new(e.compile_with(resolve)?),
+                list.iter()
+                    .map(|i| i.compile_with(resolve))
+                    .collect::<DbResult<_>>()?,
+            ),
+            Expr::Like(e, pattern) => {
+                CompiledExpr::Like(Box::new(e.compile_with(resolve)?), pattern.clone())
             }
-            Expr::Bin(l, op, r) => {
-                let lv = l.eval(schema, row)?;
+            Expr::Call(f, args) => CompiledExpr::Call(
+                *f,
+                args.iter()
+                    .map(|a| a.compile_with(resolve))
+                    .collect::<DbResult<_>>()?,
+            ),
+            Expr::Case(arms, els) => CompiledExpr::Case(
+                arms.iter()
+                    .map(|(c, v)| Ok((c.compile_with(resolve)?, v.compile_with(resolve)?)))
+                    .collect::<DbResult<_>>()?,
+                match els {
+                    Some(e) => Some(Box::new(e.compile_with(resolve)?)),
+                    None => None,
+                },
+            ),
+        })
+    }
+
+    /// Evaluates against a row under a schema. One-shot convenience:
+    /// compiles and evaluates. Loops should [`Expr::compile`] once and
+    /// evaluate the [`CompiledExpr`] per row instead.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> DbResult<Value> {
+        Ok(self.compile(schema)?.eval(row)?.into_owned())
+    }
+
+    /// Evaluates as a filter predicate: `true` keeps the row, `false`
+    /// or `NULL` drops it, non-boolean results are errors.
+    pub fn eval_predicate(&self, schema: &Schema, row: &Row) -> DbResult<bool> {
+        self.compile(schema)?.eval_predicate(row)
+    }
+}
+
+/// Positional access to the values an expression reads. `Row` evaluates
+/// directly; the tagged layer implements this over `&[QualityCell]` so
+/// quality predicates run without materializing an owned row per tuple.
+pub trait ValueSource {
+    /// The value at position `idx`. Positions are whatever the resolver
+    /// passed to [`Expr::compile_with`] handed out.
+    fn value_at(&self, idx: usize) -> &Value;
+}
+
+impl ValueSource for [Value] {
+    #[inline]
+    fn value_at(&self, idx: usize) -> &Value {
+        &self[idx]
+    }
+}
+
+impl ValueSource for Vec<Value> {
+    #[inline]
+    fn value_at(&self, idx: usize) -> &Value {
+        &self[idx]
+    }
+}
+
+/// An [`Expr`] with every column reference resolved to a position.
+///
+/// Evaluation borrows literals and source values (`Cow::Borrowed`) and
+/// only allocates when an operator actually computes something, so a
+/// predicate like `employees > 25000` evaluates a 100k-row scan without
+/// a single per-row clone of the row's cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// A literal value.
+    Lit(Value),
+    /// Column reference, pre-resolved to a source position.
+    Col(usize),
+    /// Binary operation.
+    Bin(Box<CompiledExpr>, BinOp, Box<CompiledExpr>),
+    /// Unary operation.
+    Un(UnOp, Box<CompiledExpr>),
+    /// `expr IS NULL`.
+    IsNull(Box<CompiledExpr>),
+    /// `expr IS NOT NULL`.
+    IsNotNull(Box<CompiledExpr>),
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between(Box<CompiledExpr>, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// `expr IN (v1, v2, ...)`.
+    InList(Box<CompiledExpr>, Vec<CompiledExpr>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like(Box<CompiledExpr>, String),
+    /// Function call.
+    Call(Func, Vec<CompiledExpr>),
+    /// `CASE WHEN c1 THEN v1 ... ELSE e END`.
+    Case(Vec<(CompiledExpr, CompiledExpr)>, Option<Box<CompiledExpr>>),
+}
+
+impl CompiledExpr {
+    /// Evaluates against a value source, borrowing wherever possible.
+    pub fn eval<'a, S: ValueSource + ?Sized>(&'a self, src: &'a S) -> DbResult<Cow<'a, Value>> {
+        match self {
+            CompiledExpr::Lit(v) => Ok(Cow::Borrowed(v)),
+            CompiledExpr::Col(idx) => Ok(Cow::Borrowed(src.value_at(*idx))),
+            CompiledExpr::Bin(l, op, r) => {
+                let lv = l.eval(src)?;
                 // Short-circuit 3VL for AND/OR before evaluating rhs is not
                 // done: rhs may still decide the result when lhs is NULL.
-                let rv = r.eval(schema, row)?;
-                eval_binop(&lv, *op, &rv)
+                let rv = r.eval(src)?;
+                eval_binop(&lv, *op, &rv).map(Cow::Owned)
             }
-            Expr::Un(op, e) => {
-                let v = e.eval(schema, row)?;
-                match op {
-                    UnOp::Not => match v {
-                        Value::Null => Ok(Value::Null),
-                        Value::Bool(b) => Ok(Value::Bool(!b)),
-                        other => Err(DbError::TypeMismatch {
-                            expected: "Bool".into(),
-                            found: other.type_name().into(),
-                        }),
+            CompiledExpr::Un(op, e) => {
+                let v = e.eval(src)?;
+                let out = match op {
+                    UnOp::Not => match v.as_ref() {
+                        Value::Null => Value::Null,
+                        Value::Bool(b) => Value::Bool(!b),
+                        other => {
+                            return Err(DbError::TypeMismatch {
+                                expected: "Bool".into(),
+                                found: other.type_name().into(),
+                            })
+                        }
                     },
-                    UnOp::Neg => match v {
-                        Value::Null => Ok(Value::Null),
-                        Value::Int(i) => Ok(Value::Int(-i)),
-                        Value::Float(f) => Ok(Value::Float(-f)),
-                        other => Err(DbError::TypeMismatch {
-                            expected: "numeric".into(),
-                            found: other.type_name().into(),
-                        }),
+                    UnOp::Neg => match v.as_ref() {
+                        Value::Null => Value::Null,
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(DbError::TypeMismatch {
+                                expected: "numeric".into(),
+                                found: other.type_name().into(),
+                            })
+                        }
                     },
-                }
+                };
+                Ok(Cow::Owned(out))
             }
-            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
-            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval(schema, row)?.is_null())),
-            Expr::Between(e, lo, hi) => {
-                let v = e.eval(schema, row)?;
-                let lov = lo.eval(schema, row)?;
-                let hiv = hi.eval(schema, row)?;
+            CompiledExpr::IsNull(e) => Ok(Cow::Owned(Value::Bool(e.eval(src)?.is_null()))),
+            CompiledExpr::IsNotNull(e) => Ok(Cow::Owned(Value::Bool(!e.eval(src)?.is_null()))),
+            CompiledExpr::Between(e, lo, hi) => {
+                let v = e.eval(src)?;
+                let lov = lo.eval(src)?;
+                let hiv = hi.eval(src)?;
                 if v.is_null() || lov.is_null() || hiv.is_null() {
-                    return Ok(Value::Null);
+                    return Ok(Cow::Owned(Value::Null));
                 }
-                Ok(Value::Bool(v >= lov && v <= hiv))
+                Ok(Cow::Owned(Value::Bool(
+                    v.as_ref() >= lov.as_ref() && v.as_ref() <= hiv.as_ref(),
+                )))
             }
-            Expr::InList(e, list) => {
-                let v = e.eval(schema, row)?;
+            CompiledExpr::InList(e, list) => {
+                let v = e.eval(src)?;
                 if v.is_null() {
-                    return Ok(Value::Null);
+                    return Ok(Cow::Owned(Value::Null));
                 }
                 let mut saw_null = false;
                 for item in list {
-                    let iv = item.eval(schema, row)?;
+                    let iv = item.eval(src)?;
                     if iv.is_null() {
                         saw_null = true;
-                    } else if iv == v {
-                        return Ok(Value::Bool(true));
+                    } else if iv.as_ref() == v.as_ref() {
+                        return Ok(Cow::Owned(Value::Bool(true)));
                     }
                 }
-                if saw_null {
-                    Ok(Value::Null)
+                Ok(Cow::Owned(if saw_null {
+                    Value::Null
                 } else {
-                    Ok(Value::Bool(false))
-                }
+                    Value::Bool(false)
+                }))
             }
-            Expr::Like(e, pattern) => {
-                let v = e.eval(schema, row)?;
-                match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern))),
+            CompiledExpr::Like(e, pattern) => {
+                let v = e.eval(src)?;
+                match v.as_ref() {
+                    Value::Null => Ok(Cow::Owned(Value::Null)),
+                    Value::Text(s) => Ok(Cow::Owned(Value::Bool(like_match(s, pattern)))),
                     other => Err(DbError::TypeMismatch {
                         expected: "Text".into(),
                         found: other.type_name().into(),
                     }),
                 }
             }
-            Expr::Call(f, args) => {
+            CompiledExpr::Call(f, args) => {
                 let vals: Vec<Value> = args
                     .iter()
-                    .map(|a| a.eval(schema, row))
+                    .map(|a| a.eval(src).map(Cow::into_owned))
                     .collect::<DbResult<_>>()?;
-                eval_func(*f, &vals)
+                eval_func(*f, &vals).map(Cow::Owned)
             }
-            Expr::Case(arms, els) => {
+            CompiledExpr::Case(arms, els) => {
                 for (cond, out) in arms {
-                    if let Value::Bool(true) = cond.eval(schema, row)? {
-                        return out.eval(schema, row);
+                    if let Value::Bool(true) = cond.eval(src)?.as_ref() {
+                        return out.eval(src);
                     }
                 }
                 match els {
-                    Some(e) => e.eval(schema, row),
-                    None => Ok(Value::Null),
+                    Some(e) => e.eval(src),
+                    None => Ok(Cow::Owned(Value::Null)),
                 }
             }
         }
     }
 
+    /// Evaluates to an owned value.
+    pub fn eval_value<S: ValueSource + ?Sized>(&self, src: &S) -> DbResult<Value> {
+        Ok(self.eval(src)?.into_owned())
+    }
+
     /// Evaluates as a filter predicate: `true` keeps the row, `false`
     /// or `NULL` drops it, non-boolean results are errors.
-    pub fn eval_predicate(&self, schema: &Schema, row: &Row) -> DbResult<bool> {
-        match self.eval(schema, row)? {
-            Value::Bool(b) => Ok(b),
+    pub fn eval_predicate<S: ValueSource + ?Sized>(&self, src: &S) -> DbResult<bool> {
+        match self.eval(src)?.as_ref() {
+            Value::Bool(b) => Ok(*b),
             Value::Null => Ok(false),
             other => Err(DbError::TypeMismatch {
                 expected: "Bool predicate".into(),

@@ -28,6 +28,7 @@ pub mod date;
 pub mod error;
 pub mod expr;
 pub mod index;
+pub mod par;
 pub mod query;
 pub mod relation;
 pub mod schema;
@@ -215,6 +216,50 @@ mod proptests {
             let text = crate::csv::to_csv(&rel);
             let back = crate::csv::from_csv(rel.schema(), &text).unwrap();
             prop_assert_eq!(back, rel);
+        }
+
+        /// Parallel execution is invisible: σ, π, and ⋈ produce identical
+        /// results — same rows, same order — at thread counts 1, 2, and 8
+        /// (the override forces the chunked path even on small inputs).
+        #[test]
+        fn parallel_equals_serial(l in arb_int_relation(), r in arb_int_relation(), c in 0i64..50) {
+            let p = Expr::col("k").lt(Expr::lit(c));
+            let sel = select(&l, &p).unwrap();
+            let proj = project(&l, &["v", "k"]).unwrap();
+            let join = hash_join(&l, &r, "k", "k", JoinType::Inner).unwrap();
+            for threads in [1usize, 2, 8] {
+                let (s, pj, j) = crate::par::with_thread_count(threads, || {
+                    (
+                        select(&l, &p).unwrap(),
+                        project(&l, &["v", "k"]).unwrap(),
+                        hash_join(&l, &r, "k", "k", JoinType::Inner).unwrap(),
+                    )
+                });
+                prop_assert_eq!(&s, &sel);
+                prop_assert_eq!(&pj, &proj);
+                prop_assert_eq!(&j, &join);
+            }
+        }
+
+        /// Errors are deterministic under parallelism: the first failing
+        /// row (division by zero) produces the same error at any thread
+        /// count as in serial execution.
+        #[test]
+        fn parallel_error_matches_serial(rel in arb_int_relation()) {
+            // v % k errors on rows where k == 0, so relations exercise
+            // no-failure, sparse-failure, and first-row-failure cases.
+            let p = Expr::Bin(
+                Box::new(Expr::col("v")),
+                crate::expr::BinOp::Mod,
+                Box::new(Expr::col("k")),
+            )
+            .eq(Expr::lit(0i64));
+            let serial = select(&rel, &p).map_err(|e| e.to_string());
+            for threads in [2usize, 8] {
+                let par_out = crate::par::with_thread_count(threads, || select(&rel, &p))
+                    .map_err(|e| e.to_string());
+                prop_assert_eq!(&par_out, &serial);
+            }
         }
     }
 }

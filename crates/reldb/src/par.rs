@@ -1,0 +1,230 @@
+//! Chunked parallel execution for operator internals.
+//!
+//! Operators split their input rows into contiguous chunks, process each
+//! chunk on a scoped thread (`std::thread::scope` — no external thread
+//! pool), and merge per-chunk results **in chunk-index order**. Because
+//! the merge order is positional, the output is byte-identical to the
+//! serial path for every thread count — determinism is a structural
+//! property, not a scheduling accident.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. a per-thread override installed by [`with_thread_count`] (tests use
+//!    this to force the parallel path on small inputs);
+//! 2. the `DQ_THREADS` environment variable (clamped to `1..=64`;
+//!    `DQ_THREADS=1` disables parallelism entirely and reproduces the
+//!    serial path exactly);
+//! 3. `std::thread::available_parallelism()`, capped at 8 — operator
+//!    kernels here are memory-bound and stop scaling long before the
+//!    core count on large machines.
+
+use crate::error::DbResult;
+use std::cell::Cell;
+
+/// Inputs smaller than this run serially: thread spawn overhead dwarfs
+/// the per-row work below a couple thousand rows.
+pub const PAR_THRESHOLD: usize = 2048;
+
+/// Hard upper bound on the thread count accepted from the environment.
+pub const MAX_THREADS: usize = 64;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn parse_threads(s: &str) -> Option<usize> {
+    s.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .map(|n| n.min(MAX_THREADS))
+}
+
+/// The thread count operators will use (see module docs for resolution
+/// order). Always at least 1.
+pub fn thread_count() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(s) = std::env::var("DQ_THREADS") {
+        if let Some(n) = parse_threads(&s) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `f` with the thread count pinned to `n` on this thread (operators
+/// called from other threads are unaffected). The override also *forces*
+/// the parallel path for inputs below [`PAR_THRESHOLD`], so tests can
+/// exercise chunked execution on small relations.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Decides whether an operator over `len` items should take the parallel
+/// path, returning the chunk count to use. `None` means "stay serial":
+/// one thread configured, or the input is below [`PAR_THRESHOLD`] and no
+/// test override is forcing the issue.
+pub fn plan(len: usize) -> Option<usize> {
+    let forced = OVERRIDE.with(|o| o.get()).is_some();
+    let threads = thread_count();
+    if threads <= 1 || len < 2 {
+        return None;
+    }
+    if !forced && len < PAR_THRESHOLD {
+        return None;
+    }
+    Some(threads.min(len))
+}
+
+/// Splits `items` into `threads` contiguous chunks, runs `f(chunk_index,
+/// chunk)` on scoped threads, and returns the per-chunk results **in
+/// chunk order**. Panics in workers propagate to the caller.
+pub fn run_chunked<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk = items.len().div_ceil(threads.max(1)).max(1);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| s.spawn(move || f(i, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Splits `0..len` into `threads` contiguous index ranges and runs
+/// `f(chunk_index, range)` on scoped threads, returning per-chunk results
+/// **in chunk order**. Unlike [`run_chunked`], the closure indexes the
+/// caller's own slice, so results may borrow from it (e.g. a hash-join
+/// build phase returning `HashMap<&Value, Vec<&Row>>`).
+pub fn run_ranges<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    let chunk = len.div_ceil(threads.max(1)).max(1);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .enumerate()
+            .map(|(i, start)| {
+                let range = start..(start + chunk).min(len);
+                s.spawn(move || f(i, range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Concatenates fallible per-chunk row batches in chunk order. The first
+/// error (by chunk index) wins — which is the same error the serial path
+/// would report, because a chunk stops at its first failing row and any
+/// earlier failing row lives in an earlier-or-equal chunk.
+pub fn merge_results<R>(chunks: Vec<DbResult<Vec<R>>>) -> DbResult<Vec<R>> {
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend(c?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+
+    #[test]
+    fn parse_threads_clamps_and_rejects() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("nope"), None);
+        assert_eq!(parse_threads("9999"), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn override_pins_and_restores() {
+        let outside = thread_count();
+        let inside = with_thread_count(3, thread_count);
+        assert_eq!(inside, 3);
+        assert_eq!(thread_count(), outside);
+        // zero is clamped up to one
+        assert_eq!(with_thread_count(0, thread_count), 1);
+    }
+
+    #[test]
+    fn plan_respects_threshold_and_force() {
+        // under threshold, no override → serial
+        with_thread_count(4, || {
+            // override forces parallel even for tiny inputs
+            assert_eq!(plan(10), Some(4));
+            // never more chunks than items
+            assert_eq!(plan(3), Some(3));
+            assert_eq!(plan(1), None);
+        });
+        with_thread_count(1, || {
+            assert_eq!(plan(1_000_000), None);
+        });
+    }
+
+    #[test]
+    fn run_chunked_preserves_order() {
+        let items: Vec<i64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7, 8] {
+            let chunks = run_chunked(&items, threads, |_, c| c.to_vec());
+            let flat: Vec<i64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_ranges_covers_exactly_once() {
+        let items: Vec<i64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7, 8] {
+            let chunks = run_ranges(items.len(), threads, |_, r| items[r].to_vec());
+            let flat: Vec<i64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+        assert!(run_ranges(0, 4, |_, r| r).is_empty());
+    }
+
+    #[test]
+    fn merge_results_reports_first_error() {
+        let chunks: Vec<DbResult<Vec<i64>>> = vec![
+            Ok(vec![1, 2]),
+            Err(DbError::Arithmetic("chunk 1".into())),
+            Err(DbError::Arithmetic("chunk 2".into())),
+        ];
+        match merge_results(chunks) {
+            Err(DbError::Arithmetic(m)) => assert_eq!(m, "chunk 1"),
+            other => panic!("{other:?}"),
+        }
+        let ok: Vec<DbResult<Vec<i64>>> = vec![Ok(vec![1]), Ok(vec![2, 3])];
+        assert_eq!(merge_results(ok).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -15,87 +15,163 @@
 use crate::cell::QualityCell;
 use crate::indicator::IndicatorValue;
 use crate::relation::{TaggedRelation, TaggedRow, TAG_SEP};
+use crate::symbol::Symbol;
 use relstore::algebra::AggCall;
-use relstore::{ColumnDef, DataType, Date, DbError, DbResult, Expr, Row, Schema, Value};
+use relstore::expr::{CompiledExpr, ValueSource};
+use relstore::{par, Date, DbError, DbResult, Expr, Row, Value};
 use std::collections::HashMap;
 
-/// Builds the evaluation schema for a predicate that may reference
-/// pseudo-columns, plus the `(column index, indicator path)` extraction
-/// plan. A path longer than one segment reaches into meta tags
-/// (Premise 1.4): `price@source@credibility` is the credibility of the
-/// source tag on the price cell.
-/// Extraction plan: for each pseudo-column, the application column index
-/// and the indicator path into (possibly meta-) tags.
-type TagPlan = Vec<(usize, Vec<String>)>;
-
-fn eval_plan(rel: &TaggedRelation, predicate: &Expr) -> DbResult<(Schema, TagPlan)> {
-    let mut cols: Vec<ColumnDef> = rel.schema().columns().to_vec();
-    let mut plan = Vec::new();
-    for name in predicate.referenced_columns() {
-        if rel.schema().index_of(name).is_some() {
-            continue;
-        }
-        match TaggedRelation::split_pseudo(name) {
-            Some((col, ind_path)) => {
-                let ci = rel.schema().resolve(col)?;
-                let path: Vec<String> = ind_path.split(TAG_SEP).map(str::to_owned).collect();
-                // the leaf segment's declared domain types the pseudo-column
-                let leaf = path.last().expect("split yields at least one");
-                let dtype = rel
-                    .dictionary()
-                    .get(leaf)
-                    .map(|d| d.dtype)
-                    .unwrap_or(DataType::Any);
-                cols.push(ColumnDef::new(format!("{col}{TAG_SEP}{ind_path}"), dtype));
-                plan.push((ci, path));
-            }
-            None => return Err(DbError::UnknownColumn(name.to_owned())),
-        }
-    }
-    Ok((Schema::new(cols)?, plan))
+/// A quality predicate compiled against a tagged relation's schema.
+///
+/// Application columns resolve to their cell positions; each distinct
+/// `col@indicator[@meta…]` pseudo-column resolves to a slot in an
+/// *extraction plan* of `(cell index, interned indicator path)` pairs.
+/// Evaluation reads tag values straight out of the [`TaggedRow`] —
+/// no owned `Row` is materialized per tuple, and indicator-path lookups
+/// are symbol-id compares, not string compares.
+#[derive(Debug, Clone)]
+pub struct CompiledTagExpr {
+    expr: CompiledExpr,
+    plan: Vec<(usize, Vec<Symbol>)>,
+    base: usize,
 }
 
-fn eval_row(row: &TaggedRow, plan: &[(usize, Vec<String>)]) -> Row {
-    let mut out: Row = row.iter().map(|c| c.value.clone()).collect();
-    for (ci, path) in plan {
-        let segs: Vec<&str> = path.iter().map(String::as_str).collect();
-        out.push(row[*ci].tag_value_path(&segs));
+/// Missing tags evaluate to NULL (3VL then drops the row), borrowed from
+/// this sentinel so `value_at` never allocates.
+static NULL_SENTINEL: Value = Value::Null;
+
+/// [`ValueSource`] adapter: positions `0..base` are the row's application
+/// values, positions `base..` are tag values per the extraction plan.
+struct TagRowSource<'a> {
+    row: &'a [QualityCell],
+    compiled: &'a CompiledTagExpr,
+}
+
+impl ValueSource for TagRowSource<'_> {
+    fn value_at(&self, idx: usize) -> &Value {
+        if idx < self.compiled.base {
+            return &self.row[idx].value;
+        }
+        let (ci, path) = &self.compiled.plan[idx - self.compiled.base];
+        match self.row[*ci].tag_path_syms(path) {
+            Some(tag) => &tag.value,
+            None => &NULL_SENTINEL,
+        }
     }
-    out
+}
+
+impl CompiledTagExpr {
+    /// Compiles `expr` against `rel`'s schema and dictionary. Unknown
+    /// plain columns and pseudo-columns over unknown application columns
+    /// error here, once — not per row.
+    pub fn compile(rel: &TaggedRelation, expr: &Expr) -> DbResult<CompiledTagExpr> {
+        let base = rel.schema().arity();
+        let mut plan: Vec<(usize, Vec<Symbol>)> = Vec::new();
+        let compiled = expr.compile_with(&mut |name| {
+            if let Some(i) = rel.schema().index_of(name) {
+                return Ok(i);
+            }
+            match TaggedRelation::split_pseudo(name) {
+                Some((col, ind_path)) => {
+                    let ci = rel.schema().resolve(col)?;
+                    let path: Vec<Symbol> =
+                        ind_path.split(TAG_SEP).map(Symbol::intern).collect();
+                    let slot = plan
+                        .iter()
+                        .position(|p| p == &(ci, path.clone()))
+                        .unwrap_or_else(|| {
+                            plan.push((ci, path));
+                            plan.len() - 1
+                        });
+                    Ok(base + slot)
+                }
+                None => Err(DbError::UnknownColumn(name.to_owned())),
+            }
+        })?;
+        Ok(CompiledTagExpr {
+            expr: compiled,
+            plan,
+            base,
+        })
+    }
+
+    /// Evaluates to an owned value against one tagged row.
+    pub fn eval(&self, row: &TaggedRow) -> DbResult<Value> {
+        self.expr.eval_value(&TagRowSource {
+            row,
+            compiled: self,
+        })
+    }
+
+    /// Predicate semantics: `true` keeps the row, `false`/NULL drops it.
+    /// This is *the* mask function — σ, `evaluate_mask`, and the query
+    /// layer's TAG statement all funnel through it.
+    pub fn matches(&self, row: &TaggedRow) -> DbResult<bool> {
+        self.expr.eval_predicate(&TagRowSource {
+            row,
+            compiled: self,
+        })
+    }
 }
 
 /// Evaluates an expression (which may reference `col@indicator` and
 /// nested `col@ind@meta` pseudo-columns) once per row, returning the
 /// results in row order. This is the building block for quality
 /// selection, retro-tagging (`TAG ... SET`), and derived indicators.
+/// Compiled once, evaluated in parallel chunks on large inputs.
 pub fn evaluate(rel: &TaggedRelation, expr: &Expr) -> DbResult<Vec<Value>> {
-    let (schema, plan) = eval_plan(rel, expr)?;
-    rel.iter()
-        .map(|row| expr.eval(&schema, &eval_row(row, &plan)))
-        .collect()
+    let compiled = CompiledTagExpr::compile(rel, expr)?;
+    let eval_chunk = |chunk: &[TaggedRow]| -> DbResult<Vec<Value>> {
+        chunk.iter().map(|row| compiled.eval(row)).collect()
+    };
+    match par::plan(rel.len()) {
+        Some(threads) => {
+            par::merge_results(par::run_chunked(rel.rows(), threads, |_, c| eval_chunk(c)))
+        }
+        None => eval_chunk(rel.rows()),
+    }
 }
 
 /// Like [`evaluate`] but as a boolean mask (NULL counts as `false`,
 /// matching predicate semantics).
 pub fn evaluate_mask(rel: &TaggedRelation, predicate: &Expr) -> DbResult<Vec<bool>> {
-    let (schema, plan) = eval_plan(rel, predicate)?;
-    rel.iter()
-        .map(|row| predicate.eval_predicate(&schema, &eval_row(row, &plan)))
-        .collect()
+    let compiled = CompiledTagExpr::compile(rel, predicate)?;
+    let mask_chunk = |chunk: &[TaggedRow]| -> DbResult<Vec<bool>> {
+        chunk.iter().map(|row| compiled.matches(row)).collect()
+    };
+    match par::plan(rel.len()) {
+        Some(threads) => {
+            par::merge_results(par::run_chunked(rel.rows(), threads, |_, c| mask_chunk(c)))
+        }
+        None => mask_chunk(rel.rows()),
+    }
 }
 
 /// σ — keeps rows whose predicate holds. The predicate may mix application
 /// columns and `col@indicator` pseudo-columns; rows whose referenced tag is
 /// missing evaluate to NULL and are dropped, so *untagged data never
 /// satisfies a quality constraint*.
+///
+/// The predicate is compiled once ([`CompiledTagExpr`]); surviving rows are
+/// cloned — a refcount bump per tagged cell, not a deep copy of its tags.
+/// Large inputs filter in parallel chunks with input order preserved.
 pub fn select(rel: &TaggedRelation, predicate: &Expr) -> DbResult<TaggedRelation> {
-    let (schema, plan) = eval_plan(rel, predicate)?;
-    let mut rows = Vec::new();
-    for row in rel.iter() {
-        if predicate.eval_predicate(&schema, &eval_row(row, &plan))? {
-            rows.push(row.clone());
+    let compiled = CompiledTagExpr::compile(rel, predicate)?;
+    let filter_chunk = |chunk: &[TaggedRow]| -> DbResult<Vec<TaggedRow>> {
+        let mut out = Vec::new();
+        for row in chunk {
+            if compiled.matches(row)? {
+                out.push(row.clone());
+            }
         }
-    }
+        Ok(out)
+    };
+    let rows = match par::plan(rel.len()) {
+        Some(threads) => {
+            par::merge_results(par::run_chunked(rel.rows(), threads, |_, c| filter_chunk(c)))?
+        }
+        None => filter_chunk(rel.rows())?,
+    };
     Ok(TaggedRelation::from_parts_unchecked(
         rel.schema().clone(),
         rel.dictionary().clone(),
@@ -103,17 +179,27 @@ pub fn select(rel: &TaggedRelation, predicate: &Expr) -> DbResult<TaggedRelation
     ))
 }
 
-/// π — projects onto named columns; tags travel with cells.
+/// π — projects onto named columns; tags travel with cells (shared, not
+/// deep-copied). Parallel on large inputs, input order preserved.
 pub fn project(rel: &TaggedRelation, columns: &[&str]) -> DbResult<TaggedRelation> {
     let indices: Vec<usize> = columns
         .iter()
         .map(|c| rel.schema().resolve(c))
         .collect::<DbResult<_>>()?;
     let schema = rel.schema().project(&indices)?;
-    let rows = rel
-        .iter()
-        .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-        .collect();
+    let project_chunk = |chunk: &[TaggedRow]| -> Vec<TaggedRow> {
+        chunk
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect()
+    };
+    let rows = match par::plan(rel.len()) {
+        Some(threads) => par::run_chunked(rel.rows(), threads, |_, c| project_chunk(c))
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => project_chunk(rel.rows()),
+    };
     Ok(TaggedRelation::from_parts_unchecked(
         schema,
         rel.dictionary().clone(),
@@ -144,25 +230,58 @@ pub fn hash_join(
     let li = left.schema().resolve(left_key)?;
     let ri = right.schema().resolve(right_key)?;
     let schema = left.schema().join(right.schema(), "l", "r")?;
-    let mut table: HashMap<&Value, Vec<&TaggedRow>> = HashMap::with_capacity(right.len());
-    for rr in right.iter() {
-        if !rr[ri].value.is_null() {
-            table.entry(&rr[ri].value).or_default().push(rr);
-        }
-    }
-    let mut rows = Vec::new();
-    for lr in left.iter() {
-        if lr[li].value.is_null() {
-            continue;
-        }
-        if let Some(matches) = table.get(&lr[li].value) {
-            for rr in matches {
-                let mut combined = lr.clone();
-                combined.extend(rr.iter().cloned());
-                rows.push(combined);
+
+    fn build_chunk(chunk: &[TaggedRow], ri: usize) -> HashMap<&Value, Vec<&TaggedRow>> {
+        let mut t: HashMap<&Value, Vec<&TaggedRow>> = HashMap::with_capacity(chunk.len());
+        for rr in chunk {
+            if !rr[ri].value.is_null() {
+                t.entry(&rr[ri].value).or_default().push(rr);
             }
         }
+        t
     }
+    // Parallel build merges per-chunk partial tables in chunk order, which
+    // reproduces the serial per-key insertion order exactly.
+    let table: HashMap<&Value, Vec<&TaggedRow>> = match par::plan(right.len()) {
+        Some(threads) => {
+            let mut merged: HashMap<&Value, Vec<&TaggedRow>> =
+                HashMap::with_capacity(right.len());
+            let partials = par::run_ranges(right.len(), threads, |_, r| {
+                build_chunk(&right.rows()[r], ri)
+            });
+            for partial in partials {
+                for (k, mut v) in partial {
+                    merged.entry(k).or_default().append(&mut v);
+                }
+            }
+            merged
+        }
+        None => build_chunk(right.rows(), ri),
+    };
+
+    let probe_chunk = |chunk: &[TaggedRow]| -> Vec<TaggedRow> {
+        let mut out = Vec::new();
+        for lr in chunk {
+            if lr[li].value.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(&lr[li].value) {
+                for rr in matches {
+                    let mut combined = lr.clone();
+                    combined.extend(rr.iter().cloned());
+                    out.push(combined);
+                }
+            }
+        }
+        out
+    };
+    let rows: Vec<TaggedRow> = match par::plan(left.len()) {
+        Some(threads) => par::run_chunked(left.rows(), threads, |_, c| probe_chunk(c))
+            .into_iter()
+            .flatten()
+            .collect(),
+        None => probe_chunk(left.rows()),
+    };
     Ok(TaggedRelation::from_parts_unchecked(
         schema,
         left.dictionary().clone(),
@@ -242,14 +361,14 @@ pub enum TagRule {
 #[derive(Debug, Clone)]
 pub struct TagPolicy {
     /// The indicator to derive.
-    pub indicator: String,
+    pub indicator: Symbol,
     /// The derivation rule.
     pub rule: TagRule,
 }
 
 impl TagPolicy {
     /// Shorthand constructor.
-    pub fn new(indicator: impl Into<String>, rule: TagRule) -> Self {
+    pub fn new(indicator: impl Into<Symbol>, rule: TagRule) -> Self {
         TagPolicy {
             indicator: indicator.into(),
             rule,
@@ -398,6 +517,7 @@ pub use relstore::algebra::{AggCall as Agg, AggFunc as AggF};
 mod tests {
     use super::*;
     use crate::indicator::IndicatorDictionary;
+    use relstore::{DataType, Schema};
 
     fn d(s: &str) -> Value {
         Value::Date(Date::parse(s).unwrap())

@@ -5,18 +5,28 @@
 //! tags are `creation_time=1991-10-24` and `source=acct'g`.
 
 use crate::indicator::IndicatorValue;
+use crate::symbol::Symbol;
 use relstore::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// An application value with attached quality indicator values.
+///
+/// Tags are stored behind an `Arc` with copy-on-write semantics: the
+/// algebra's σ/π/⋈/τ operators propagate a cell's quality history by
+/// bumping a refcount instead of deep-cloning the tag vector, and
+/// [`QualityCell::set_tag`] transparently un-shares (`Arc::make_mut`)
+/// before mutating. `None` and an empty shared vector are the same
+/// logical state (no tags); constructors and mutators normalize empty
+/// to `None` so derived equality stays semantic.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QualityCell {
     /// The application datum.
     pub value: Value,
     /// Cell-level quality tags, kept sorted by indicator name so that
-    /// logically equal cells compare equal.
-    tags: Vec<IndicatorValue>,
+    /// logically equal cells compare equal. `None` ⇔ untagged.
+    tags: Option<Arc<Vec<IndicatorValue>>>,
 }
 
 impl QualityCell {
@@ -24,7 +34,7 @@ impl QualityCell {
     pub fn bare(value: impl Into<Value>) -> Self {
         QualityCell {
             value: value.into(),
-            tags: Vec::new(),
+            tags: None,
         }
     }
 
@@ -39,15 +49,32 @@ impl QualityCell {
 
     /// The cell's tags, sorted by indicator name.
     pub fn tags(&self) -> &[IndicatorValue] {
-        &self.tags
+        self.tags.as_deref().map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Adds or replaces the tag for its indicator.
+    /// Adds or replaces the tag for its indicator. Un-shares the tag
+    /// vector first if it is currently shared with other cells.
     pub fn set_tag(&mut self, tag: IndicatorValue) {
-        match self.tags.binary_search_by(|t| t.indicator.cmp(&tag.indicator)) {
-            Ok(i) => self.tags[i] = tag,
-            Err(i) => self.tags.insert(i, tag),
+        let tags = Arc::make_mut(self.tags.get_or_insert_with(Default::default));
+        match tags.binary_search_by(|t| t.indicator.cmp(&tag.indicator)) {
+            Ok(i) => tags[i] = tag,
+            Err(i) => tags.insert(i, tag),
         }
+    }
+
+    /// True iff `self` and `other` share one physical tag vector — the
+    /// zero-copy propagation tests assert on this.
+    pub fn shares_tags_with(&self, other: &QualityCell) -> bool {
+        match (&self.tags, &other.tags) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Installs an already-shared tag vector, replacing any existing tags.
+    /// Used by bulk taggers to point many cells at one allocation.
+    pub(crate) fn set_shared_tags(&mut self, tags: Arc<Vec<IndicatorValue>>) {
+        self.tags = if tags.is_empty() { None } else { Some(tags) };
     }
 
     /// Builder-style [`QualityCell::set_tag`].
@@ -58,10 +85,30 @@ impl QualityCell {
 
     /// The tag for `indicator`, if present.
     pub fn tag(&self, indicator: &str) -> Option<&IndicatorValue> {
-        self.tags
-            .binary_search_by(|t| t.indicator.as_str().cmp(indicator))
+        let tags = self.tags();
+        tags.binary_search_by(|t| t.indicator.as_str().cmp(indicator))
             .ok()
-            .map(|i| &self.tags[i])
+            .map(|i| &tags[i])
+    }
+
+    /// The tag for an interned `indicator` symbol. Id-equality fast path;
+    /// falls back to the same by-name binary search otherwise (the
+    /// interner makes id equality iff name equality, so the fast path is
+    /// purely an optimization).
+    pub fn tag_sym(&self, indicator: &Symbol) -> Option<&IndicatorValue> {
+        let tags = self.tags();
+        tags.iter().find(|t| &t.indicator == indicator)
+    }
+
+    /// [`QualityCell::tag_path`] over interned symbols — the compiled
+    /// quality-predicate extraction path.
+    pub fn tag_path_syms(&self, path: &[Symbol]) -> Option<&IndicatorValue> {
+        let (first, rest) = path.split_first()?;
+        let mut node = self.tag_sym(first)?;
+        for seg in rest {
+            node = node.meta_tag_sym(seg)?;
+        }
+        Some(node)
     }
 
     /// The tag *value* for `indicator`; `Value::Null` when untagged.
@@ -96,15 +143,20 @@ impl QualityCell {
 
     /// Removes the tag for `indicator`, returning it.
     pub fn remove_tag(&mut self, indicator: &str) -> Option<IndicatorValue> {
-        self.tags
+        let arc = self.tags.as_mut()?;
+        let i = arc
             .binary_search_by(|t| t.indicator.as_str().cmp(indicator))
-            .ok()
-            .map(|i| self.tags.remove(i))
+            .ok()?;
+        let removed = Arc::make_mut(arc).remove(i);
+        if arc.is_empty() {
+            self.tags = None;
+        }
+        Some(removed)
     }
 
     /// Number of tags.
     pub fn tag_count(&self) -> usize {
-        self.tags.len()
+        self.tags().len()
     }
 
     /// Merges tags from `other` into this cell. On conflict (same
@@ -112,7 +164,7 @@ impl QualityCell {
     /// provenance is ambiguous, and fabricating a winner would violate the
     /// attribute-based model's faithfulness to the manufacturing history.
     pub fn merge_tags_from(&mut self, other: &QualityCell) {
-        for t in &other.tags {
+        for t in other.tags() {
             match self.tag(&t.indicator) {
                 None => self.set_tag(t.clone()),
                 Some(mine) if mine == t => {}
@@ -127,11 +179,11 @@ impl QualityCell {
     /// `62 Lois Av (10-24-91, acct'g)` — tag values in indicator-name
     /// order, parenthesized after the value. Untagged cells render bare.
     pub fn to_paper_string(&self) -> String {
-        if self.tags.is_empty() {
+        let tags = self.tags();
+        if tags.is_empty() {
             return self.value.to_string();
         }
-        let tags = self
-            .tags
+        let tags = tags
             .iter()
             .map(|t| t.value.to_string())
             .collect::<Vec<_>>()
@@ -142,11 +194,11 @@ impl QualityCell {
 
 impl fmt::Display for QualityCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.tags.is_empty() {
+        if self.tag_count() == 0 {
             return write!(f, "{}", self.value);
         }
         write!(f, "{} (", self.value)?;
-        for (i, t) in self.tags.iter().enumerate() {
+        for (i, t) in self.tags().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }

@@ -12,6 +12,7 @@
 //! using the same representation — exactly the design of the
 //! attribute-based model \[28\] the paper defers to.
 
+use crate::symbol::Symbol;
 use relstore::{DataType, DbError, DbResult, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -138,8 +139,9 @@ impl IndicatorDictionary {
 /// meta-indicator values (Premise 1.4).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct IndicatorValue {
-    /// Which indicator this measures.
-    pub indicator: String,
+    /// Which indicator this measures. Interned: clones are refcount
+    /// bumps, comparisons are id compares.
+    pub indicator: Symbol,
     /// The measured value.
     pub value: Value,
     /// Quality of the quality: meta-indicator values, recursively.
@@ -148,7 +150,7 @@ pub struct IndicatorValue {
 
 impl IndicatorValue {
     /// A leaf tag.
-    pub fn new(indicator: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn new(indicator: impl Into<Symbol>, value: impl Into<Value>) -> Self {
         IndicatorValue {
             indicator: indicator.into(),
             value: value.into(),
@@ -169,7 +171,13 @@ impl IndicatorValue {
 
     /// Finds a direct meta tag by indicator name.
     pub fn meta_tag(&self, indicator: &str) -> Option<&IndicatorValue> {
-        self.meta.iter().find(|m| m.indicator == indicator)
+        self.meta.iter().find(|m| m.indicator == *indicator)
+    }
+
+    /// Finds a direct meta tag by interned symbol (id-compare, no byte
+    /// comparison — the hot path for compiled quality predicates).
+    pub fn meta_tag_sym(&self, indicator: &Symbol) -> Option<&IndicatorValue> {
+        self.meta.iter().find(|m| &m.indicator == indicator)
     }
 }
 

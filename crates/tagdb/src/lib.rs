@@ -33,9 +33,11 @@ pub mod cell;
 pub mod indicator;
 pub mod relation;
 pub mod store;
+pub mod symbol;
 
 pub use cell::QualityCell;
 pub use indicator::{IndicatorDef, IndicatorDictionary, IndicatorValue};
+pub use symbol::Symbol;
 pub use relation::{TaggedRelation, TaggedRow, TAG_SEP};
 pub use store::{from_quality_store, to_quality_store, QualityStore, QKEY_SUFFIX};
 
@@ -156,6 +158,55 @@ mod proptests {
             for (er, sr) in x.iter().zip(stripped.iter()) {
                 prop_assert_eq!(&er[..2], sr.as_slice());
             }
+        }
+
+        /// Parallel tag-propagating execution is invisible: σ (value and
+        /// quality predicates), π, and ⋈ produce identical rows, order,
+        /// and tags at thread counts 1, 2, and 8.
+        #[test]
+        fn parallel_equals_serial_with_tags(a in arb_tagged(), b in arb_tagged(), c in 0i64..30) {
+            let vp = Expr::col("v").lt(Expr::lit(c));
+            let qp = Expr::col("v@age").le(Expr::lit(c));
+            let sel = select(&a, &vp).unwrap();
+            let qsel = select(&a, &qp).unwrap();
+            let proj = project(&a, &["v", "k"]).unwrap();
+            let join = hash_join(&a, &b, "k", "k").unwrap();
+            let mask = evaluate_mask(&a, &qp).unwrap();
+            for threads in [1usize, 2, 8] {
+                let (s, q, pj, j, m) = relstore::par::with_thread_count(threads, || {
+                    (
+                        select(&a, &vp).unwrap(),
+                        select(&a, &qp).unwrap(),
+                        project(&a, &["v", "k"]).unwrap(),
+                        hash_join(&a, &b, "k", "k").unwrap(),
+                        evaluate_mask(&a, &qp).unwrap(),
+                    )
+                });
+                prop_assert_eq!(&s, &sel);
+                prop_assert_eq!(&q, &qsel);
+                prop_assert_eq!(&pj, &proj);
+                prop_assert_eq!(&j, &join);
+                prop_assert_eq!(&m, &mask);
+            }
+        }
+
+        /// Arc-shared tags are an invisible storage optimization: a
+        /// bulk-tagged column (one shared allocation across all rows)
+        /// round-trips losslessly through the quality-key storage form,
+        /// and equals the same relation tagged cell-by-cell.
+        #[test]
+        fn shared_tags_store_roundtrip(rel in arb_tagged(), s in "[a-c]") {
+            let mut shared = rel.clone();
+            shared.tag_column("k", IndicatorValue::new("source", s.clone())).unwrap();
+            let mut cloned = rel;
+            for i in 0..cloned.len() {
+                cloned.tag_cell(i, "k", IndicatorValue::new("source", s.clone())).unwrap();
+            }
+            prop_assert_eq!(&shared, &cloned);
+            let store = crate::store::to_quality_store(&shared).unwrap();
+            let back = crate::store::from_quality_store(
+                &store, shared.dictionary().clone()).unwrap();
+            prop_assert_eq!(back, shared);
         }
     }
 }

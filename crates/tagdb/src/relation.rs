@@ -184,11 +184,20 @@ impl TaggedRelation {
 
     /// Tags every cell of a column with the same indicator value — the
     /// common bulk case ("this whole column came from Nexis").
+    ///
+    /// Previously-untagged cells all point at **one** shared tag vector
+    /// (a refcount bump per cell); cells that already carry tags merge
+    /// the new tag into their own vector.
     pub fn tag_column(&mut self, column: &str, tag: IndicatorValue) -> DbResult<()> {
         self.dict.check(&tag)?;
         let c = self.schema.resolve(column)?;
+        let shared = std::sync::Arc::new(vec![tag.clone()]);
         for row in &mut self.rows {
-            row[c].set_tag(tag.clone());
+            if row[c].tag_count() == 0 {
+                row[c].set_shared_tags(std::sync::Arc::clone(&shared));
+            } else {
+                row[c].set_tag(tag.clone());
+            }
         }
         Ok(())
     }
@@ -215,7 +224,7 @@ impl TaggedRelation {
         let mut set = BTreeSet::new();
         for row in &self.rows {
             for t in row[c].tags() {
-                set.insert(t.indicator.clone());
+                set.insert(t.indicator.to_string());
             }
         }
         Ok(set.into_iter().collect())

@@ -71,12 +71,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for row in expensive.iter() {
         let cell = &row[1]; // employees
         let cred = registry
-            .min_credibility(cell.originating.iter())
+            .min_credibility(cell.originating().iter())
             .unwrap_or(0.0);
         println!(
             "  {} (from {:?}) -> credibility {:.2}",
             cell.value,
-            cell.originating
+            cell.originating()
                 .iter()
                 .map(|s| s.as_str())
                 .collect::<Vec<_>>(),
@@ -99,8 +99,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|r| r[0].value == Value::text("NUT"))
         .expect("NUT present");
-    assert!(nut_row[1].originating.contains(&wsj));
-    assert!(nut_row[1].originating.contains(&sheet));
+    assert!(nut_row[1].originating().contains(&wsj));
+    assert!(nut_row[1].originating().contains(&sheet));
     assert_eq!(expensive.all_sources().len(), 3);
     Ok(())
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Smoke-run the tag-propagation benchmark series (B1/tagprop, B2/parallel,
+# B6/parallel, plus the baseline B1/B2/B6 groups) with a small per-bench
+# time budget, and record one JSON line per benchmark in BENCH_tagprop.json.
+#
+# Knobs (all optional):
+#   DQ_BENCH_JSON       output file            (default BENCH_tagprop.json)
+#   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
+#   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
+#   DQ_BENCH_ROWS       row counts for B1/tagprop      (default 100000)
+#   DQ_THREADS          worker threads for the parallel series
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export DQ_BENCH_JSON="${DQ_BENCH_JSON:-$PWD/BENCH_tagprop.json}"
+export DQ_BENCH_MS="${DQ_BENCH_MS:-200}"
+export DQ_BENCH_WARMUP_MS="${DQ_BENCH_WARMUP_MS:-50}"
+export DQ_BENCH_ROWS="${DQ_BENCH_ROWS:-100000}"
+
+: > "$DQ_BENCH_JSON"
+
+for bench in tag_overhead quality_filter query_e2e; do
+    cargo bench --offline -p dq-bench --bench "$bench"
+done
+
+echo "wrote $(wc -l < "$DQ_BENCH_JSON") records to $DQ_BENCH_JSON"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local CI gate: release build, test suite, and lint-clean clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "ci: build + test + clippy all green"

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Measures wall-clock mean/min time per iteration with a fixed time
+//! budget per benchmark instead of criterion's full statistical pipeline.
+//!
+//! Environment knobs:
+//! * `DQ_BENCH_MS` — measurement budget per benchmark in ms (default 300).
+//! * `DQ_BENCH_WARMUP_MS` — warmup budget in ms (default 50).
+//! * `DQ_BENCH_JSON` — if set, append one JSON object per benchmark
+//!   (`{"id":…,"mean_ns":…,"min_ns":…,"iters":…,"throughput_elems":…}`)
+//!   to the named file. `scripts/bench_smoke.sh` uses this to build
+//!   `BENCH_tagprop.json`.
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure under measurement; `iter` runs the payload.
+pub struct Bencher<'a> {
+    measurement: &'a mut Measurement,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let warmup = Duration::from_millis(env_ms("DQ_BENCH_WARMUP_MS", 50));
+        let budget = Duration::from_millis(env_ms("DQ_BENCH_MS", 300));
+
+        // Warmup and calibration: learn roughly how long one iter takes.
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed() < warmup || cal_iters == 0 {
+            hint::black_box(payload());
+            cal_iters += 1;
+            if cal_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed().as_nanos().max(1) / cal_iters as u128;
+
+        // Measurement: batches sized to ~1/20 of the budget each.
+        let batch = ((budget.as_nanos() / 20) / per_iter).clamp(1, 1_000_000) as u64;
+        let mut total_iters = 0u64;
+        let mut min_batch_ns = u128::MAX;
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(payload());
+            }
+            let ns = batch_start.elapsed().as_nanos();
+            min_batch_ns = min_batch_ns.min(ns / batch as u128);
+            total_iters += batch;
+        }
+        let total_ns = run_start.elapsed().as_nanos();
+        self.measurement.mean_ns = (total_ns / total_iters.max(1) as u128) as u64;
+        self.measurement.min_ns = min_batch_ns.min(u128::from(u64::MAX)) as u64;
+        self.measurement.iters = total_iters;
+    }
+}
+
+#[derive(Default)]
+struct Measurement {
+    mean_ns: u64,
+    min_ns: u64,
+    iters: u64,
+}
+
+/// Group of related benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let tp = self.throughput;
+        self.criterion.run_one(&full, tp, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let tp = self.throughput;
+        self.criterion.run_one(&full, tp, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        self.run_one(&full, None, |b| f(b));
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut m = Measurement::default();
+        f(&mut Bencher {
+            measurement: &mut m,
+        });
+        let mut line = format!(
+            "{id:<60} mean {:>12}  min {:>12}  ({} iters)",
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.min_ns),
+            m.iters
+        );
+        let elems = match throughput {
+            Some(Throughput::Elements(n)) => {
+                if m.mean_ns > 0 {
+                    let eps = n as f64 * 1e9 / m.mean_ns as f64;
+                    line.push_str(&format!("  {:.2} Melem/s", eps / 1e6));
+                }
+                Some(n)
+            }
+            _ => None,
+        };
+        println!("{line}");
+        if let Ok(path) = std::env::var("DQ_BENCH_JSON") {
+            if !path.is_empty() {
+                let record = format!(
+                    "{{\"id\":{:?},\"mean_ns\":{},\"min_ns\":{},\"iters\":{},\"throughput_elems\":{}}}\n",
+                    id,
+                    m.mean_ns,
+                    m.min_ns,
+                    m.iters,
+                    elems.map_or("null".to_string(), |n| n.to_string()),
+                );
+                if let Ok(mut fh) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = fh.write_all(record.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn env_ms(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Defines a benchmark group runner function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("DQ_BENCH_MS", "5");
+        std::env::set_var("DQ_BENCH_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 10).into_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

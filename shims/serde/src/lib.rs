@@ -1,0 +1,486 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so this workspace ships a
+//! minimal serialization framework under serde's crate name. Types opt in
+//! with the usual `#[derive(Serialize, Deserialize)]`; the derive macros
+//! (from the sibling `serde_derive` shim) generate conversions to and from
+//! an in-memory JSON tree ([`Json`]), and the `serde_json` shim prints and
+//! parses that tree. The representation conventions follow real serde's
+//! defaults (externally tagged enums, newtype transparency, structs as
+//! objects) so exports remain human-legible, but only self-round-tripping
+//! is guaranteed — not byte compatibility with crates.io serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// In-memory JSON tree: the entire data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (kept exact, never through f64).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion-ordered so output is stable.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the shim.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Json {
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, or an error naming `what`.
+    pub fn as_obj(&self, what: &str) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(Error(format!("expected object for {what}, got {other:?}"))),
+        }
+    }
+
+    /// The array elements, or an error naming `what`.
+    pub fn as_arr(&self, what: &str) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(Error(format!("expected array for {what}, got {other:?}"))),
+        }
+    }
+
+    /// The string content, or an error naming `what`.
+    pub fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(Error(format!("expected string for {what}, got {other:?}"))),
+        }
+    }
+
+    /// The integer content (accepts integral floats), or an error.
+    pub fn as_i64(&self, what: &str) -> Result<i64> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            Json::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(Error(format!("expected integer for {what}, got {other:?}"))),
+        }
+    }
+
+    /// The numeric content as f64, or an error.
+    pub fn as_f64(&self, what: &str) -> Result<f64> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            Json::Null => Ok(f64::NAN), // NaN serializes as null (serde_json convention)
+            other => Err(Error(format!("expected number for {what}, got {other:?}"))),
+        }
+    }
+
+    /// The boolean content, or an error.
+    pub fn as_bool(&self, what: &str) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool for {what}, got {other:?}"))),
+        }
+    }
+}
+
+/// Conversion into the [`Json`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion back from the [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON tree.
+    fn from_json(v: &Json) -> Result<Self>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self> {
+                let i = v.as_i64(stringify!($t))?;
+                <$t>::try_from(i).map_err(|_| Error(format!(
+                    "{i} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let f = *self as f64;
+                if f.is_finite() { Json::Float(f) } else { Json::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self> {
+                Ok(v.as_f64(stringify!($t))? as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_bool("bool")
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_str("String").map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self> {
+        let s = v.as_str("char")?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json(_: &Json) -> Result<Self> {
+        Ok(())
+    }
+}
+
+// ---- container impls ----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_arr("Vec")?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Json) -> Result<Self> {
+        let items = v.as_arr("array")?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_json).collect::<Result<_>>()?;
+        <[T; N]>::try_from(parsed).map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        T::from_json(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        T::from_json(v).map(Rc::new)
+    }
+}
+
+// `Serialize for Arc<str>` comes from the generic `Arc<T: ?Sized>` impl
+// via `str`'s impl; only Deserialize needs a dedicated unsized-str impl.
+impl Deserialize for Arc<str> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_str("Arc<str>").map(Arc::from)
+    }
+}
+
+/// Maps become JSON objects (serde_json convention). Keys must
+/// serialize to strings or integers — true for `String` keys and for
+/// newtype-over-string keys like source/indicator ids.
+fn map_key_to_string(j: &Json) -> String {
+    match j {
+        Json::Str(s) => s.clone(),
+        Json::Int(i) => i.to_string(),
+        other => panic!("unsupported JSON map key: {other:?}"),
+    }
+}
+
+fn map_key_from_string<K: Deserialize>(s: &str) -> Result<K> {
+    K::from_json(&Json::Str(s.to_string())).or_else(|e| match s.parse::<i64>() {
+        Ok(i) => K::from_json(&Json::Int(i)),
+        Err(_) => Err(e),
+    })
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (map_key_to_string(&k.to_json()), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_obj("BTreeMap")?
+            .iter()
+            .map(|(k, v)| Ok((map_key_from_string(k)?, V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        // sort for deterministic output
+        let mut fields: Vec<(String, Json)> = self
+            .iter()
+            .map(|(k, v)| (map_key_to_string(&k.to_json()), v.to_json()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(fields)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_obj("HashMap")?
+            .iter()
+            .map(|(k, v)| Ok((map_key_from_string(k)?, V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_arr("BTreeSet")?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_json(v: &Json) -> Result<Self> {
+        v.as_arr("HashSet")?.iter().map(T::from_json).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self> {
+                let items = v.as_arr("tuple")?;
+                let expect = [$($idx),+].len();
+                if items.len() != expect {
+                    return Err(Error(format!(
+                        "expected {expect}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(i64::from_json(&42i64.to_json()).unwrap(), 42);
+        assert_eq!(String::from_json(&"hi".to_string().to_json()).unwrap(), "hi");
+        assert_eq!(
+            Option::<i64>::from_json(&None::<i64>.to_json()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<bool>::from_json(&vec![true, false].to_json()).unwrap(),
+            vec![true, false]
+        );
+    }
+
+    #[test]
+    fn maps_and_tuples() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        let j = m.to_json();
+        assert_eq!(j.field("a").unwrap(), &Json::Int(1));
+        assert_eq!(BTreeMap::<String, i64>::from_json(&j).unwrap(), m);
+        let t = (1i64, "x".to_string());
+        assert_eq!(<(i64, String)>::from_json(&t.to_json()).unwrap(), t);
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert_eq!(f64::NAN.to_json(), Json::Null);
+        assert!(f64::from_json(&Json::Null).unwrap().is_nan());
+    }
+}

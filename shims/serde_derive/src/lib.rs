@@ -1,0 +1,380 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote` —
+//! the build container has no crates.io access). Supports the shapes this
+//! workspace actually uses: non-generic structs (named, tuple, unit) and
+//! enums (unit, newtype, tuple, struct variants), with real serde's
+//! default representation: structs as objects, newtypes transparent,
+//! enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (named) or index (tuple).
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Generates `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(e) => error_stream(&e),
+    }
+}
+
+/// Generates `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated impl parses"),
+        Err(e) => error_stream(&e),
+    }
+}
+
+fn error_stream(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal parses")
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => return Err(format!("serde shim derive: bad struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde shim derive: bad enum body {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // attribute: `#` `[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // visibility: `pub` or `pub(...)`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on top-level commas. Groups are atomic
+/// tokens, so only angle-bracket depth needs tracking (`Vec<(A, B)>` is
+/// fine; `BTreeMap<String, T>` must not split at its inner comma).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0usize;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("serde shim derive: bad field {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0usize;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde shim derive: bad variant {other:?}")),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            // `= discriminant` or nothing: unit variant
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Json::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                        .collect();
+                    format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => obj_literal(
+                    names
+                        .iter()
+                        .map(|f| (f.clone(), format!("::serde::Serialize::to_json(&self.{f})"))),
+                ),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Json::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_json(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                    .collect();
+                                format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inner = obj_literal(
+                                fs.iter()
+                                    .map(|f| (f.clone(), format!("::serde::Serialize::to_json({f})"))),
+                            );
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), {inner})]),",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::Json {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn obj_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = fields
+        .map(|(k, v)| format!("(\"{k}\".to_string(), {v})"))
+        .collect();
+    format!("::serde::Json::Obj(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = struct_from_json(name, name, fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let body = struct_from_json(
+                        name,
+                        &format!("{name}::{}", v.name),
+                        &v.fields,
+                        "val",
+                    );
+                    format!("\"{}\" => {{ {body} }}", v.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Json::Str(s) => match s.as_str() {{\n\
+                                 {unit}\n\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Json::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, val) = &fields[0];\n\
+                                 let _ = val;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     other => Err(::serde::Error::msg(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"bad JSON for {name}: {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    }
+}
+
+/// Expression (as source text) building `ctor` from JSON value `src`.
+fn struct_from_json(type_name: &str, ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = {src}; Ok({ctor}) }}"),
+        Fields::Tuple(1) => format!("Ok({ctor}(::serde::Deserialize::from_json({src})?))"),
+        Fields::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let items = {src}.as_arr(\"{type_name}\")?;\n\
+                     if items.len() != {n} {{\n\
+                         return Err(::serde::Error::msg(format!(\n\
+                             \"expected {n} elements for {type_name}, got {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok({ctor}({gets}))\n\
+                 }}",
+                gets = gets.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match {src}.field(\"{f}\") {{\n\
+                             Some(fv) => ::serde::Deserialize::from_json(fv)?,\n\
+                             None => return Err(::serde::Error::msg(\n\
+                                 \"missing field `{f}` in {type_name}\")),\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "{{\n\
+                     {src}.as_obj(\"{type_name}\")?;\n\
+                     Ok({ctor} {{\n{inits}\n}})\n\
+                 }}",
+                inits = inits.join("\n")
+            )
+        }
+    }
+}
