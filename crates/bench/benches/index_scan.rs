@@ -1,0 +1,72 @@
+//! B7 — bitmap-indexed quality selection vs. full scan.
+//!
+//! Sweeps data size (`DQ_BENCH_TIERS`, default 10k/100k/1M rows) ×
+//! selectivity (0.1%, 1%, 10%, 90% via the age threshold) and measures
+//! `select` (scan) against `select_indexed` (bitmap candidates + gather)
+//! over the same aged relation, plus the one-off index build cost.
+//!
+//! Expected shape: the scan is flat in selectivity (predicate evaluation
+//! over every row dominates); the bitmap path scales with the *output*,
+//! so it wins by orders of magnitude at low selectivity and converges to
+//! scan cost as selectivity approaches 1. The planner's 0.5 cutoff
+//! (`dq_query`) sits where the curves cross.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dq_bench::{tagged_customers, today};
+use relstore::Expr;
+use tagstore::algebra as ta;
+use tagstore::bitmap::QualityIndex;
+
+/// Row-count tiers, overridable for smoke runs (`DQ_BENCH_TIERS=10000`).
+fn tiers() -> Vec<usize> {
+    std::env::var("DQ_BENCH_TIERS")
+        .unwrap_or_else(|_| "10000,100000,1000000".to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn bench_index(c: &mut Criterion) {
+    // creation dates span 1988-01-01..1991-10-24 (~1392 days), so the
+    // age threshold dials in the matching fraction directly
+    let points = [
+        ("0p1pct", 1i64),
+        ("1pct", 14),
+        ("10pct", 139),
+        ("90pct", 1253),
+    ];
+    for rows in tiers() {
+        let mut rel = tagged_customers(rows, 4);
+        ta::derive_age(&mut rel, "employees", today()).unwrap();
+        let index = QualityIndex::build(&rel);
+        let mut g = c.benchmark_group(format!("B7/index/{rows}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function("build", |b| b.iter(|| QualityIndex::build(&rel)));
+        for (label, max_age) in points {
+            let pred = Expr::col("employees@age").le(Expr::lit(max_age));
+            let scanned = ta::select(&rel, &pred).unwrap();
+            let (via_index, path) = ta::select_indexed(&rel, &index, &pred).unwrap();
+            assert_eq!(scanned, via_index, "scan/bitmap parity at {label}");
+            assert!(
+                matches!(path, ta::TagAccessPath::Bitmap { .. }),
+                "expected bitmap path at {label}, got {path}"
+            );
+            let hit = scanned.len();
+            g.bench_with_input(
+                BenchmarkId::new(format!("scan_{label}"), hit),
+                &pred,
+                |b, p| b.iter(|| ta::select(&rel, p).unwrap()),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("bitmap_{label}"), hit),
+                &pred,
+                |b, p| b.iter(|| ta::select_indexed(&rel, &index, p).unwrap()),
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

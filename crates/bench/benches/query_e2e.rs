@@ -67,12 +67,36 @@ fn bench_execute(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("join_pushdown", trades),
             &cat,
-            |b, cat| b.iter(|| run_with(cat, JOIN_Q, &Planner { pushdown: true }).unwrap()),
+            |b, cat| {
+                b.iter(|| {
+                    run_with(
+                        cat,
+                        JOIN_Q,
+                        &Planner {
+                            pushdown: true,
+                            ..Planner::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
         );
         g.bench_with_input(
             BenchmarkId::new("join_no_pushdown", trades),
             &cat,
-            |b, cat| b.iter(|| run_with(cat, JOIN_Q, &Planner { pushdown: false }).unwrap()),
+            |b, cat| {
+                b.iter(|| {
+                    run_with(
+                        cat,
+                        JOIN_Q,
+                        &Planner {
+                            pushdown: false,
+                            ..Planner::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
         );
         g.bench_with_input(BenchmarkId::new("scan_top10", trades), &cat, |b, cat| {
             b.iter(|| run_with(cat, SCAN_Q, &Planner::default()).unwrap())
@@ -82,8 +106,24 @@ fn bench_execute(c: &mut Criterion) {
 
     // shape check: both plans agree
     let cat = catalog(1_000);
-    let a = run_with(&cat, JOIN_Q, &Planner { pushdown: true }).unwrap();
-    let b = run_with(&cat, JOIN_Q, &Planner { pushdown: false }).unwrap();
+    let a = run_with(
+        &cat,
+        JOIN_Q,
+        &Planner {
+            pushdown: true,
+            ..Planner::default()
+        },
+    )
+    .unwrap();
+    let b = run_with(
+        &cat,
+        JOIN_Q,
+        &Planner {
+            pushdown: false,
+            ..Planner::default()
+        },
+    )
+    .unwrap();
     assert_eq!(a.relation().strip(), b.relation().strip());
 }
 

@@ -1,16 +1,26 @@
 //! Plan execution over a catalog of tagged relations.
 
 use crate::ast::Statement;
-use crate::plan::{Plan, Planner};
-use relstore::{ColumnDef, DataType, DbError, DbResult, Schema};
+use crate::plan::{AccessPathStats, Plan, Planner};
+use relstore::index::HashIndex;
+use relstore::{ColumnDef, DataType, DbError, DbResult, Expr, Schema};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 use tagstore::algebra::{self, TagPolicy, TagRule};
+use tagstore::bitmap::{extract_atoms, QualityIndex};
 use tagstore::{QualityCell, TaggedRelation};
 
 /// A named collection of tagged relations queries run against.
+///
+/// The catalog also owns the physical access paths: per-table quality
+/// bitmap indexes and per-(table, key) hash indexes, built lazily on
+/// first use and invalidated whenever [`QueryCatalog::register`]
+/// replaces the underlying relation.
 #[derive(Debug, Default)]
 pub struct QueryCatalog {
     relations: HashMap<String, TaggedRelation>,
+    quality_indexes: RwLock<HashMap<String, Arc<QualityIndex>>>,
+    key_indexes: RwLock<HashMap<(String, String), Arc<HashIndex>>>,
 }
 
 impl QueryCatalog {
@@ -19,9 +29,16 @@ impl QueryCatalog {
         Self::default()
     }
 
-    /// Registers (or replaces) a relation.
+    /// Registers (or replaces) a relation, dropping any cached indexes
+    /// over the previous version.
     pub fn register(&mut self, name: impl Into<String>, rel: TaggedRelation) {
-        self.relations.insert(name.into(), rel);
+        let name = name.into();
+        self.quality_indexes.write().unwrap().remove(&name);
+        self.key_indexes
+            .write()
+            .unwrap()
+            .retain(|(t, _), _| t != &name);
+        self.relations.insert(name, rel);
     }
 
     /// Looks up a relation.
@@ -40,6 +57,57 @@ impl QueryCatalog {
 
     fn schemas(&self) -> &HashMap<String, TaggedRelation> {
         &self.relations
+    }
+
+    /// Cached quality bitmap index over `table` (built on first use).
+    fn quality_index(&self, table: &str) -> Option<Arc<QualityIndex>> {
+        let rel = self.relations.get(table)?;
+        if let Some(idx) = self.quality_indexes.read().unwrap().get(table) {
+            return Some(Arc::clone(idx));
+        }
+        let idx = Arc::new(QualityIndex::build(rel));
+        self.quality_indexes
+            .write()
+            .unwrap()
+            .insert(table.to_owned(), Arc::clone(&idx));
+        Some(idx)
+    }
+
+    /// Cached hash index over `table.key` application values, positions
+    /// in row order (the layout [`algebra::hash_join_probe`] expects).
+    fn key_index(&self, table: &str, key: &str) -> DbResult<Arc<HashIndex>> {
+        let rel = self.get(table)?;
+        let ci = rel.schema().resolve(key)?;
+        let cache_key = (table.to_owned(), key.to_owned());
+        if let Some(idx) = self.key_indexes.read().unwrap().get(&cache_key) {
+            return Ok(Arc::clone(idx));
+        }
+        let keys: Vec<relstore::Row> = rel
+            .rows()
+            .iter()
+            .map(|r| vec![r[ci].value.clone()])
+            .collect();
+        let mut idx = HashIndex::new(vec![0]);
+        idx.rebuild(&keys);
+        let idx = Arc::new(idx);
+        self.key_indexes
+            .write()
+            .unwrap()
+            .insert(cache_key, Arc::clone(&idx));
+        Ok(idx)
+    }
+}
+
+impl AccessPathStats for QueryCatalog {
+    fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)> {
+        let rel = self.relations.get(table)?;
+        let (atoms, _residual) = extract_atoms(rel, predicate);
+        if atoms.is_empty() {
+            return None;
+        }
+        let idx = self.quality_index(table)?;
+        let est = idx.estimate(&atoms)?;
+        Some((atoms.iter().map(|a| a.to_string()).collect(), est))
     }
 }
 
@@ -92,6 +160,7 @@ pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResul
         ));
     }
     let plan = planner.plan(&stmt, catalog.schemas())?;
+    let plan = planner.optimize(plan, catalog);
     let rel = execute(catalog, &plan)?;
     match stmt {
         Statement::Inspect { .. } => Ok(QueryResult::Inspection {
@@ -203,7 +272,39 @@ pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> 
                 rel.rows().iter().take(*n).cloned().collect(),
             )?)
         }
+        Plan::IndexScan {
+            table, predicate, ..
+        } => {
+            let rel = catalog.get(table)?;
+            match catalog.quality_index(table) {
+                Some(idx) => algebra::select_indexed(rel, &idx, predicate).map(|(out, _path)| out),
+                // unreachable through the optimizer (the table existed at
+                // plan time), but hand-built plans stay correct
+                None => algebra::select(rel, predicate),
+            }
+        }
+        Plan::IndexJoin {
+            left,
+            right_table,
+            left_key,
+            right_key,
+        } => {
+            let l = execute(catalog, left)?;
+            let r = catalog.get(right_table)?;
+            let idx = catalog.key_index(right_table, right_key)?;
+            algebra::hash_join_probe(&l, r, left_key, right_key, &idx)
+        }
     }
+}
+
+/// Parses and plans one statement (with the planner's optimizations
+/// applied) and renders the physical plan EXPLAIN-style, one line per
+/// operator with access paths and estimated selectivities.
+pub fn explain(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<String> {
+    let stmt = crate::parser::parse(sql)?;
+    let plan = planner.plan(&stmt, catalog.schemas())?;
+    let plan = planner.optimize(plan, catalog);
+    Ok(plan.explain())
 }
 
 /// Projection supporting both plain columns (cells travel with tags) and
@@ -388,8 +489,24 @@ mod tests {
     fn join_with_pushdown_matches_no_pushdown() {
         let sql = "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker \
                    WHERE qty > 20 WITH QUALITY (price@age < 30)";
-        let with = run_with(&catalog(), sql, &Planner { pushdown: true }).unwrap();
-        let without = run_with(&catalog(), sql, &Planner { pushdown: false }).unwrap();
+        let with = run_with(
+            &catalog(),
+            sql,
+            &Planner {
+                pushdown: true,
+                ..Planner::default()
+            },
+        )
+        .unwrap();
+        let without = run_with(
+            &catalog(),
+            sql,
+            &Planner {
+                pushdown: false,
+                ..Planner::default()
+            },
+        )
+        .unwrap();
         assert_eq!(with.relation().strip(), without.relation().strip());
         assert_eq!(with.relation().len(), 2); // FRT qty 100, 50 (age 4)
     }
@@ -463,6 +580,71 @@ mod tests {
         assert!(run(&catalog(), "SELECT ghost FROM stocks").is_err());
         assert!(run(&catalog(), "SELECT * FROM stocks WHERE").is_err());
         assert!(run(&catalog(), "SELECT * FROM stocks WITH QUALITY (ghost@age < 3)").is_err());
+    }
+
+    #[test]
+    fn indexed_execution_matches_unindexed() {
+        let c = catalog();
+        let on = Planner::default();
+        let off = Planner {
+            use_indexes: false,
+            ..Planner::default()
+        };
+        for sql in [
+            "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')",
+            "SELECT ticker FROM stocks WHERE price > 5 \
+             WITH QUALITY (price@age <= 23, price@source <> 'manual entry')",
+            "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker \
+             WHERE qty > 20 WITH QUALITY (price@age < 30)",
+            "SELECT tkr, SUM(qty) AS total FROM trades GROUP BY tkr ORDER BY tkr",
+        ] {
+            let a = run_with(&c, sql, &on).unwrap();
+            let b = run_with(&c, sql, &off).unwrap();
+            assert_eq!(a.relation(), b.relation(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn explain_shows_bitmap_access_path() {
+        let c = catalog();
+        let e = explain(
+            &c,
+            "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')",
+            &Planner::default(),
+        )
+        .unwrap();
+        assert!(
+            e.contains("IndexScan table=stocks access=bitmap[price@source=manual entry]"),
+            "{e}"
+        );
+        assert!(e.contains("est_selectivity=0.3333"), "{e}");
+        // joins against a bare base table probe its cached key index
+        let e = explain(
+            &c,
+            "SELECT * FROM trades JOIN stocks ON tkr = ticker",
+            &Planner::default(),
+        )
+        .unwrap();
+        assert!(
+            e.contains("IndexJoin on=tkr=ticker right=stocks access=index(probe)"),
+            "{e}"
+        );
+        assert!(explain(&c, "SELECT * FROM ghosts", &Planner::default()).is_err());
+    }
+
+    #[test]
+    fn register_invalidates_cached_indexes() {
+        let mut c = catalog();
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'late feed')";
+        // first run caches the bitmap index; nothing matches yet
+        assert_eq!(run(&c, sql).unwrap().relation().len(), 0);
+        // retag one row and re-register: the stale index must be dropped
+        let mut stocks = c.get("stocks").unwrap().clone();
+        stocks
+            .tag_cell(0, "price", IndicatorValue::new("source", "late feed"))
+            .unwrap();
+        c.register("stocks", stocks);
+        assert_eq!(run(&c, sql).unwrap().relation().len(), 1);
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub mod plan;
 pub mod token;
 
 pub use ast::{JoinClause, OrderItem, SelectItem, SelectQuery, Statement};
-pub use exec::{default_agg_policies, execute, run, run_mut, run_with, QueryCatalog, QueryResult};
+pub use exec::{
+    default_agg_policies, execute, explain, run, run_mut, run_with, QueryCatalog, QueryResult,
+};
 pub use parser::parse;
-pub use plan::{Plan, Planner, SchemaProvider};
+pub use plan::{AccessPathStats, Plan, Planner, SchemaProvider};
 
 #[cfg(test)]
 mod proptests {
@@ -102,6 +104,34 @@ mod proptests {
             prop_assert_eq!(n_val, filtered.relation().len());
             let limited = run(&cat, &format!("SELECT * FROM t LIMIT {n}")).unwrap();
             prop_assert_eq!(limited.relation().len(), rel.len().min(n));
+        }
+
+        /// Access-path selection is invisible: any query runs to the same
+        /// result with the index optimizer on and off, at thread counts
+        /// 1, 2, and 8.
+        #[test]
+        fn index_planner_equals_scan_planner(
+            rel in arb_rel(),
+            a in 0i64..15,
+            b in 0i64..40,
+        ) {
+            let mut cat = QueryCatalog::new();
+            cat.register("t", rel);
+            let on = crate::Planner::default();
+            let off = crate::Planner { use_indexes: false, ..crate::Planner::default() };
+            for sql in [
+                format!("SELECT * FROM t WITH QUALITY (v@age <= {b})"),
+                format!("SELECT * FROM t WHERE k >= {a} WITH QUALITY (v@age = {b})"),
+                format!("SELECT k FROM t WITH QUALITY (v@age > {b}) ORDER BY k"),
+            ] {
+                let baseline = crate::run_with(&cat, &sql, &off).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let indexed = relstore::par::with_thread_count(threads, || {
+                        crate::run_with(&cat, &sql, &on).unwrap()
+                    });
+                    prop_assert_eq!(indexed.relation(), baseline.relation());
+                }
+            }
         }
 
         /// ORDER BY really sorts and DISTINCT really dedupes (on values).

@@ -3,6 +3,8 @@
 use crate::ast::{SelectItem, SelectQuery, Statement};
 use relstore::algebra::AggCall;
 use relstore::{DbError, DbResult, Expr, Schema};
+use std::fmt::Write as _;
+use tagstore::bitmap::{extract_atoms, QualityIndex};
 use tagstore::TaggedRelation;
 
 /// A logical query plan over tagged relations.
@@ -64,6 +66,36 @@ pub enum Plan {
         /// Maximum rows.
         n: usize,
     },
+    /// Index-assisted σ over a base table: the sargable quality atoms are
+    /// answered from a bitmap index, residual conjuncts re-checked per
+    /// surviving row. Chosen by [`Planner::optimize`] when the estimated
+    /// selectivity is low enough to beat a scan.
+    IndexScan {
+        /// Base table name.
+        table: String,
+        /// Full predicate (atoms + residual); execution re-derives the
+        /// split against the live index so a stale estimate can never
+        /// change results.
+        predicate: Expr,
+        /// Rendered sargable atoms (e.g. `price@source=NYSE feed`),
+        /// for EXPLAIN output.
+        atoms: Vec<String>,
+        /// Estimated matching fraction in `[0, 1]` (bitmap popcount over
+        /// row count at plan time).
+        est_selectivity: f64,
+    },
+    /// Equi-join where the right side is a bare base table probed through
+    /// a prebuilt hash index instead of building one per execution.
+    IndexJoin {
+        /// Left input plan.
+        left: Box<Plan>,
+        /// Right base table name (probed via its key index).
+        right_table: String,
+        /// Join key on the left.
+        left_key: String,
+        /// Join key on the right.
+        right_key: String,
+    },
 }
 
 impl Plan {
@@ -71,8 +103,9 @@ impl Plan {
     /// pushdown changed the shape).
     pub fn operator_count(&self) -> usize {
         match self {
-            Plan::Scan(_) => 1,
+            Plan::Scan(_) | Plan::IndexScan { .. } => 1,
             Plan::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+            Plan::IndexJoin { left, .. } => 1 + left.operator_count(),
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
@@ -82,13 +115,16 @@ impl Plan {
         }
     }
 
-    /// True if a `Filter` appears beneath a `Join` (evidence of pushdown).
+    /// True if a `Filter` (or an `IndexScan`, which is a fused
+    /// filter+scan) appears beneath a `Join`/`IndexJoin` (evidence of
+    /// pushdown).
     pub fn has_filter_below_join(&self) -> bool {
         fn contains_filter(p: &Plan) -> bool {
             match p {
-                Plan::Filter { .. } => true,
+                Plan::Filter { .. } | Plan::IndexScan { .. } => true,
                 Plan::Scan(_) => false,
                 Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
+                Plan::IndexJoin { left, .. } => contains_filter(left),
                 Plan::Project { input, .. }
                 | Plan::Aggregate { input, .. }
                 | Plan::Distinct { input }
@@ -98,13 +134,116 @@ impl Plan {
         }
         match self {
             Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
-            Plan::Scan(_) => false,
+            Plan::IndexJoin { left, .. } => contains_filter(left),
+            Plan::Scan(_) | Plan::IndexScan { .. } => false,
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Distinct { input }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. } => input.has_filter_below_join(),
+        }
+    }
+
+    /// EXPLAIN-style rendering: one line per operator, children indented
+    /// two spaces, access path and estimated selectivity shown where an
+    /// index is in play.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            Plan::Scan(name) => {
+                let _ = writeln!(out, "TableScan table={name} access=scan");
+            }
+            Plan::IndexScan {
+                table,
+                predicate,
+                atoms,
+                est_selectivity,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "IndexScan table={table} access=bitmap[{}] est_selectivity={est_selectivity:.4} predicate={predicate}",
+                    atoms.join(" AND ")
+                );
+            }
+            Plan::Filter { input, predicate } => {
+                let _ = writeln!(out, "Filter predicate={predicate}");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let _ = writeln!(out, "HashJoin on={left_key}={right_key} access=build");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::IndexJoin {
+                left,
+                right_table,
+                left_key,
+                right_key,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "IndexJoin on={left_key}={right_key} right={right_table} access=index(probe)"
+                );
+                left.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, columns } => {
+                let cols: Vec<String> = columns
+                    .iter()
+                    .map(|(src, dst)| {
+                        if src == dst {
+                            src.clone()
+                        } else {
+                            format!("{src} AS {dst}")
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(out, "Project columns=[{}]", cols.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let calls: Vec<&str> = aggs.iter().map(|a| a.output.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "Aggregate group_by=[{}] aggs=[{}]",
+                    group_by.join(", "),
+                    calls.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                let _ = writeln!(out, "Distinct");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                let rendered: Vec<String> = keys
+                    .iter()
+                    .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect();
+                let _ = writeln!(out, "Sort keys=[{}]", rendered.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                let _ = writeln!(out, "Limit n={n}");
+                input.explain_into(out, depth + 1);
+            }
         }
     }
 }
@@ -123,17 +262,53 @@ impl SchemaProvider for std::collections::HashMap<String, TaggedRelation> {
     }
 }
 
+/// Access-path statistics the optimizer consults when deciding whether a
+/// filter over a base table should become an [`Plan::IndexScan`].
+pub trait AccessPathStats {
+    /// If the quality-sargable atoms of `predicate` can be answered from
+    /// a bitmap index on `table`, returns the rendered atoms and the
+    /// estimated matching fraction (bitmap popcount / row count).
+    /// `None` means no usable index path — keep the scan.
+    fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)>;
+}
+
+/// Test/small-scale provider: builds a [`QualityIndex`] per call. Real
+/// deployments cache the index (see `QueryCatalog`).
+impl AccessPathStats for std::collections::HashMap<String, TaggedRelation> {
+    fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)> {
+        let rel = self.get(table)?;
+        let (atoms, _residual) = extract_atoms(rel, predicate);
+        if atoms.is_empty() {
+            return None;
+        }
+        let index = QualityIndex::build(rel);
+        let est = index.estimate(&atoms)?;
+        Some((atoms.iter().map(|a| a.to_string()).collect(), est))
+    }
+}
+
+/// Above this estimated matching fraction an index scan stops paying for
+/// itself (gather cost ≈ scan cost) and the planner keeps the scan.
+const INDEX_SELECTIVITY_CUTOFF: f64 = 0.5;
+
 /// The planner. `pushdown` controls whether single-side conjuncts of the
-/// combined WHERE/quality predicate are evaluated below the join.
+/// combined WHERE/quality predicate are evaluated below the join;
+/// `use_indexes` controls whether [`Planner::optimize`] rewrites filters
+/// and joins to their index-assisted forms.
 #[derive(Debug, Clone)]
 pub struct Planner {
     /// Enable predicate pushdown through joins.
     pub pushdown: bool,
+    /// Enable access-path selection (IndexScan / IndexJoin rewrites).
+    pub use_indexes: bool,
 }
 
 impl Default for Planner {
     fn default() -> Self {
-        Planner { pushdown: true }
+        Planner {
+            pushdown: true,
+            use_indexes: true,
+        }
     }
 }
 
@@ -410,6 +585,94 @@ impl Planner {
         }
         Ok(plan)
     }
+
+    /// Access-path selection: runs after pushdown, rewriting
+    ///
+    /// * `Filter(Scan(t))` → [`Plan::IndexScan`] when `stats` reports a
+    ///   usable bitmap path with estimated selectivity at or below the
+    ///   cutoff (low-selectivity predicates win big from the index; at
+    ///   high selectivity the gather costs as much as the scan), and
+    /// * `Join { right: Scan(t) }` → [`Plan::IndexJoin`] probing the base
+    ///   table's prebuilt key index instead of hashing it per execution.
+    ///
+    /// The rewrite is purely an access-path change: execution re-derives
+    /// the atom/residual split against the live index and falls back to a
+    /// scan when the index is stale, so results are identical either way.
+    pub fn optimize(&self, plan: Plan, stats: &dyn AccessPathStats) -> Plan {
+        if !self.use_indexes {
+            return plan;
+        }
+        match plan {
+            Plan::Filter { input, predicate } => {
+                let input = self.optimize(*input, stats);
+                if let Plan::Scan(table) = &input {
+                    if let Some((atoms, est)) = stats.access_estimate(table, &predicate) {
+                        if est <= INDEX_SELECTIVITY_CUTOFF {
+                            return Plan::IndexScan {
+                                table: table.clone(),
+                                predicate,
+                                atoms,
+                                est_selectivity: est,
+                            };
+                        }
+                    }
+                }
+                Plan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+            Plan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let left = Box::new(self.optimize(*left, stats));
+                let right = self.optimize(*right, stats);
+                if let Plan::Scan(table) = right {
+                    Plan::IndexJoin {
+                        left,
+                        right_table: table,
+                        left_key,
+                        right_key,
+                    }
+                } else {
+                    Plan::Join {
+                        left,
+                        right: Box::new(right),
+                        left_key,
+                        right_key,
+                    }
+                }
+            }
+            Plan::Project { input, columns } => Plan::Project {
+                input: Box::new(self.optimize(*input, stats)),
+                columns,
+            },
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => Plan::Aggregate {
+                input: Box::new(self.optimize(*input, stats)),
+                group_by,
+                aggs,
+            },
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.optimize(*input, stats)),
+            },
+            Plan::Sort { input, keys } => Plan::Sort {
+                input: Box::new(self.optimize(*input, stats)),
+                keys,
+            },
+            Plan::Limit { input, n } => Plan::Limit {
+                input: Box::new(self.optimize(*input, stats)),
+                n,
+            },
+            leaf @ (Plan::Scan(_) | Plan::IndexScan { .. } | Plan::IndexJoin { .. }) => leaf,
+        }
+    }
 }
 
 fn agg_name(f: relstore::algebra::AggFunc) -> &'static str {
@@ -453,7 +716,12 @@ mod tests {
 
     fn plan_q(sql: &str, pushdown: bool) -> Plan {
         let stmt = parse(sql).unwrap();
-        Planner { pushdown }.plan(&stmt, &catalog()).unwrap()
+        Planner {
+            pushdown,
+            ..Planner::default()
+        }
+        .plan(&stmt, &catalog())
+        .unwrap()
     }
 
     #[test]
@@ -568,5 +836,142 @@ mod tests {
     fn operator_count_counts() {
         let p = plan_q("SELECT ticker FROM stocks WHERE price > 1 LIMIT 1", true);
         assert_eq!(p.operator_count(), 4); // scan, filter, project, limit
+    }
+
+    /// Catalog with actual tagged rows so access-path estimates are live.
+    fn tagged_catalog() -> HashMap<String, TaggedRelation> {
+        use tagstore::{IndicatorValue, QualityCell};
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mk = |t: &str, p: f64, src: &str| {
+            vec![
+                QualityCell::bare(t),
+                QualityCell::bare(p).with_tag(IndicatorValue::new("source", src)),
+            ]
+        };
+        let stocks = TaggedRelation::new(
+            Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
+            dict.clone(),
+            vec![
+                mk("FRT", 10.0, "NYSE feed"),
+                mk("NUT", 20.0, "NYSE feed"),
+                mk("BLT", 30.0, "manual entry"),
+            ],
+        )
+        .unwrap();
+        let trades = TaggedRelation::new(
+            Schema::of(&[("tkr", DataType::Text), ("qty", DataType::Int)]),
+            dict,
+            vec![vec![QualityCell::bare("FRT"), QualityCell::bare(100i64)]],
+        )
+        .unwrap();
+        let mut m = HashMap::new();
+        m.insert("stocks".to_owned(), stocks);
+        m.insert("trades".to_owned(), trades);
+        m
+    }
+
+    #[test]
+    fn optimize_selects_index_scan_for_selective_quality_predicate() {
+        let cat = tagged_catalog();
+        let stmt =
+            parse("SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')").unwrap();
+        let planner = Planner::default();
+        let plan = planner.plan(&stmt, &cat).unwrap();
+        let opt = planner.optimize(plan, &cat);
+        match &opt {
+            Plan::IndexScan {
+                table,
+                atoms,
+                est_selectivity,
+                ..
+            } => {
+                assert_eq!(table, "stocks");
+                assert_eq!(atoms, &vec!["price@source=manual entry".to_owned()]);
+                assert!((est_selectivity - 1.0 / 3.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        let explain = opt.explain();
+        assert!(
+            explain.contains(
+                "IndexScan table=stocks access=bitmap[price@source=manual entry] \
+                 est_selectivity=0.3333"
+            ),
+            "{explain}"
+        );
+    }
+
+    #[test]
+    fn optimize_keeps_scan_when_unselective_or_disabled() {
+        let cat = tagged_catalog();
+        // 2 of 3 rows match → above the cutoff → the scan stays.
+        let stmt =
+            parse("SELECT * FROM stocks WITH QUALITY (price@source = 'NYSE feed')").unwrap();
+        let planner = Planner::default();
+        let plan = planner.plan(&stmt, &cat).unwrap();
+        let opt = planner.optimize(plan, &cat);
+        assert!(matches!(opt, Plan::Filter { .. }), "{opt:?}");
+        // value-only predicate: no quality atoms → no index path
+        let stmt = parse("SELECT * FROM stocks WHERE price > 5").unwrap();
+        let vplan = planner.plan(&stmt, &cat).unwrap();
+        assert_eq!(planner.optimize(vplan.clone(), &cat), vplan);
+        // disabled planner is the identity
+        let off = Planner {
+            use_indexes: false,
+            ..Planner::default()
+        };
+        let stmt =
+            parse("SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')").unwrap();
+        let p = off.plan(&stmt, &cat).unwrap();
+        assert_eq!(off.optimize(p.clone(), &cat), p);
+    }
+
+    #[test]
+    fn optimize_probes_bare_right_scan_as_index_join() {
+        let cat = tagged_catalog();
+        let stmt = parse("SELECT * FROM stocks JOIN trades ON ticker = tkr").unwrap();
+        let planner = Planner::default();
+        let plan = planner.plan(&stmt, &cat).unwrap();
+        let opt = planner.optimize(plan, &cat);
+        match &opt {
+            Plan::IndexJoin {
+                left,
+                right_table,
+                left_key,
+                right_key,
+            } => {
+                assert_eq!(**left, Plan::Scan("stocks".into()));
+                assert_eq!(right_table, "trades");
+                assert_eq!(left_key, "ticker");
+                assert_eq!(right_key, "tkr");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(opt
+            .explain()
+            .contains("IndexJoin on=ticker=tkr right=trades access=index(probe)"));
+        assert_eq!(opt.operator_count(), 2); // index-join + left scan
+    }
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let p = plan_q(
+            "SELECT DISTINCT ticker FROM stocks WHERE price > 1 ORDER BY ticker DESC LIMIT 3",
+            true,
+        );
+        let e = p.explain();
+        for needle in [
+            "Limit n=3",
+            "Sort keys=[ticker DESC]",
+            "Distinct",
+            "Project columns=[ticker]",
+            "Filter predicate=(price > 1)",
+            "TableScan table=stocks access=scan",
+        ] {
+            assert!(e.contains(needle), "missing {needle:?} in:\n{e}");
+        }
+        // one line per operator, children indented
+        assert_eq!(e.lines().count(), p.operator_count());
+        assert!(e.lines().last().unwrap().starts_with("          TableScan"));
     }
 }

@@ -116,6 +116,56 @@ impl Func {
     }
 }
 
+impl fmt::Display for Expr {
+    /// SQL-ish rendering for EXPLAIN output and diagnostics. Binary and
+    /// compound forms parenthesize so precedence is unambiguous without
+    /// re-implementing the parser's precedence table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Text(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Col(c) => f.write_str(c),
+            Expr::Bin(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::Un(UnOp::Not, e) => write!(f, "(NOT {e})"),
+            Expr::Un(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            Expr::Between(x, lo, hi) => write!(f, "({x} BETWEEN {lo} AND {hi})"),
+            Expr::InList(x, items) => {
+                write!(f, "({x} IN (")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Like(x, pat) => write!(f, "({x} LIKE '{pat}')"),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", format!("{func:?}").to_ascii_lowercase())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case(whens, else_) => {
+                write!(f, "(CASE")?;
+                for (c, v) in whens {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END)")
+            }
+        }
+    }
+}
+
 /// Scalar expression tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {

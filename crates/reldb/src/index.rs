@@ -3,7 +3,24 @@
 //! Two classes: [`BTreeIndex`] supports range scans (used by quality
 //! predicates like `creation_time >= d`), [`HashIndex`] supports point
 //! lookups. Both map a key (one or more column values) to the positions of
-//! matching rows, and are maintained incrementally by [`crate::table::Table`].
+//! matching rows.
+//!
+//! # Maintenance model
+//!
+//! [`crate::table::Table`] maintains its indexes **incrementally** through
+//! every mutation path: `insert` adds the new row's key, `update` removes
+//! the old key and adds the new one, and `delete` (a swap-remove) removes
+//! the deleted row's key *and* re-homes the moved last row's entry to its
+//! new position. Each index counts these maintenance events in
+//! [`IndexStats`] (`stats()`), so tests can assert that deletes really
+//! were applied incrementally rather than by rebuild.
+//!
+//! **Bulk loads rebuild instead.** `Table::bulk_load` appends the whole
+//! batch first and then calls `rebuild` once per index — O(batch) total
+//! rather than per-row index churn; `rebuilds` increments once and
+//! `inserts`/`removes` stay untouched. Anything that mutates rows behind
+//! the indexes' back must finish with [`BTreeIndex::rebuild`] /
+//! [`HashIndex::rebuild`].
 
 use crate::relation::Row;
 use crate::value::Value;
@@ -12,6 +29,18 @@ use std::ops::Bound;
 
 /// Composite index key.
 pub type IndexKey = Vec<Value>;
+
+/// Counters of index maintenance events — incremental upkeep
+/// (`inserts`/`removes`) vs. wholesale `rebuilds`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Keys added one at a time (insert, update, delete fix-ups).
+    pub inserts: u64,
+    /// Keys removed one at a time (delete, update, delete fix-ups).
+    pub removes: u64,
+    /// Full rebuilds (index creation, bulk load).
+    pub rebuilds: u64,
+}
 
 /// Extracts the index key from a row given key column positions.
 pub fn key_of(row: &Row, cols: &[usize]) -> IndexKey {
@@ -24,6 +53,7 @@ pub struct BTreeIndex {
     map: BTreeMap<IndexKey, Vec<usize>>,
     /// Positions of key columns within the table schema.
     cols: Vec<usize>,
+    stats: IndexStats,
 }
 
 impl BTreeIndex {
@@ -32,6 +62,7 @@ impl BTreeIndex {
         BTreeIndex {
             map: BTreeMap::new(),
             cols,
+            stats: IndexStats::default(),
         }
     }
 
@@ -40,13 +71,20 @@ impl BTreeIndex {
         &self.cols
     }
 
+    /// Maintenance counters since creation.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
     /// Inserts `row` (located at `pos` in the table) into the index.
     pub fn insert(&mut self, row: &Row, pos: usize) {
+        self.stats.inserts += 1;
         self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
     }
 
     /// Removes the entry for `row` at `pos`.
     pub fn remove(&mut self, row: &Row, pos: usize) {
+        self.stats.removes += 1;
         let key = key_of(row, &self.cols);
         if let Some(v) = self.map.get_mut(&key) {
             v.retain(|&p| p != pos);
@@ -79,11 +117,13 @@ impl BTreeIndex {
         self.map.len()
     }
 
-    /// Rebuilds from scratch over all rows (after bulk mutation).
+    /// Rebuilds from scratch over all rows (after bulk mutation). Counts
+    /// as one `rebuilds` event — not per-row `inserts`.
     pub fn rebuild(&mut self, rows: &[Row]) {
+        self.stats.rebuilds += 1;
         self.map.clear();
         for (pos, row) in rows.iter().enumerate() {
-            self.insert(row, pos);
+            self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
         }
     }
 }
@@ -93,6 +133,7 @@ impl BTreeIndex {
 pub struct HashIndex {
     map: HashMap<IndexKey, Vec<usize>>,
     cols: Vec<usize>,
+    stats: IndexStats,
 }
 
 impl HashIndex {
@@ -101,6 +142,7 @@ impl HashIndex {
         HashIndex {
             map: HashMap::new(),
             cols,
+            stats: IndexStats::default(),
         }
     }
 
@@ -109,13 +151,20 @@ impl HashIndex {
         &self.cols
     }
 
+    /// Maintenance counters since creation.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
     /// Inserts `row` at table position `pos`.
     pub fn insert(&mut self, row: &Row, pos: usize) {
+        self.stats.inserts += 1;
         self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
     }
 
     /// Removes the entry for `row` at `pos`.
     pub fn remove(&mut self, row: &Row, pos: usize) {
+        self.stats.removes += 1;
         let key = key_of(row, &self.cols);
         if let Some(v) = self.map.get_mut(&key) {
             v.retain(|&p| p != pos);
@@ -135,11 +184,19 @@ impl HashIndex {
         self.map.contains_key(key)
     }
 
-    /// Rebuilds from scratch.
+    /// Number of distinct keys (selectivity input: `distinct_keys / rows`
+    /// approximates the matching fraction of a point lookup).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Rebuilds from scratch. Counts as one `rebuilds` event — not
+    /// per-row `inserts`.
     pub fn rebuild(&mut self, rows: &[Row]) {
+        self.stats.rebuilds += 1;
         self.map.clear();
         for (pos, row) in rows.iter().enumerate() {
-            self.insert(row, pos);
+            self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
         }
     }
 }
@@ -207,6 +264,30 @@ mod tests {
         idx.rebuild(&rows());
         assert!(idx.contains(&vec![Value::Int(1), Value::text("a")]));
         assert!(!idx.contains(&vec![Value::Int(1), Value::text("b")]));
+    }
+
+    #[test]
+    fn stats_distinguish_incremental_from_rebuild() {
+        let mut idx = BTreeIndex::new(vec![0]);
+        idx.rebuild(&rows());
+        assert_eq!(
+            idx.stats(),
+            IndexStats { inserts: 0, removes: 0, rebuilds: 1 }
+        );
+        idx.insert(&vec![Value::Int(7), Value::text("z")], 4);
+        idx.remove(&rows()[0], 0);
+        assert_eq!(
+            idx.stats(),
+            IndexStats { inserts: 1, removes: 1, rebuilds: 1 }
+        );
+        let mut h = HashIndex::new(vec![1]);
+        h.rebuild(&rows());
+        h.insert(&rows()[0], 4);
+        assert_eq!(
+            h.stats(),
+            IndexStats { inserts: 1, removes: 0, rebuilds: 1 }
+        );
+        assert_eq!(h.distinct_keys(), 4);
     }
 
     #[test]

@@ -39,9 +39,10 @@ pub use catalog::Database;
 pub use date::Date;
 pub use error::{DbError, DbResult};
 pub use expr::{Expr, Func};
+pub use index::{BTreeIndex, HashIndex, IndexStats};
 pub use relation::{Relation, Row};
 pub use schema::{ColumnDef, Schema};
-pub use query::{extract_sargs, select_indexed, AccessPath, Sarg};
+pub use query::{explain_select, extract_sargs, select_indexed, AccessPath, Sarg};
 pub use table::Table;
 pub use value::{DataType, Value};
 

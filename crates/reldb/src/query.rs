@@ -13,6 +13,7 @@ use crate::expr::{BinOp, Expr};
 use crate::relation::Relation;
 use crate::table::{Index, Table};
 use crate::value::Value;
+use std::fmt;
 use std::ops::Bound;
 
 /// A sargable constraint extracted from a predicate.
@@ -125,17 +126,21 @@ pub enum AccessPath {
     Index(String),
 }
 
-/// Index-aware σ over a table: uses a single-column index matching a
-/// sargable conjunct when one exists, then applies the full predicate to
-/// the candidates. Returns the result and the access path taken.
-pub fn select_indexed(table: &Table, predicate: &Expr) -> DbResult<(Relation, AccessPath)> {
-    let schema = table.schema().clone();
-    let sargs = extract_sargs(predicate);
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::Scan => write!(f, "scan"),
+            AccessPath::Index(name) => write!(f, "index({name})"),
+        }
+    }
+}
 
-    // find (index name, candidate positions) for the first usable sarg
-    let mut narrowed: Option<(String, Vec<usize>)> = None;
-    'outer: for sarg in &sargs {
-        let Some(ci) = schema.index_of(sarg.column()) else {
+/// Finds the first sargable conjunct a single-column index can serve,
+/// returning `(index name, candidate positions)`. The shared
+/// access-path choice behind [`select_indexed`] and [`explain_select`].
+fn choose_access(table: &Table, sargs: &[Sarg]) -> Option<(String, Vec<usize>)> {
+    for sarg in sargs {
+        let Some(ci) = table.schema().index_of(sarg.column()) else {
             continue;
         };
         for name in table.index_names() {
@@ -150,21 +155,27 @@ pub fn select_indexed(table: &Table, predicate: &Expr) -> DbResult<(Relation, Ac
                             bt.range(as_ref_bound(&lo_key), as_ref_bound(&hi_key))
                         }
                     };
-                    narrowed = Some((name, positions));
-                    break 'outer;
+                    return Some((name, positions));
                 }
                 Index::Hash(h) if h.columns() == [ci] => {
                     if let Sarg::Point(_, v) = sarg {
-                        narrowed = Some((name, h.get(&vec![v.clone()]).to_vec()));
-                        break 'outer;
+                        return Some((name, h.get(&vec![v.clone()]).to_vec()));
                     }
                 }
                 _ => {}
             }
         }
     }
+    None
+}
 
-    match narrowed {
+/// Index-aware σ over a table: uses a single-column index matching a
+/// sargable conjunct when one exists, then applies the full predicate to
+/// the candidates. Returns the result and the access path taken.
+pub fn select_indexed(table: &Table, predicate: &Expr) -> DbResult<(Relation, AccessPath)> {
+    let schema = table.schema().clone();
+    let sargs = extract_sargs(predicate);
+    match choose_access(table, &sargs) {
         Some((name, positions)) => {
             let mut rows = Vec::with_capacity(positions.len());
             for p in positions {
@@ -183,6 +194,29 @@ pub fn select_indexed(table: &Table, predicate: &Expr) -> DbResult<(Relation, Ac
             Ok((rel, AccessPath::Scan))
         }
     }
+}
+
+/// EXPLAIN-style rendering of how [`select_indexed`] would answer
+/// `predicate`: the filter line and the access line, including the
+/// candidate narrowing (`candidates=x/y` — index candidates out of table
+/// rows) so tests can assert which path runs *and* how selective it is.
+pub fn explain_select(table: &Table, predicate: &Expr) -> DbResult<String> {
+    let sargs = extract_sargs(predicate);
+    let total = table.len();
+    let line = match choose_access(table, &sargs) {
+        Some((name, positions)) => format!(
+            "TableScan table={} access={} candidates={}/{total}",
+            table.name(),
+            AccessPath::Index(name),
+            positions.len(),
+        ),
+        None => format!(
+            "TableScan table={} access={} candidates={total}/{total}",
+            table.name(),
+            AccessPath::Scan,
+        ),
+    };
+    Ok(format!("Filter predicate={predicate}\n  {line}"))
 }
 
 fn bound_key(b: &Bound<Value>) -> Bound<Vec<Value>> {
@@ -301,6 +335,23 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_renders_access_path_and_candidates() {
+        let t = table(true, false);
+        let p = Expr::col("id").lt(Expr::lit(5i64));
+        let plan = explain_select(&t, &p).unwrap();
+        assert_eq!(
+            plan,
+            "Filter predicate=(id < 5)\n  TableScan table=t access=index(by_id) candidates=20/100"
+        );
+        // no usable index → scan over everything
+        let p = Expr::col("name").eq(Expr::lit("n1"));
+        let plan = explain_select(&t, &p).unwrap();
+        assert!(plan.contains("access=scan candidates=100/100"), "got:\n{plan}");
+        assert_eq!(AccessPath::Scan.to_string(), "scan");
+        assert_eq!(AccessPath::Index("i".into()).to_string(), "index(i)");
     }
 
     #[test]

@@ -42,6 +42,13 @@ impl Index {
             Index::Hash(i) => i.get(key),
         }
     }
+    /// Maintenance counters since creation.
+    pub fn stats(&self) -> crate::index::IndexStats {
+        match self {
+            Index::BTree(i) => i.stats(),
+            Index::Hash(i) => i.stats(),
+        }
+    }
 }
 
 /// A table in the catalog.
@@ -263,6 +270,48 @@ impl Table {
             None => Vec::new(),
         }
     }
+
+    /// Maintenance counters for the named index.
+    pub fn index_stats(&self, name: &str) -> Option<crate::index::IndexStats> {
+        self.indexes.get(name).map(|i| i.stats())
+    }
+
+    /// Index-aware σ over this table: consults the maintained indexes for
+    /// sargable conjuncts and reports which [`crate::query::AccessPath`]
+    /// ran. This is the public entry the indexes exist for — equivalent to
+    /// `crate::query::select_indexed(self, predicate)`.
+    pub fn select(&self, predicate: &crate::expr::Expr) -> DbResult<(Relation, crate::query::AccessPath)> {
+        crate::query::select_indexed(self, predicate)
+    }
+
+    /// EXPLAIN-style rendering of how [`Table::select`] would answer
+    /// `predicate` — see [`crate::query::explain_select`].
+    pub fn explain_select(&self, predicate: &crate::expr::Expr) -> DbResult<String> {
+        crate::query::explain_select(self, predicate)
+    }
+
+    /// Bulk-loads a batch of rows: validates and appends every row first,
+    /// then rebuilds each index **once** (the rebuild-on-bulk-load path —
+    /// O(batch) index work instead of per-row churn). On any validation
+    /// failure the table is restored to its pre-call state and the error
+    /// returned. Returns the number of rows loaded.
+    pub fn bulk_load(&mut self, batch: Vec<Row>) -> DbResult<usize> {
+        let baseline = self.rows.len();
+        for row in batch {
+            // validate_insert checks keys against rows already appended
+            // this batch too, so intra-batch duplicates fail.
+            if let Err(e) = self.validate_insert(&row) {
+                self.rows.truncate(baseline);
+                return Err(e);
+            }
+            self.rows.push(row);
+        }
+        let loaded = self.rows.len() - baseline;
+        if loaded > 0 {
+            self.rebuild_indexes();
+        }
+        Ok(loaded)
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +424,83 @@ mod tests {
         let mut t = make_table();
         assert!(t.update(0, vec![Value::Int(1), Value::Null, Value::Null]).is_err());
         assert!(t.delete(0).is_err());
+    }
+
+    #[test]
+    fn delete_maintains_indexes_incrementally() {
+        let mut t = make_table();
+        t.create_btree_index("by_id", &["id"]).unwrap();
+        for i in 0..4i64 {
+            t.insert(vec![Value::Int(i), Value::text(format!("c{i}")), Value::Int(1)])
+                .unwrap();
+        }
+        let before = t.index_stats("by_id").unwrap();
+        assert_eq!(before.rebuilds, 1); // creation only
+        // swap-remove of a non-last row: one remove for the deleted row,
+        // plus remove+insert re-homing the moved last row — all
+        // incremental, no rebuild.
+        t.delete(1).unwrap();
+        let after = t.index_stats("by_id").unwrap();
+        assert_eq!(after.rebuilds, before.rebuilds);
+        assert_eq!(after.removes, before.removes + 2);
+        assert_eq!(after.inserts, before.inserts + 1);
+        // and the index still answers correctly
+        assert_eq!(t.lookup("by_id", &vec![Value::Int(3)]).len(), 1);
+        assert!(t.lookup("by_id", &vec![Value::Int(1)]).is_empty());
+    }
+
+    #[test]
+    fn bulk_load_rebuilds_once() {
+        let mut t = make_table();
+        t.create_btree_index("by_id", &["id"]).unwrap();
+        let batch: Vec<Row> = (0..10i64)
+            .map(|i| vec![Value::Int(i), Value::text(format!("c{i}")), Value::Int(1)])
+            .collect();
+        assert_eq!(t.bulk_load(batch).unwrap(), 10);
+        let s = t.index_stats("by_id").unwrap();
+        assert_eq!(s.rebuilds, 2); // creation + one bulk rebuild
+        assert_eq!(s.inserts, 0); // no per-row churn
+        assert_eq!(t.lookup("by_id", &vec![Value::Int(7)]).len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_rolls_back_on_bad_row() {
+        let mut t = make_table();
+        t.create_hash_index("by_name", &["name"]).unwrap();
+        t.insert(vec![Value::Int(0), Value::text("seed"), Value::Int(1)])
+            .unwrap();
+        let batch = vec![
+            vec![Value::Int(1), Value::text("ok"), Value::Int(1)],
+            vec![Value::Int(0), Value::text("dup pk"), Value::Int(1)], // violates PK
+        ];
+        assert!(t.bulk_load(batch).is_err());
+        assert_eq!(t.len(), 1); // batch fully rolled back
+        assert_eq!(t.lookup("by_name", &vec![Value::text("seed")]).len(), 1);
+        assert!(t.lookup("by_name", &vec![Value::text("ok")]).is_empty());
+        // intra-batch duplicates also fail atomically
+        let batch = vec![
+            vec![Value::Int(2), Value::text("x"), Value::Int(1)],
+            vec![Value::Int(2), Value::text("y"), Value::Int(1)],
+        ];
+        assert!(t.bulk_load(batch).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_select_consults_indexes() {
+        let mut t = make_table();
+        t.create_btree_index("by_emp", &["employees"]).unwrap();
+        for i in 0..20i64 {
+            t.insert(vec![Value::Int(i), Value::text(format!("c{i}")), Value::Int(i * 10)])
+                .unwrap();
+        }
+        let p = Expr::col("employees").ge(Expr::lit(150i64));
+        let (rel, path) = t.select(&p).unwrap();
+        assert_eq!(path, crate::query::AccessPath::Index("by_emp".into()));
+        assert_eq!(rel.len(), 5);
+        let plan = t.explain_select(&p).unwrap();
+        assert!(plan.contains("index(by_emp)"), "got:\n{plan}");
+        assert!(plan.contains("(employees >= 150)"), "got:\n{plan}");
     }
 
     #[test]

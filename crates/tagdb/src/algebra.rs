@@ -12,14 +12,17 @@
 //! * predicates may reference pseudo-columns `col@indicator`, which is the
 //!   paper's query-time quality filtering.
 
+use crate::bitmap::{extract_atoms, QualityIndex};
 use crate::cell::QualityCell;
 use crate::indicator::IndicatorValue;
 use crate::relation::{TaggedRelation, TaggedRow, TAG_SEP};
 use crate::symbol::Symbol;
 use relstore::algebra::AggCall;
 use relstore::expr::{CompiledExpr, ValueSource};
+use relstore::index::HashIndex;
 use relstore::{par, Date, DbError, DbResult, Expr, Row, Value};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A quality predicate compiled against a tagged relation's schema.
 ///
@@ -179,6 +182,130 @@ pub fn select(rel: &TaggedRelation, predicate: &Expr) -> DbResult<TaggedRelation
     ))
 }
 
+/// σ over an explicit ascending candidate row-id list: gathers the rows
+/// at `ids`, optionally re-checking `predicate` on each (the residual
+/// pass of index-assisted selection). Chunks over the id list itself, so
+/// the parallel win scales with the *surviving* rows, not the relation —
+/// and chunk-order merging keeps the output byte-identical to a serial
+/// gather.
+pub fn select_at(
+    rel: &TaggedRelation,
+    ids: &[usize],
+    predicate: Option<&Expr>,
+) -> DbResult<TaggedRelation> {
+    let compiled = match predicate {
+        Some(p) => Some(CompiledTagExpr::compile(rel, p)?),
+        None => None,
+    };
+    let gather_chunk = |chunk: &[usize]| -> DbResult<Vec<TaggedRow>> {
+        let mut out = Vec::with_capacity(chunk.len());
+        for &id in chunk {
+            let row = rel
+                .rows()
+                .get(id)
+                .ok_or_else(|| DbError::InvalidExpression(format!("row index {id} out of range")))?;
+            match &compiled {
+                Some(c) => {
+                    if c.matches(row)? {
+                        out.push(row.clone());
+                    }
+                }
+                None => out.push(row.clone()),
+            }
+        }
+        Ok(out)
+    };
+    let rows = match par::plan(ids.len()) {
+        Some(threads) => {
+            par::merge_results(par::run_chunked(ids, threads, |_, c| gather_chunk(c)))?
+        }
+        None => gather_chunk(ids)?,
+    };
+    Ok(TaggedRelation::from_parts_unchecked(
+        rel.schema().clone(),
+        rel.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// How an index-aware σ actually ran — surfaced so tests (and EXPLAIN
+/// output) can assert which path executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagAccessPath {
+    /// Full scan: no index-answerable atoms, or an atom the index had to
+    /// refuse (type-error parity), or a stale index.
+    Scan,
+    /// Bitmap-assisted: the atom conjunction resolved to a candidate
+    /// bitset; `residual` says whether a per-row pass still ran.
+    Bitmap {
+        /// Rendered atoms the bitmaps answered.
+        atoms: Vec<String>,
+        /// Candidate rows surviving the bitmap intersection.
+        candidates: usize,
+        /// Whether non-atomic conjuncts forced a residual per-row pass.
+        residual: bool,
+    },
+}
+
+impl fmt::Display for TagAccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagAccessPath::Scan => write!(f, "scan"),
+            TagAccessPath::Bitmap {
+                atoms,
+                candidates,
+                residual,
+            } => {
+                write!(f, "bitmap[{}] candidates={candidates}", atoms.join(" AND "))?;
+                if *residual {
+                    write!(f, " +residual")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Index-assisted σ: resolves the predicate's quality atoms against the
+/// bitmap `index`, then gathers (and residual-filters) only the
+/// surviving candidates via [`select_at`]. Falls back to the full
+/// [`select`] scan whenever the index cannot answer *exactly* — so the
+/// result (rows, order, and errors on answerable predicates) is
+/// byte-identical to the scan, just cheaper.
+pub fn select_indexed(
+    rel: &TaggedRelation,
+    index: &QualityIndex,
+    predicate: &Expr,
+) -> DbResult<(TaggedRelation, TagAccessPath)> {
+    // Compile up front so malformed predicates error exactly like the scan.
+    CompiledTagExpr::compile(rel, predicate)?;
+    let scan = |rel: &TaggedRelation| Ok((select(rel, predicate)?, TagAccessPath::Scan));
+    if index.rows() != rel.len() {
+        return scan(rel); // stale index — never trust it
+    }
+    let (atoms, residual) = extract_atoms(rel, predicate);
+    if atoms.is_empty() {
+        return scan(rel);
+    }
+    let Some(bs) = index.candidates(&atoms) else {
+        return scan(rel);
+    };
+    let ids: Vec<usize> = bs.iter_ones().collect();
+    let path = TagAccessPath::Bitmap {
+        atoms: atoms.iter().map(|a| a.to_string()).collect(),
+        candidates: ids.len(),
+        residual: !residual.is_empty(),
+    };
+    let filtered = if residual.is_empty() {
+        select_at(rel, &ids, None)?
+    } else {
+        // Re-check the *full* predicate: correct regardless of how the
+        // residual interleaves with atoms, and atom re-checks are cheap.
+        select_at(rel, &ids, Some(predicate))?
+    };
+    Ok((filtered, path))
+}
+
 /// π — projects onto named columns; tags travel with cells (shared, not
 /// deep-copied). Parallel on large inputs, input order preserved.
 pub fn project(rel: &TaggedRelation, columns: &[&str]) -> DbResult<TaggedRelation> {
@@ -281,6 +408,55 @@ pub fn hash_join(
             .flatten()
             .collect(),
         None => probe_chunk(left.rows()),
+    };
+    Ok(TaggedRelation::from_parts_unchecked(
+        schema,
+        left.dictionary().clone(),
+        rows,
+    ))
+}
+
+/// ⋈ via a prebuilt [`HashIndex`] over the right relation's key values
+/// (`vec![value] → row positions`, positions in row order): probes the
+/// index instead of building a hash table per join. Output is
+/// byte-identical to [`hash_join`] on the same inputs — same schema, same
+/// row order, same tag sharing. NULL keys never join: left NULLs are
+/// skipped explicitly (NULL = NULL is *true* under the storage total
+/// order, so the probe must not reach the index), and right NULL entries
+/// are unreachable from non-NULL probes.
+pub fn hash_join_probe(
+    left: &TaggedRelation,
+    right: &TaggedRelation,
+    left_key: &str,
+    right_key: &str,
+    index: &HashIndex,
+) -> DbResult<TaggedRelation> {
+    let li = left.schema().resolve(left_key)?;
+    right.schema().resolve(right_key)?;
+    let schema = left.schema().join(right.schema(), "l", "r")?;
+    let probe_chunk = |chunk: &[TaggedRow]| -> DbResult<Vec<TaggedRow>> {
+        let mut out = Vec::new();
+        for lr in chunk {
+            if lr[li].value.is_null() {
+                continue;
+            }
+            let key = vec![lr[li].value.clone()];
+            for &pos in index.get(&key) {
+                let rr = right.rows().get(pos).ok_or_else(|| {
+                    DbError::InvalidExpression(format!("join index position {pos} out of range"))
+                })?;
+                let mut combined = lr.clone();
+                combined.extend(rr.iter().cloned());
+                out.push(combined);
+            }
+        }
+        Ok(out)
+    };
+    let rows: Vec<TaggedRow> = match par::plan(left.len()) {
+        Some(threads) => {
+            par::merge_results(par::run_chunked(left.rows(), threads, |_, c| probe_chunk(c)))?
+        }
+        None => probe_chunk(left.rows())?,
     };
     Ok(TaggedRelation::from_parts_unchecked(
         schema,
@@ -668,6 +844,91 @@ mod tests {
             j.cell(0, "price").unwrap().tag_value("source"),
             Value::text("NYSE feed")
         );
+    }
+
+    #[test]
+    fn select_indexed_matches_scan_and_reports_path() {
+        let rel = prices();
+        let idx = QualityIndex::build(&rel);
+        // pure quality atom → bitmap path, no residual
+        let p = Expr::col("price@source").eq(Expr::lit("NYSE feed"));
+        let (r, path) = select_indexed(&rel, &idx, &p).unwrap();
+        assert_eq!(r, select(&rel, &p).unwrap());
+        assert_eq!(
+            path,
+            TagAccessPath::Bitmap {
+                atoms: vec!["price@source=NYSE feed".into()],
+                candidates: 2,
+                residual: false,
+            }
+        );
+        assert_eq!(path.to_string(), "bitmap[price@source=NYSE feed] candidates=2");
+        // mixed quality + value predicate → bitmap with residual
+        let p = Expr::col("price@source")
+            .ne(Expr::lit("manual entry"))
+            .and(Expr::col("price").gt(Expr::lit(15.0)));
+        let (r, path) = select_indexed(&rel, &idx, &p).unwrap();
+        assert_eq!(r, select(&rel, &p).unwrap());
+        assert!(matches!(path, TagAccessPath::Bitmap { residual: true, .. }));
+        // value-only predicate → scan
+        let p = Expr::col("price").gt(Expr::lit(15.0));
+        let (r, path) = select_indexed(&rel, &idx, &p).unwrap();
+        assert_eq!(r, select(&rel, &p).unwrap());
+        assert_eq!(path, TagAccessPath::Scan);
+        // stale index (built before a push) → scan, still correct
+        let mut grown = rel.clone();
+        grown
+            .push(vec![QualityCell::bare("ZZZ"), QualityCell::bare(5.0)])
+            .unwrap();
+        let p = Expr::col("price@source").eq(Expr::lit("NYSE feed"));
+        let (r, path) = select_indexed(&grown, &idx, &p).unwrap();
+        assert_eq!(r, select(&grown, &p).unwrap());
+        assert_eq!(path, TagAccessPath::Scan);
+        // malformed predicate errors exactly like the scan would
+        let bad = Expr::col("ghost@source").eq(Expr::lit("x"));
+        assert!(select_indexed(&rel, &idx, &bad).is_err());
+    }
+
+    #[test]
+    fn select_at_gathers_and_filters() {
+        let rel = prices();
+        let r = select_at(&rel, &[0, 2], None).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(1, "ticker").unwrap().value, Value::text("BLT"));
+        let p = Expr::col("price").gt(Expr::lit(15.0));
+        let r = select_at(&rel, &[0, 2], Some(&p)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(select_at(&rel, &[99], None).is_err());
+    }
+
+    #[test]
+    fn hash_join_probe_matches_hash_join() {
+        let schema = Schema::of(&[("ticker", DataType::Text), ("qty", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let trades = TaggedRelation::new(
+            schema,
+            dict,
+            vec![
+                vec![
+                    QualityCell::bare("FRT")
+                        .with_tag(IndicatorValue::new("source", "order desk")),
+                    QualityCell::bare(100i64),
+                ],
+                vec![QualityCell::bare("NUT"), QualityCell::bare(7i64)],
+                vec![QualityCell::bare(Value::Null), QualityCell::bare(1i64)],
+            ],
+        )
+        .unwrap();
+        let right = prices();
+        let ri = right.schema().resolve("ticker").unwrap();
+        let mut idx = HashIndex::new(vec![0]);
+        for (pos, row) in right.iter().enumerate() {
+            idx.insert(&vec![row[ri].value.clone()], pos);
+        }
+        let probed = hash_join_probe(&trades, &right, "ticker", "ticker", &idx).unwrap();
+        let built = hash_join(&trades, &right, "ticker", "ticker").unwrap();
+        assert_eq!(probed, built);
+        assert_eq!(probed.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,861 @@
+//! Quality bitmap indexes: per-(column, indicator, value) inverted
+//! bitmaps over cell tags.
+//!
+//! The paper's query-time quality filtering (`price@source = 'NYSE
+//! feed'`, `creation_time@age <= 10`) is a conjunction of *quality
+//! atoms* over `col@indicator` pseudo-columns. A [`QualityIndex`] keeps,
+//! for every (column, indicator) pair, a [`Posting`]: one dense `u64`
+//! bitset per distinct tag value plus a bitset of all rows tagged with a
+//! non-NULL value. Conjunctions of atoms then resolve to bitmap
+//! AND/OR/NOT instead of walking every row's tag vector; only residual
+//! (non-atomic) predicate parts fall back to per-row evaluation over the
+//! surviving candidates.
+//!
+//! ## Exactness contract
+//!
+//! Bitmap answers are *exactly* the rows the scan would keep:
+//!
+//! * NULL-valued tags are never indexed — the scan's 3VL drops them, so
+//!   `≠` is precisely `tagged AND NOT eq`.
+//! * `=` / `≠` use [`relstore::Value`]'s total equality (`Int(2)` and
+//!   `Float(2.0)` collapse to one B-tree key, matching the evaluator).
+//! * `<` / `<=` / `>` / `>=` are answered **only** when every indexed
+//!   value is order-comparable with the literal (the scan would raise
+//!   `TypeMismatch` otherwise); the per-posting [`Posting::classes`]
+//!   bitmask gates this, and unanswerable atoms force a full scan so
+//!   type errors surface identically. Class bits are sticky across
+//!   retags — an over-approximation that can only force a scan, never a
+//!   wrong answer.
+//! * `BETWEEN` evaluates on the raw total order (the evaluator skips the
+//!   comparability check for it), so it is always answerable.
+//!
+//! One caveat is inherent to index narrowing: when a *residual* conjunct
+//! would raise a type error on a row the index already excluded, the
+//! indexed path cannot observe that error. Well-typed predicates (the
+//! only kind the query layer produces against declared schemas) are
+//! unaffected; the property tests pin scan ≡ bitmap on those.
+
+use crate::cell::QualityCell;
+use crate::relation::{TaggedRelation, TaggedRow};
+use crate::symbol::Symbol;
+use relstore::expr::BinOp;
+use relstore::{Expr, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::ops::Bound;
+
+/// A dense bitset over row ids, stored as `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl Bitset {
+    /// Empty bitset sized for `nbits` rows.
+    pub fn new(nbits: usize) -> Self {
+        Bitset {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Bitset with every bit in `0..nbits` set.
+    pub fn full(nbits: usize) -> Self {
+        let mut b = Bitset {
+            words: vec![u64::MAX; nbits.div_ceil(64)],
+            nbits,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Zeroes bits at positions `>= nbits` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.nbits % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Universe size (number of addressable rows).
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// True iff the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Grows the universe to at least `nbits` rows (new bits are 0).
+    pub fn grow(&mut self, nbits: usize) {
+        if nbits > self.nbits {
+            self.nbits = nbits;
+            self.words.resize(nbits.div_ceil(64), 0);
+        }
+    }
+
+    /// Sets bit `i`, growing the universe if needed.
+    pub fn set(&mut self, i: usize) {
+        self.grow(i + 1);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i` (no-op when out of range).
+    pub fn clear(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// True iff bit `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of set bits (popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self &= other`. Missing words in `other` count as zero.
+    pub fn and_assign(&mut self, other: &Bitset) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// `self |= other`, growing to cover `other`'s universe.
+    pub fn or_assign(&mut self, other: &Bitset) {
+        self.grow(other.nbits);
+        for (i, &w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// `self &= !other` (AND NOT — the `≠` combinator).
+    pub fn and_not_assign(&mut self, other: &Bitset) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Flips every bit within a universe of `nbits` rows.
+    pub fn complement(&mut self, nbits: usize) {
+        self.grow(nbits);
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterates set bit positions in ascending order — the deterministic
+    /// candidate row-id order the chunked executor relies on.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+/// Order-comparability class of a value, as a one-hot bitmask. The
+/// evaluator allows `<`-family comparisons only within one class
+/// (Int and Float share the numeric class); `Null` contributes nothing.
+fn class_of(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Text(_) => 4,
+        Value::Date(_) => 8,
+    }
+}
+
+/// Inverted index for one (column, indicator) pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Posting {
+    /// Per-distinct-tag-value bitsets, keyed by the value's total order
+    /// (so ordered atoms resolve to a B-tree range of bitsets).
+    values: BTreeMap<Value, Bitset>,
+    /// Rows carrying *any* non-NULL value for this indicator.
+    tagged: Bitset,
+    /// Union of [`class_of`] over every value ever indexed. Sticky:
+    /// retags never clear bits, which can only force a scan fallback.
+    classes: u8,
+}
+
+impl Posting {
+    /// Number of distinct indexed tag values.
+    pub fn distinct_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Popcount of the tagged-rows bitset.
+    pub fn tagged_rows(&self) -> usize {
+        self.tagged.count()
+    }
+}
+
+/// One index-answerable quality constraint: `col@indicator OP literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityAtom {
+    /// Position of the application column in the schema.
+    pub col: usize,
+    /// The (first-level) indicator constrained.
+    pub indicator: Symbol,
+    /// Pseudo-column name as written (`price@age`), for rendering.
+    pub pseudo: String,
+    /// The constraint itself.
+    pub op: AtomOp,
+}
+
+/// The comparison form of a [`QualityAtom`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomOp {
+    /// `= literal`.
+    Eq(Value),
+    /// `<> literal` (answered as `tagged AND NOT eq`).
+    Ne(Value),
+    /// An ordered constraint. `strict` marks `<`-family atoms whose scan
+    /// semantics type-check operands (so the index must refuse them on
+    /// mixed-class postings); `BETWEEN` atoms are non-strict.
+    Range {
+        /// Lower bound on the tag value.
+        lo: Bound<Value>,
+        /// Upper bound on the tag value.
+        hi: Bound<Value>,
+        /// Whether the evaluator would `TypeMismatch` on cross-class
+        /// operands for this atom.
+        strict: bool,
+    },
+}
+
+impl fmt::Display for QualityAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            AtomOp::Eq(v) => write!(f, "{}={v}", self.pseudo),
+            AtomOp::Ne(v) => write!(f, "{}<>{v}", self.pseudo),
+            AtomOp::Range { lo, hi, .. } => {
+                write!(f, "{}", self.pseudo)?;
+                match (lo, hi) {
+                    (Bound::Unbounded, Bound::Included(v)) => write!(f, "<={v}"),
+                    (Bound::Unbounded, Bound::Excluded(v)) => write!(f, "<{v}"),
+                    (Bound::Included(v), Bound::Unbounded) => write!(f, ">={v}"),
+                    (Bound::Excluded(v), Bound::Unbounded) => write!(f, ">{v}"),
+                    (Bound::Included(a), Bound::Included(b)) => {
+                        write!(f, " BETWEEN {a} AND {b}")
+                    }
+                    (lo, hi) => write!(f, " IN {lo:?}..{hi:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Splits `predicate` into index-answerable quality atoms and residual
+/// conjuncts. Only top-level AND conjuncts of the shape
+/// `col@indicator OP literal` (or the flipped `literal OP col@indicator`,
+/// or `col@indicator BETWEEN lit AND lit`) become atoms; meta-tag paths
+/// (`col@ind@meta`), NULL literals, and everything else stay residual.
+pub fn extract_atoms(rel: &TaggedRelation, predicate: &Expr) -> (Vec<QualityAtom>, Vec<Expr>) {
+    let mut atoms = Vec::new();
+    let mut residual = Vec::new();
+    split_conjuncts(rel, predicate, &mut atoms, &mut residual);
+    (atoms, residual)
+}
+
+fn split_conjuncts(
+    rel: &TaggedRelation,
+    e: &Expr,
+    atoms: &mut Vec<QualityAtom>,
+    residual: &mut Vec<Expr>,
+) {
+    match e {
+        Expr::Bin(l, BinOp::And, r) => {
+            split_conjuncts(rel, l, atoms, residual);
+            split_conjuncts(rel, r, atoms, residual);
+        }
+        other => match as_atom(rel, other) {
+            Some(a) => atoms.push(a),
+            None => residual.push(other.clone()),
+        },
+    }
+}
+
+/// Resolves a `col@indicator` pseudo-name with a single-level path
+/// against the relation's schema.
+fn resolve_pseudo(rel: &TaggedRelation, name: &str) -> Option<(usize, Symbol)> {
+    let (col, ind) = TaggedRelation::split_pseudo(name)?;
+    if ind.contains(crate::relation::TAG_SEP) {
+        return None; // meta-tag path — residual only
+    }
+    let ci = rel.schema().index_of(col)?;
+    Some((ci, Symbol::intern(ind)))
+}
+
+fn as_atom(rel: &TaggedRelation, e: &Expr) -> Option<QualityAtom> {
+    match e {
+        Expr::Bin(l, op, r) => {
+            let (name, lit, op) = match (&**l, &**r) {
+                (Expr::Col(c), Expr::Lit(v)) => (c, v, *op),
+                (Expr::Lit(v), Expr::Col(c)) => (c, v, flip(*op)),
+                _ => return None,
+            };
+            if lit.is_null() {
+                return None; // NULL comparisons never match — leave to 3VL
+            }
+            let (col, indicator) = resolve_pseudo(rel, name)?;
+            let atom_op = match op {
+                BinOp::Eq => AtomOp::Eq(lit.clone()),
+                BinOp::Ne => AtomOp::Ne(lit.clone()),
+                BinOp::Lt => AtomOp::Range {
+                    lo: Bound::Unbounded,
+                    hi: Bound::Excluded(lit.clone()),
+                    strict: true,
+                },
+                BinOp::Le => AtomOp::Range {
+                    lo: Bound::Unbounded,
+                    hi: Bound::Included(lit.clone()),
+                    strict: true,
+                },
+                BinOp::Gt => AtomOp::Range {
+                    lo: Bound::Excluded(lit.clone()),
+                    hi: Bound::Unbounded,
+                    strict: true,
+                },
+                BinOp::Ge => AtomOp::Range {
+                    lo: Bound::Included(lit.clone()),
+                    hi: Bound::Unbounded,
+                    strict: true,
+                },
+                _ => return None,
+            };
+            Some(QualityAtom {
+                col,
+                indicator,
+                pseudo: name.clone(),
+                op: atom_op,
+            })
+        }
+        Expr::Between(x, lo, hi) => {
+            let (Expr::Col(name), Expr::Lit(a), Expr::Lit(b)) = (&**x, &**lo, &**hi) else {
+                return None;
+            };
+            if a.is_null() || b.is_null() {
+                return None;
+            }
+            let (col, indicator) = resolve_pseudo(rel, name)?;
+            Some(QualityAtom {
+                col,
+                indicator,
+                pseudo: name.clone(),
+                op: AtomOp::Range {
+                    lo: Bound::Included(a.clone()),
+                    hi: Bound::Included(b.clone()),
+                    // BETWEEN compares on the raw total order — the
+                    // evaluator never type-checks it, so neither do we.
+                    strict: false,
+                },
+            })
+        }
+        _ => None,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// The quality bitmap index over a tagged relation: one [`Posting`] per
+/// (column, first-level indicator) pair actually present in the data.
+///
+/// Built incrementally on [`QualityIndex::note_row`] (insert) and
+/// [`QualityIndex::retag`] (tag mutation); [`QualityIndex::build`] is the
+/// rebuild-on-bulk-load path. Meta tags (Premise 1.4) are not indexed —
+/// atoms over meta paths are residual by construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityIndex {
+    rows: usize,
+    postings: HashMap<(usize, Symbol), Posting>,
+}
+
+impl QualityIndex {
+    /// Empty index over zero rows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full (re)build from a relation — the bulk-load path. Equivalent to
+    /// folding [`QualityIndex::note_row`] over the rows, by construction.
+    pub fn build(rel: &TaggedRelation) -> Self {
+        let mut idx = Self::new();
+        for row in rel.iter() {
+            idx.note_row(row);
+        }
+        idx
+    }
+
+    /// Number of rows the index covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True iff the index covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The posting for `(column, indicator)`, if any row is tagged there.
+    pub fn posting(&self, col: usize, indicator: &Symbol) -> Option<&Posting> {
+        self.postings.get(&(col, indicator.clone()))
+    }
+
+    /// Indexes the tags of one appended row. Must be called in row order.
+    pub fn note_row(&mut self, row: &TaggedRow) {
+        let id = self.rows;
+        for (ci, cell) in row.iter().enumerate() {
+            for tag in cell.tags() {
+                if tag.value.is_null() {
+                    continue; // NULL-valued tags never satisfy predicates
+                }
+                let posting = self
+                    .postings
+                    .entry((ci, tag.indicator.clone()))
+                    .or_default();
+                posting.tagged.set(id);
+                posting.classes |= class_of(&tag.value);
+                posting.values.entry(tag.value.clone()).or_default().set(id);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Updates the index after `set_tag` replaced (or added) one tag on
+    /// `row`/`col`: `old` is the previous value for the same indicator
+    /// (`None` when the cell was untagged there).
+    pub fn retag(&mut self, row: usize, col: usize, old: Option<&Value>, indicator: &Symbol, new: &Value) {
+        let posting = self
+            .postings
+            .entry((col, indicator.clone()))
+            .or_default();
+        if let Some(old_v) = old {
+            if !old_v.is_null() {
+                if let Some(bs) = posting.values.get_mut(old_v) {
+                    bs.clear(row);
+                }
+            }
+        }
+        if new.is_null() {
+            posting.tagged.clear(row);
+        } else {
+            posting.tagged.set(row);
+            posting.classes |= class_of(new);
+            posting.values.entry(new.clone()).or_default().set(row);
+        }
+    }
+
+    /// Answers one atom as a bitset of matching rows, or `None` when the
+    /// atom is not index-answerable (strict ordered atom over a posting
+    /// with values outside the literal's comparability class — the scan
+    /// would type-error, so the caller must fall back to it).
+    pub fn lookup(&self, atom: &QualityAtom) -> Option<Bitset> {
+        let empty = || Bitset::new(self.rows);
+        let Some(posting) = self.postings.get(&(atom.col, atom.indicator.clone())) else {
+            // No row tagged here: every form of the atom matches nothing
+            // (untagged cells evaluate to NULL before any type check).
+            return Some(empty());
+        };
+        match &atom.op {
+            AtomOp::Eq(v) => Some(posting.values.get(v).cloned().unwrap_or_else(empty)),
+            AtomOp::Ne(v) => {
+                let mut out = posting.tagged.clone();
+                if let Some(eq) = posting.values.get(v) {
+                    out.and_not_assign(eq);
+                }
+                Some(out)
+            }
+            AtomOp::Range { lo, hi, strict } => {
+                if *strict {
+                    let lit_class = match (lo, hi) {
+                        (Bound::Included(v) | Bound::Excluded(v), _)
+                        | (_, Bound::Included(v) | Bound::Excluded(v)) => class_of(v),
+                        (Bound::Unbounded, Bound::Unbounded) => 0,
+                    };
+                    if posting.classes & !lit_class != 0 {
+                        return None; // scan would TypeMismatch — let it
+                    }
+                }
+                // Guard the BTreeMap range panic on inverted bounds.
+                if let (
+                    Bound::Included(a) | Bound::Excluded(a),
+                    Bound::Included(b) | Bound::Excluded(b),
+                ) = (lo, hi)
+                {
+                    if a > b
+                        || (a == b
+                            && (matches!(lo, Bound::Excluded(_))
+                                || matches!(hi, Bound::Excluded(_))))
+                    {
+                        return Some(empty());
+                    }
+                }
+                let mut out = empty();
+                for (_, bs) in posting.values.range((as_ref(lo), as_ref(hi))) {
+                    out.or_assign(bs);
+                }
+                out.grow(self.rows);
+                Some(out)
+            }
+        }
+    }
+
+    /// Intersects the answers to a conjunction of atoms. `None` when the
+    /// conjunction is empty or any atom is unanswerable.
+    pub fn candidates(&self, atoms: &[QualityAtom]) -> Option<Bitset> {
+        let (first, rest) = atoms.split_first()?;
+        let mut out = self.lookup(first)?;
+        for atom in rest {
+            out.and_assign(&self.lookup(atom)?);
+        }
+        Some(out)
+    }
+
+    /// Estimated selectivity of a conjunction (matching fraction of
+    /// rows), from bitmap popcounts. `None` when unanswerable.
+    pub fn estimate(&self, atoms: &[QualityAtom]) -> Option<f64> {
+        let bs = self.candidates(atoms)?;
+        if self.rows == 0 {
+            return Some(0.0);
+        }
+        Some(bs.count() as f64 / self.rows as f64)
+    }
+}
+
+fn as_ref(b: &Bound<Value>) -> Bound<&Value> {
+    match b {
+        Bound::Included(v) => Bound::Included(v),
+        Bound::Excluded(v) => Bound::Excluded(v),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// A tagged relation bundled with its incrementally-maintained quality
+/// bitmap index — the storage form for index-accelerated quality
+/// selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedTaggedRelation {
+    rel: TaggedRelation,
+    index: QualityIndex,
+}
+
+impl IndexedTaggedRelation {
+    /// Wraps a relation, building its index (bulk-load rebuild).
+    pub fn from_relation(rel: TaggedRelation) -> Self {
+        let index = QualityIndex::build(&rel);
+        IndexedTaggedRelation { rel, index }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &TaggedRelation {
+        &self.rel
+    }
+
+    /// The maintained index.
+    pub fn index(&self) -> &QualityIndex {
+        &self.index
+    }
+
+    /// Unwraps into the relation, dropping the index.
+    pub fn into_relation(self) -> TaggedRelation {
+        self.rel
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Validates and appends a row, indexing its tags incrementally.
+    pub fn push(&mut self, row: TaggedRow) -> relstore::DbResult<()> {
+        self.rel.push(row)?;
+        self.index
+            .note_row(self.rel.rows().last().expect("just pushed"));
+        Ok(())
+    }
+
+    /// Tags one cell (validated against the dictionary), updating the
+    /// index incrementally.
+    pub fn tag_cell(
+        &mut self,
+        row: usize,
+        column: &str,
+        tag: crate::indicator::IndicatorValue,
+    ) -> relstore::DbResult<()> {
+        let ci = self.rel.schema().resolve(column)?;
+        let old = self
+            .rel
+            .rows()
+            .get(row)
+            .and_then(|r| cell_tag_value(r, ci, &tag.indicator));
+        let indicator = tag.indicator.clone();
+        let new = tag.value.clone();
+        self.rel.tag_cell(row, column, tag)?;
+        self.index.retag(row, ci, old.as_ref(), &indicator, &new);
+        Ok(())
+    }
+
+    /// Index-accelerated σ: see [`crate::algebra::select_indexed`].
+    pub fn select(
+        &self,
+        predicate: &Expr,
+    ) -> relstore::DbResult<(TaggedRelation, crate::algebra::TagAccessPath)> {
+        crate::algebra::select_indexed(&self.rel, &self.index, predicate)
+    }
+}
+
+fn cell_tag_value(row: &[QualityCell], ci: usize, indicator: &Symbol) -> Option<Value> {
+    row.get(ci)
+        .and_then(|c| c.tag_sym(indicator))
+        .map(|t| t.value.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indicator::{IndicatorDictionary, IndicatorValue};
+    use relstore::{DataType, Schema};
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = Bitset::new(10);
+        a.set(1);
+        a.set(9);
+        a.set(70); // auto-grow
+        assert_eq!(a.len(), 71);
+        assert_eq!(a.count(), 3);
+        assert!(a.contains(70) && !a.contains(0));
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 9, 70]);
+
+        let mut b = Bitset::new(71);
+        b.set(9);
+        b.set(70);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![9, 70]);
+
+        let mut or = Bitset::new(2);
+        or.set(0);
+        or.or_assign(&b);
+        assert_eq!(or.iter_ones().collect::<Vec<_>>(), vec![0, 9, 70]);
+
+        let mut not = a.clone();
+        not.and_not_assign(&b);
+        assert_eq!(not.iter_ones().collect::<Vec<_>>(), vec![1]);
+
+        a.clear(9);
+        assert_eq!(a.count(), 2);
+        a.clear(1000); // out-of-range no-op
+        assert_eq!(a.count(), 2);
+
+        let full = Bitset::full(67);
+        assert_eq!(full.count(), 67);
+        let mut c = Bitset::new(67);
+        c.set(3);
+        c.complement(67);
+        assert_eq!(c.count(), 66);
+        assert!(!c.contains(3));
+        assert!(Bitset::new(0).is_empty());
+    }
+
+    fn rel() -> TaggedRelation {
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mut r = TaggedRelation::empty(schema, dict);
+        for (k, src, age) in [
+            (0i64, Some("a"), Some(5i64)),
+            (1, Some("b"), None),
+            (2, None, Some(20)),
+            (3, Some("a"), Some(10)),
+            (4, None, None),
+        ] {
+            let mut cell = QualityCell::bare(k * 10);
+            if let Some(s) = src {
+                cell.set_tag(IndicatorValue::new("source", s));
+            }
+            if let Some(a) = age {
+                cell.set_tag(IndicatorValue::new("age", a));
+            }
+            r.push(vec![QualityCell::bare(k), cell]).unwrap();
+        }
+        r
+    }
+
+    fn atom(rel: &TaggedRelation, e: &Expr) -> QualityAtom {
+        let (atoms, residual) = extract_atoms(rel, e);
+        assert!(residual.is_empty(), "unexpected residual: {residual:?}");
+        assert_eq!(atoms.len(), 1);
+        atoms.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn eq_ne_lookup() {
+        let r = rel();
+        let idx = QualityIndex::build(&r);
+        let a = atom(&r, &Expr::col("v@source").eq(Expr::lit("a")));
+        assert_eq!(idx.lookup(&a).unwrap().iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+        let a = atom(&r, &Expr::col("v@source").ne(Expr::lit("a")));
+        // only row 1 is tagged with a different source; untagged rows drop
+        assert_eq!(idx.lookup(&a).unwrap().iter_ones().collect::<Vec<_>>(), vec![1]);
+        let a = atom(&r, &Expr::col("v@source").eq(Expr::lit("zzz")));
+        assert_eq!(idx.lookup(&a).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn range_lookup_and_class_gate() {
+        let r = rel();
+        let idx = QualityIndex::build(&r);
+        let a = atom(&r, &Expr::col("v@age").le(Expr::lit(10i64)));
+        assert_eq!(idx.lookup(&a).unwrap().iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+        // cross-class strict comparison is refused (scan would error)
+        let a = atom(&r, &Expr::col("v@age").lt(Expr::lit("text")));
+        assert!(idx.lookup(&a).is_none());
+        // BETWEEN is total-order and always answerable
+        let a = atom(
+            &r,
+            &Expr::Between(
+                Box::new(Expr::col("v@age")),
+                Box::new(Expr::lit(6i64)),
+                Box::new(Expr::lit(25i64)),
+            ),
+        );
+        assert_eq!(idx.lookup(&a).unwrap().iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+        // inverted bounds are an empty match, not a panic
+        let a = atom(
+            &r,
+            &Expr::Between(
+                Box::new(Expr::col("v@age")),
+                Box::new(Expr::lit(25i64)),
+                Box::new(Expr::lit(6i64)),
+            ),
+        );
+        assert_eq!(idx.lookup(&a).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn conjunction_candidates_and_estimate() {
+        let r = rel();
+        let idx = QualityIndex::build(&r);
+        let (atoms, residual) = extract_atoms(
+            &r,
+            &Expr::col("v@source")
+                .eq(Expr::lit("a"))
+                .and(Expr::col("v@age").ge(Expr::lit(8i64)))
+                .and(Expr::col("k").ge(Expr::lit(0i64))),
+        );
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(residual.len(), 1); // plain value conjunct
+        let bs = idx.candidates(&atoms).unwrap();
+        assert_eq!(bs.iter_ones().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(idx.estimate(&atoms).unwrap(), 1.0 / 5.0);
+        assert!(idx.candidates(&[]).is_none());
+    }
+
+    #[test]
+    fn extraction_rejects_non_atoms() {
+        let r = rel();
+        // meta path, OR, unknown column, NULL literal — all residual
+        for e in [
+            Expr::col("v@source@inspection").eq(Expr::lit("x")),
+            Expr::col("v@age")
+                .eq(Expr::lit(1i64))
+                .or(Expr::col("v@age").eq(Expr::lit(2i64))),
+            Expr::col("ghost@age").eq(Expr::lit(1i64)),
+            Expr::col("v@age").eq(Expr::Lit(Value::Null)),
+        ] {
+            let (atoms, residual) = extract_atoms(&r, &e);
+            assert!(atoms.is_empty(), "{e:?}");
+            assert_eq!(residual.len(), 1);
+        }
+        // flipped literal side still extracts
+        let (atoms, _) = extract_atoms(&r, &Expr::lit(10i64).gt(Expr::col("v@age")));
+        assert!(matches!(
+            &atoms[0].op,
+            AtomOp::Range { hi: Bound::Excluded(Value::Int(10)), .. }
+        ));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_on_push() {
+        let r = rel();
+        let mut inc = IndexedTaggedRelation::from_relation(TaggedRelation::empty(
+            r.schema().clone(),
+            r.dictionary().clone(),
+        ));
+        for row in r.iter() {
+            inc.push(row.clone()).unwrap();
+        }
+        assert_eq!(inc.index(), &QualityIndex::build(&r));
+    }
+
+    #[test]
+    fn retag_tracks_mutation() {
+        let r = rel();
+        let mut ir = IndexedTaggedRelation::from_relation(r);
+        // row 1: source b → a
+        ir.tag_cell(1, "v", IndicatorValue::new("source", "a")).unwrap();
+        let a = atom(ir.relation(), &Expr::col("v@source").eq(Expr::lit("a")));
+        assert_eq!(
+            ir.index().lookup(&a).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        let b = atom(ir.relation(), &Expr::col("v@source").eq(Expr::lit("b")));
+        assert_eq!(ir.index().lookup(&b).unwrap().count(), 0);
+        // fresh tag on a previously untagged cell
+        ir.tag_cell(4, "v", IndicatorValue::new("age", 7i64)).unwrap();
+        let c = atom(ir.relation(), &Expr::col("v@age").le(Expr::lit(7i64)));
+        assert_eq!(
+            ir.index().lookup(&c).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![0, 4]
+        );
+    }
+
+    #[test]
+    fn float_int_equality_collapses() {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mut r = TaggedRelation::empty(schema, dict);
+        r.push(vec![
+            QualityCell::bare(1i64).with_tag(IndicatorValue::new("age", 2i64)),
+        ])
+        .unwrap();
+        let idx = QualityIndex::build(&r);
+        // Float(2.0) == Int(2) under the total order, matching the scan
+        let a = atom(&r, &Expr::col("x@age").eq(Expr::lit(2.0)));
+        assert_eq!(idx.lookup(&a).unwrap().count(), 1);
+    }
+}

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod bitmap;
 pub mod cell;
 pub mod indicator;
 pub mod relation;
 pub mod store;
 pub mod symbol;
 
+pub use bitmap::{extract_atoms, Bitset, IndexedTaggedRelation, QualityAtom, QualityIndex};
 pub use cell::QualityCell;
 pub use indicator::{IndicatorDef, IndicatorDictionary, IndicatorValue};
 pub use symbol::Symbol;
@@ -188,6 +190,68 @@ mod proptests {
                 prop_assert_eq!(&j, &join);
                 prop_assert_eq!(&m, &mask);
             }
+        }
+
+        /// Bitmap-indexed selection ≡ full-scan selection — identical
+        /// rows, order, and tags — across eq/ne/range/BETWEEN/mixed
+        /// predicate shapes, at 1, 2, and 8 threads.
+        #[test]
+        fn bitmap_select_equals_scan(rel in arb_tagged(), c in 0i64..30, s in "[a-c]") {
+            let idx = crate::bitmap::QualityIndex::build(&rel);
+            let preds = vec![
+                Expr::col("v@source").eq(Expr::lit(s.clone())),
+                Expr::col("v@source").ne(Expr::lit(s)),
+                Expr::col("v@age").le(Expr::lit(c)),
+                Expr::col("v@age").gt(Expr::lit(c)),
+                Expr::Between(
+                    Box::new(Expr::col("v@age")),
+                    Box::new(Expr::lit(c - 10)),
+                    Box::new(Expr::lit(c)),
+                ),
+                Expr::col("v@age")
+                    .ge(Expr::lit(c))
+                    .and(Expr::col("k").lt(Expr::lit(10i64))),
+            ];
+            for p in &preds {
+                let scan = select(&rel, p).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let (fast, _path) = relstore::par::with_thread_count(threads, || {
+                        select_indexed(&rel, &idx, p).unwrap()
+                    });
+                    prop_assert_eq!(&fast, &scan);
+                }
+            }
+        }
+
+        /// The incrementally-maintained index (per-row note_row on push)
+        /// is structurally identical to a bulk rebuild.
+        #[test]
+        fn bitmap_incremental_equals_rebuild(rel in arb_tagged()) {
+            let mut inc = crate::bitmap::QualityIndex::new();
+            for row in rel.iter() {
+                inc.note_row(row);
+            }
+            prop_assert_eq!(inc, crate::bitmap::QualityIndex::build(&rel));
+        }
+
+        /// After arbitrary retagging through IndexedTaggedRelation, the
+        /// maintained index still answers selections identically to a
+        /// scan of the mutated relation.
+        #[test]
+        fn bitmap_retag_stays_consistent(
+            rel in arb_tagged(),
+            row in 0usize..30,
+            a in 0i64..30,
+            c in 0i64..30,
+        ) {
+            let mut ir = crate::bitmap::IndexedTaggedRelation::from_relation(rel);
+            if !ir.is_empty() {
+                let row = row % ir.len();
+                ir.tag_cell(row, "v", IndicatorValue::new("age", a)).unwrap();
+            }
+            let p = Expr::col("v@age").le(Expr::lit(c));
+            let (fast, _) = ir.select(&p).unwrap();
+            prop_assert_eq!(fast, select(ir.relation(), &p).unwrap());
         }
 
         /// Arc-shared tags are an invisible storage optimization: a

@@ -2,12 +2,15 @@
 # Smoke-run the tag-propagation benchmark series (B1/tagprop, B2/parallel,
 # B6/parallel, plus the baseline B1/B2/B6 groups) with a small per-bench
 # time budget, and record one JSON line per benchmark in BENCH_tagprop.json.
+# Then run the B7 scan-vs-bitmap index series into BENCH_index.json.
 #
 # Knobs (all optional):
-#   DQ_BENCH_JSON       output file            (default BENCH_tagprop.json)
+#   DQ_BENCH_JSON       output file for B1/B2/B6 (default BENCH_tagprop.json)
+#   DQ_BENCH_INDEX_JSON output file for B7       (default BENCH_index.json)
 #   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
 #   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
 #   DQ_BENCH_ROWS       row counts for B1/tagprop      (default 100000)
+#   DQ_BENCH_TIERS      row tiers for B7          (default 10000,100000,1000000)
 #   DQ_THREADS          worker threads for the parallel series
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,3 +27,11 @@ for bench in tag_overhead quality_filter query_e2e; do
 done
 
 echo "wrote $(wc -l < "$DQ_BENCH_JSON") records to $DQ_BENCH_JSON"
+
+# B7: scan vs. bitmap index across size tiers × selectivities
+DQ_BENCH_INDEX_JSON="${DQ_BENCH_INDEX_JSON:-$PWD/BENCH_index.json}"
+export DQ_BENCH_TIERS="${DQ_BENCH_TIERS:-10000,100000,1000000}"
+: > "$DQ_BENCH_INDEX_JSON"
+DQ_BENCH_JSON="$DQ_BENCH_INDEX_JSON" cargo bench --offline -p dq-bench --bench index_scan
+
+echo "wrote $(wc -l < "$DQ_BENCH_INDEX_JSON") records to $DQ_BENCH_INDEX_JSON"

@@ -7,4 +7,15 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "ci: build + test + clippy all green"
+# Access-path parity: the bitmap-index property tests at a higher case
+# count than the default test run.
+PROPTEST_CASES=128 cargo test -q --offline -p tagstore bitmap_
+PROPTEST_CASES=128 cargo test -q --offline -p dq-query index_planner
+
+# B7 smoke at the 10k tier: asserts scan==bitmap parity inside the bench
+# before timing anything.
+DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
+    DQ_BENCH_JSON=/tmp/ci_bench_index.json \
+    cargo bench --offline -p dq-bench --bench index_scan >/dev/null
+
+echo "ci: build + test + clippy + index parity all green"

@@ -49,8 +49,24 @@ fn pushdown_and_no_pushdown_agree_on_join_aggregates() {
              WHERE quantity > 0 \
              WITH QUALITY (share_price@source <> 'manual entry') \
              GROUP BY l.ticker_symbol ORDER BY l.ticker_symbol";
-    let a = run_with(&catalog, q, &Planner { pushdown: true }).unwrap();
-    let b = run_with(&catalog, q, &Planner { pushdown: false }).unwrap();
+    let a = run_with(
+        &catalog,
+        q,
+        &Planner {
+            pushdown: true,
+            ..Planner::default()
+        },
+    )
+    .unwrap();
+    let b = run_with(
+        &catalog,
+        q,
+        &Planner {
+            pushdown: false,
+            ..Planner::default()
+        },
+    )
+    .unwrap();
     assert_eq!(a.relation().strip(), b.relation().strip());
     assert!(!a.relation().is_empty());
 }
