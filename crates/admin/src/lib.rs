@@ -52,4 +52,4 @@ pub use linkage::{
 pub use monitor::{
     InspectionPrompt, InspectionSchedule, PeculiarDataDetector, PeculiarRow, QualityMonitor,
 };
-pub use spc::{Ewma, IndividualsChart, PChart, Signal, XBarRChart};
+pub use spc::{record_signals, Ewma, IndividualsChart, PChart, Signal, XBarRChart};

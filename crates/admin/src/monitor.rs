@@ -32,10 +32,18 @@ impl InspectionSchedule {
     }
 
     /// True iff an inspection is due on `today`.
+    ///
+    /// A `last_run` in the *future* of `today` (clock skew, a corrected
+    /// system date, or a restored backup) makes the elapsed day count
+    /// negative; that is treated as immediately due rather than pushing
+    /// the next inspection past its period indefinitely.
     pub fn due(&self, today: Date) -> bool {
         match self.last_run {
             None => true,
-            Some(last) => today.days_between(&last) >= self.every_days,
+            Some(last) => {
+                let elapsed = today.days_between(&last);
+                elapsed < 0 || elapsed >= self.every_days
+            }
         }
     }
 
@@ -44,11 +52,20 @@ impl InspectionSchedule {
         self.last_run = Some(today);
     }
 
-    /// Days until the next inspection is due (0 when overdue).
+    /// Days until the next inspection is due (0 when overdue, and 0 for
+    /// a future-dated `last_run` — see [`InspectionSchedule::due`]; the
+    /// value is always in `0..=every_days`).
     pub fn days_until_due(&self, today: Date) -> i64 {
         match self.last_run {
             None => 0,
-            Some(last) => (self.every_days - today.days_between(&last)).max(0),
+            Some(last) => {
+                let elapsed = today.days_between(&last);
+                if elapsed < 0 {
+                    0
+                } else {
+                    (self.every_days - elapsed).max(0)
+                }
+            }
         }
     }
 }
@@ -168,14 +185,65 @@ impl QualityMonitor {
     /// Evaluates both triggers; prompts are returned in priority order
     /// (peculiar data first — it is actionable immediately).
     pub fn check(&mut self, rel: &TaggedRelation, today: Date) -> DbResult<Vec<InspectionPrompt>> {
+        dq_obs::counter!("admin.monitor.checks").incr();
         let mut prompts = Vec::new();
         let peculiar = self.detector.scan(rel, &self.column)?;
         if !peculiar.is_empty() {
+            dq_obs::counter!("admin.monitor.peculiar_rows").add(peculiar.len() as u64);
             prompts.push(InspectionPrompt::PeculiarData { rows: peculiar });
         }
         if self.schedule.due(today) {
             prompts.push(InspectionPrompt::Periodic);
             self.schedule.mark_run(today);
+        }
+        dq_obs::counter!("admin.monitor.prompts").add(prompts.len() as u64);
+        Ok(prompts)
+    }
+
+    /// Like [`QualityMonitor::check`], additionally recording each prompt
+    /// on `trail` as an [`crate::audit::AuditAction::Inspect`] event, so
+    /// inspection triggers become part of the data's recorded
+    /// manufacturing history.
+    pub fn check_with_trail(
+        &mut self,
+        rel: &TaggedRelation,
+        today: Date,
+        trail: &mut crate::audit::AuditTrail,
+        actor: &str,
+        table: &str,
+    ) -> DbResult<Vec<InspectionPrompt>> {
+        use crate::audit::AuditAction;
+        let prompts = self.check(rel, today)?;
+        for prompt in &prompts {
+            match prompt {
+                InspectionPrompt::Periodic => {
+                    trail.record(
+                        today,
+                        actor,
+                        AuditAction::Inspect,
+                        table,
+                        Vec::new(),
+                        Some(&self.column),
+                        format!(
+                            "periodic inspection due (every {} days)",
+                            self.schedule.every_days
+                        ),
+                    );
+                }
+                InspectionPrompt::PeculiarData { rows } => {
+                    for r in rows {
+                        trail.record(
+                            today,
+                            actor,
+                            AuditAction::Inspect,
+                            table,
+                            vec![r.value.clone()],
+                            Some(&self.column),
+                            format!("peculiar value {} (z={:.2}) at row {}", r.value, r.z, r.row),
+                        );
+                    }
+                }
+            }
         }
         Ok(prompts)
     }
@@ -217,6 +285,56 @@ mod tests {
     fn schedule_clamps_zero_period() {
         let s = InspectionSchedule::every(0);
         assert_eq!(s.every_days, 1);
+    }
+
+    /// Regression: a `last_run` in the future of `today` (clock skew, a
+    /// corrected system date) used to make `due` never fire — the
+    /// negative elapsed count stayed below `every_days` until the wall
+    /// clock caught up — and `days_until_due` to report more days than
+    /// the period itself. Both now clamp: skewed schedules are due now.
+    #[test]
+    fn schedule_survives_future_dated_last_run() {
+        let mut s = InspectionSchedule::every(7);
+        s.mark_run(d("11-15-91"));
+        let today = d("10-1-91"); // 45 days before last_run
+        assert!(s.due(today));
+        assert_eq!(s.days_until_due(today), 0);
+        // re-running today repairs the schedule
+        s.mark_run(today);
+        assert!(!s.due(d("10-2-91")));
+        assert_eq!(s.days_until_due(d("10-2-91")), 6);
+        // days_until_due never exceeds the period
+        let mut s = InspectionSchedule::every(7);
+        s.mark_run(d("10-2-91"));
+        for day in 1..=28 {
+            let today = d("10-1-91").plus_days(day);
+            let left = s.days_until_due(today);
+            assert!((0..=s.every_days).contains(&left), "day {day}: {left}");
+        }
+    }
+
+    #[test]
+    fn check_with_trail_records_inspect_events() {
+        use crate::audit::{AuditAction, AuditTrail};
+        let baseline: Vec<f64> = (0..50).map(|i| 700.0 + (i % 5) as f64).collect();
+        let mut mon = QualityMonitor {
+            schedule: InspectionSchedule::every(30),
+            detector: PeculiarDataDetector::fit(&baseline, 3.5).unwrap(),
+            column: "v".into(),
+        };
+        let mut trail = AuditTrail::new();
+        let prompts = mon
+            .check_with_trail(&rel(&[701, 9999]), d("10-1-91"), &mut trail, "monitor", "t")
+            .unwrap();
+        assert_eq!(prompts.len(), 2); // peculiar + periodic (never ran)
+        // one event per peculiar row, one for the periodic prompt
+        assert_eq!(trail.len(), 2);
+        assert!(trail
+            .events()
+            .iter()
+            .all(|e| e.action == AuditAction::Inspect && e.column.as_deref() == Some("v")));
+        assert!(trail.events()[0].detail.contains("peculiar value 9999"));
+        assert!(trail.events()[1].detail.contains("periodic"));
     }
 
     #[test]

@@ -25,6 +25,37 @@ pub struct Signal {
     pub detail: String,
 }
 
+/// Feeds one chart evaluation into the global metrics registry: how many
+/// sample points were judged and how many signals fired.
+fn record_evaluation(samples: usize, signals: usize) {
+    dq_obs::counter!("admin.spc.samples").add(samples as u64);
+    dq_obs::counter!("admin.spc.signals").add(signals as u64);
+}
+
+/// Records a batch of SPC signals on an audit trail as
+/// [`crate::audit::AuditAction::Inspect`] events — the §4 "prompting for
+/// data inspection" made durable in the data's manufacturing history.
+pub fn record_signals(
+    trail: &mut crate::audit::AuditTrail,
+    date: relstore::Date,
+    actor: &str,
+    table: &str,
+    column: &str,
+    signals: &[Signal],
+) {
+    for s in signals {
+        trail.record(
+            date,
+            actor,
+            crate::audit::AuditAction::Inspect,
+            table,
+            Vec::new(),
+            Some(column),
+            format!("SPC rule {} at point {}: {}", s.rule, s.index, s.detail),
+        );
+    }
+}
+
 /// Shewhart individuals chart with Western Electric rules.
 #[derive(Debug, Clone)]
 pub struct IndividualsChart {
@@ -89,6 +120,7 @@ impl IndividualsChart {
                     });
                 }
             }
+            record_evaluation(series.len(), signals.len());
             return signals;
         }
         let z: Vec<f64> = series.iter().map(|x| (x - self.mean) / self.sigma).collect();
@@ -137,6 +169,7 @@ impl IndividualsChart {
                 }
             }
         }
+        record_evaluation(series.len(), signals.len());
         signals
     }
 
@@ -254,6 +287,7 @@ impl XBarRChart {
                 });
             }
         }
+        record_evaluation(subgroups.len(), signals.len());
         signals
     }
 }
@@ -291,7 +325,7 @@ impl PChart {
     /// Evaluates batches of nonconforming counts.
     pub fn evaluate(&self, nonconforming: &[usize]) -> Vec<Signal> {
         let (lcl, ucl) = self.limits();
-        nonconforming
+        let signals: Vec<Signal> = nonconforming
             .iter()
             .enumerate()
             .filter_map(|(i, &x)| {
@@ -302,7 +336,9 @@ impl PChart {
                     detail: format!("error rate {p:.4} outside [{lcl:.4}, {ucl:.4}]"),
                 })
             })
-            .collect()
+            .collect();
+        record_evaluation(nonconforming.len(), signals.len());
+        signals
     }
 }
 
@@ -350,6 +386,7 @@ impl Ewma {
                 });
             }
         }
+        record_evaluation(series.len(), signals.len());
         signals
     }
 }
@@ -357,6 +394,32 @@ impl Ewma {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_signals_writes_inspect_events() {
+        use crate::audit::{AuditAction, AuditTrail};
+        let c = IndividualsChart::with_params(10.0, 0.2);
+        let before = dq_obs::registry().snapshot();
+        let signals = c.evaluate(&[10.1, 9.9, 13.0, 10.0]);
+        assert!(!signals.is_empty());
+        let after = dq_obs::registry().snapshot();
+        assert!(after.counter("admin.spc.samples") >= before.counter("admin.spc.samples") + 4);
+        assert!(after.counter("admin.spc.signals") > before.counter("admin.spc.signals"));
+        let mut trail = AuditTrail::new();
+        record_signals(
+            &mut trail,
+            relstore::Date::parse("10-24-91").unwrap(),
+            "spc",
+            "stocks",
+            "price",
+            &signals,
+        );
+        assert_eq!(trail.len(), signals.len());
+        let e = &trail.events()[0];
+        assert_eq!(e.action, AuditAction::Inspect);
+        assert_eq!(e.column.as_deref(), Some("price"));
+        assert!(e.detail.contains("SPC rule WE1"));
+    }
 
     #[test]
     fn individuals_fit_and_limits() {

@@ -61,6 +61,17 @@ pub enum Statement {
         /// Optional row filter (may reference pseudo-columns).
         filter: Option<Expr>,
     },
+    /// `EXPLAIN [ANALYZE] <select|inspect>` — renders the optimized plan
+    /// tree; with ANALYZE, also executes it and annotates every operator
+    /// with actual row counts, elapsed time, and estimated-vs-actual
+    /// selectivity.
+    Explain {
+        /// True for `EXPLAIN ANALYZE` (execute and annotate), false for
+        /// plain `EXPLAIN` (plan only).
+        analyze: bool,
+        /// The explained statement.
+        inner: Box<Statement>,
+    },
     /// `TAG <table> SET <column>@<indicator> = <expr> [WHERE <expr>]` —
     /// the administrator's retro-tagging statement: computes the
     /// expression per matching row and attaches it as a quality tag.

@@ -123,14 +123,106 @@ pub enum QueryResult {
         /// The inspected rows.
         rows: TaggedRelation,
     },
+    /// EXPLAIN output: the rendered plan, or — for `EXPLAIN ANALYZE` —
+    /// the execution trace annotated with actual rows, timings, and
+    /// estimate error.
+    Explain {
+        /// Rendered plan (EXPLAIN) or annotated trace (EXPLAIN ANALYZE).
+        report: String,
+        /// Result rows; `Some` only for ANALYZE (the plan was executed).
+        rows: Option<TaggedRelation>,
+    },
 }
 
 impl QueryResult {
-    /// The tabular content of either result form.
+    /// The tabular content of the result.
+    ///
+    /// # Panics
+    ///
+    /// For a plain `EXPLAIN` (no ANALYZE) result, which carries no rows —
+    /// use [`QueryResult::report`] for those.
     pub fn relation(&self) -> &TaggedRelation {
         match self {
             QueryResult::Table(t) => t,
             QueryResult::Inspection { rows, .. } => rows,
+            QueryResult::Explain { rows: Some(r), .. } => r,
+            QueryResult::Explain { rows: None, .. } => {
+                panic!("EXPLAIN without ANALYZE produces no rows; read report() instead")
+            }
+        }
+    }
+
+    /// The rendered report, for INSPECT and EXPLAIN results.
+    pub fn report(&self) -> Option<&str> {
+        match self {
+            QueryResult::Table(_) => None,
+            QueryResult::Inspection { report, .. } | QueryResult::Explain { report, .. } => {
+                Some(report)
+            }
+        }
+    }
+}
+
+/// Per-operator execution trace produced by `EXPLAIN ANALYZE` (and by
+/// [`execute_traced`] directly).
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// The operator's EXPLAIN line — identical text to [`Plan::explain`],
+    /// so the analyzed tree reads like the plain plan plus annotations.
+    pub label: String,
+    /// Rows this operator produced.
+    pub rows_out: usize,
+    /// Rows entering this operator (sum of child outputs; base-table row
+    /// count for leaf scans).
+    pub rows_in: usize,
+    /// Wall-clock time spent in this operator, excluding children.
+    pub elapsed: std::time::Duration,
+    /// Planner-estimated matching fraction (index access paths only).
+    pub est_selectivity: Option<f64>,
+    /// Observed matching fraction `rows_out / rows_in` (filtering and
+    /// joining operators; `0.0` when no rows entered).
+    pub actual_selectivity: Option<f64>,
+    /// Child traces in plan order.
+    pub children: Vec<OpTrace>,
+}
+
+impl OpTrace {
+    /// Renders the annotated operator tree, one line per operator,
+    /// children indented two spaces.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "{} | rows={} elapsed={}µs",
+            self.label,
+            self.rows_out,
+            self.elapsed.as_micros()
+        );
+        match (self.est_selectivity, self.actual_selectivity) {
+            (Some(est), Some(actual)) => {
+                let _ = write!(
+                    out,
+                    " est_selectivity={est:.4} actual_selectivity={actual:.4} err={:+.4}",
+                    actual - est
+                );
+            }
+            (None, Some(actual)) => {
+                let _ = write!(out, " actual_selectivity={actual:.4}");
+            }
+            _ => {}
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
         }
     }
 }
@@ -154,6 +246,22 @@ pub fn run(catalog: &QueryCatalog, sql: &str) -> DbResult<QueryResult> {
 /// Like [`run`], with an explicit planner configuration.
 pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<QueryResult> {
     let stmt = crate::parser::parse(sql)?;
+    if let Statement::Explain { analyze, inner } = stmt {
+        let plan = planner.plan(&inner, catalog.schemas())?;
+        let plan = planner.optimize(plan, catalog);
+        return Ok(if analyze {
+            let (rel, trace) = execute_traced(catalog, &plan)?;
+            QueryResult::Explain {
+                report: trace.render(),
+                rows: Some(rel),
+            }
+        } else {
+            QueryResult::Explain {
+                report: plan.explain(),
+                rows: None,
+            }
+        });
+    }
     if matches!(stmt, Statement::Tag { .. }) {
         return Err(DbError::InvalidExpression(
             "TAG mutates the catalog; use run_mut".into(),
@@ -168,7 +276,7 @@ pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResul
             rows: rel,
         }),
         Statement::Select(_) => Ok(QueryResult::Table(rel)),
-        Statement::Tag { .. } => unreachable!("rejected above"),
+        Statement::Explain { .. } | Statement::Tag { .. } => unreachable!("handled above"),
     }
 }
 
@@ -227,11 +335,41 @@ pub fn run_mut(catalog: &mut QueryCatalog, sql: &str) -> DbResult<QueryResult> {
 
 /// Executes a logical plan.
 pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> {
-    match plan {
-        Plan::Scan(name) => Ok(catalog.get(name)?.clone()),
+    execute_traced(catalog, plan).map(|(rel, _trace)| rel)
+}
+
+/// Observed matching fraction; a zero-row input is defined as 0.0 (no
+/// rows could match) rather than NaN.
+fn frac(rows_out: usize, rows_in: usize) -> f64 {
+    if rows_in == 0 {
+        0.0
+    } else {
+        rows_out as f64 / rows_in as f64
+    }
+}
+
+/// Executes a logical plan, returning the result alongside a per-operator
+/// [`OpTrace`] with actual row counts, per-operator wall-clock time
+/// (children excluded), and estimated-vs-actual selectivity for index
+/// access paths. Every operator also feeds the global metrics registry
+/// (`query.ops`, `query.rows_out`, `query.op_us`).
+pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRelation, OpTrace)> {
+    use std::time::Instant;
+    // Per arm: result, rows-in, planner estimate, whether an observed
+    // selectivity is meaningful, child traces, local elapsed time.
+    let (rel, rows_in, est_selectivity, selective, children, elapsed) = match plan {
+        Plan::Scan(name) => {
+            let t0 = Instant::now();
+            let rel = catalog.get(name)?.clone();
+            let n = rel.len();
+            (rel, n, None, false, Vec::new(), t0.elapsed())
+        }
         Plan::Filter { input, predicate } => {
-            let rel = execute(catalog, input)?;
-            algebra::select(&rel, predicate)
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
+            let rel = algebra::select(&input_rel, predicate)?;
+            let n = input_rel.len();
+            (rel, n, None, true, vec![child], t0.elapsed())
         }
         Plan::Join {
             left,
@@ -239,49 +377,73 @@ pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> 
             left_key,
             right_key,
         } => {
-            let l = execute(catalog, left)?;
-            let r = execute(catalog, right)?;
-            algebra::hash_join(&l, &r, left_key, right_key)
+            let (l, lt) = execute_traced(catalog, left)?;
+            let (r, rt) = execute_traced(catalog, right)?;
+            let t0 = Instant::now();
+            let rel = algebra::hash_join(&l, &r, left_key, right_key)?;
+            let n = l.len() + r.len();
+            (rel, n, None, true, vec![lt, rt], t0.elapsed())
         }
         Plan::Project { input, columns } => {
-            let rel = execute(catalog, input)?;
-            project_mixed(&rel, columns)
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
+            let rel = project_mixed(&input_rel, columns)?;
+            let n = input_rel.len();
+            (rel, n, None, false, vec![child], t0.elapsed())
         }
         Plan::Aggregate {
             input,
             group_by,
             aggs,
         } => {
-            let rel = execute(catalog, input)?;
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
-            algebra::aggregate(&rel, &gb, aggs, &default_agg_policies())
+            let rel = algebra::aggregate(&input_rel, &gb, aggs, &default_agg_policies())?;
+            let n = input_rel.len();
+            (rel, n, None, false, vec![child], t0.elapsed())
         }
         Plan::Distinct { input } => {
-            let rel = execute(catalog, input)?;
-            Ok(algebra::distinct_merging(&rel))
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
+            let rel = algebra::distinct_merging(&input_rel);
+            let n = input_rel.len();
+            (rel, n, None, false, vec![child], t0.elapsed())
         }
         Plan::Sort { input, keys } => {
-            let rel = execute(catalog, input)?;
-            sort_multi(&rel, keys)
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
+            let rel = sort_multi(&input_rel, keys)?;
+            let n = input_rel.len();
+            (rel, n, None, false, vec![child], t0.elapsed())
         }
         Plan::Limit { input, n } => {
-            let rel = execute(catalog, input)?;
-            Ok(TaggedRelation::new(
-                rel.schema().clone(),
-                rel.dictionary().clone(),
-                rel.rows().iter().take(*n).cloned().collect(),
-            )?)
+            let (input_rel, child) = execute_traced(catalog, input)?;
+            let t0 = Instant::now();
+            let rel = TaggedRelation::new(
+                input_rel.schema().clone(),
+                input_rel.dictionary().clone(),
+                input_rel.rows().iter().take(*n).cloned().collect(),
+            )?;
+            let rows_in = input_rel.len();
+            (rel, rows_in, None, false, vec![child], t0.elapsed())
         }
         Plan::IndexScan {
-            table, predicate, ..
+            table,
+            predicate,
+            est_selectivity,
+            ..
         } => {
+            let t0 = Instant::now();
             let rel = catalog.get(table)?;
-            match catalog.quality_index(table) {
-                Some(idx) => algebra::select_indexed(rel, &idx, predicate).map(|(out, _path)| out),
+            let n = rel.len();
+            let out = match catalog.quality_index(table) {
+                Some(idx) => algebra::select_indexed(rel, &idx, predicate).map(|(o, _path)| o)?,
                 // unreachable through the optimizer (the table existed at
                 // plan time), but hand-built plans stay correct
-                None => algebra::select(rel, predicate),
-            }
+                None => algebra::select(rel, predicate)?,
+            };
+            (out, n, Some(*est_selectivity), true, Vec::new(), t0.elapsed())
         }
         Plan::IndexJoin {
             left,
@@ -289,12 +451,37 @@ pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> 
             left_key,
             right_key,
         } => {
-            let l = execute(catalog, left)?;
+            let (l, lt) = execute_traced(catalog, left)?;
+            let t0 = Instant::now();
             let r = catalog.get(right_table)?;
             let idx = catalog.key_index(right_table, right_key)?;
-            algebra::hash_join_probe(&l, r, left_key, right_key, &idx)
+            // The planner takes IndexJoin unconditionally (probing a
+            // prebuilt index never loses), so its implied estimate is the
+            // uniform-key assumption: 1 / distinct probe keys.
+            let est = if idx.distinct_keys() == 0 {
+                0.0
+            } else {
+                1.0 / idx.distinct_keys() as f64
+            };
+            let n = l.len() + r.len();
+            let out = algebra::hash_join_probe(&l, r, left_key, right_key, &idx)?;
+            (out, n, Some(est), true, vec![lt], t0.elapsed())
         }
-    }
+    };
+    let rows_out = rel.len();
+    dq_obs::counter!("query.ops").incr();
+    dq_obs::counter!("query.rows_out").add(rows_out as u64);
+    dq_obs::histogram!("query.op_us").record_us(elapsed.as_micros() as u64);
+    let trace = OpTrace {
+        label: plan.node_line(),
+        rows_out,
+        rows_in,
+        elapsed,
+        est_selectivity,
+        actual_selectivity: selective.then(|| frac(rows_out, rows_in)),
+        children,
+    };
+    Ok((rel, trace))
 }
 
 /// Parses and plans one statement (with the planner's optimizations
@@ -305,6 +492,23 @@ pub fn explain(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult
     let plan = planner.plan(&stmt, catalog.schemas())?;
     let plan = planner.optimize(plan, catalog);
     Ok(plan.explain())
+}
+
+/// Parses, plans, *executes*, and renders one statement `EXPLAIN
+/// ANALYZE`-style: the optimized operator tree annotated with actual row
+/// counts, per-operator timings, and estimated-vs-actual selectivity.
+/// The statement may — but need not — carry an `EXPLAIN [ANALYZE]`
+/// prefix of its own.
+pub fn explain_analyze(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<String> {
+    let stmt = crate::parser::parse(sql)?;
+    let inner = match stmt {
+        Statement::Explain { inner, .. } => *inner,
+        other => other,
+    };
+    let plan = planner.plan(&inner, catalog.schemas())?;
+    let plan = planner.optimize(plan, catalog);
+    let (_rel, trace) = execute_traced(catalog, &plan)?;
+    Ok(trace.render())
 }
 
 /// Projection supporting both plain columns (cells travel with tags) and
@@ -630,6 +834,104 @@ mod tests {
             "{e}"
         );
         assert!(explain(&c, "SELECT * FROM ghosts", &Planner::default()).is_err());
+    }
+
+    #[test]
+    fn explain_statement_renders_plan_without_rows() {
+        let c = catalog();
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
+        let r = run(&c, &format!("EXPLAIN {sql}")).unwrap();
+        match &r {
+            QueryResult::Explain { report, rows } => {
+                assert!(rows.is_none());
+                assert_eq!(report, &explain(&c, sql, &Planner::default()).unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN cannot nest, and EXPLAIN TAG fails at plan time
+        assert!(run(&c, "EXPLAIN EXPLAIN SELECT * FROM stocks").is_err());
+        assert!(run(&c, "EXPLAIN TAG stocks SET price@source = 'x'").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "EXPLAIN without ANALYZE")]
+    fn plain_explain_has_no_relation() {
+        let r = run(&catalog(), "EXPLAIN SELECT * FROM stocks").unwrap();
+        let _ = r.relation();
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_annotates() {
+        let c = catalog();
+        // selective quality predicate pushed to the join's right side →
+        // the IndexScan node carries est/actual selectivity and error
+        let sql = "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker \
+                   WITH QUALITY (price@source = 'manual entry')";
+        let r = run(&c, &format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        // the analyzed run returns the same rows as the plain query
+        assert_eq!(r.relation(), run(&c, sql).unwrap().relation());
+        let report = r.report().unwrap();
+        for needle in [
+            "rows=",
+            "elapsed=",
+            "est_selectivity=0.3333 actual_selectivity=0.3333 err=+0.0000",
+            "IndexScan table=stocks access=bitmap[price@source=manual entry]",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+        // the convenience entry point produces the same tree (timings
+        // differ run to run, so compare the operator text only)
+        let again = explain_analyze(&c, sql, &Planner::default()).unwrap();
+        let ops = |s: &str| -> Vec<String> {
+            s.lines()
+                .map(|l| l.split(" | ").next().unwrap().to_owned())
+                .collect()
+        };
+        assert_eq!(ops(report), ops(&again));
+        // bare right side → IndexJoin node, annotated the same way
+        let join_sql = "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker";
+        let report = explain_analyze(&c, join_sql, &Planner::default()).unwrap();
+        let idx_join = report
+            .lines()
+            .find(|l| l.contains("IndexJoin on=tkr=ticker right=stocks access=index(probe)"))
+            .unwrap_or_else(|| panic!("no IndexJoin line in:\n{report}"));
+        for needle in ["rows=3", "est_selectivity=", "actual_selectivity=", "err="] {
+            assert!(idx_join.contains(needle), "missing {needle:?} in: {idx_join}");
+        }
+    }
+
+    #[test]
+    fn analyze_operator_lines_match_plain_explain() {
+        let c = catalog();
+        let sql = "SELECT DISTINCT ticker FROM stocks WHERE price > 5 ORDER BY ticker LIMIT 2";
+        let plain = explain(&c, sql, &Planner::default()).unwrap();
+        let analyzed = explain_analyze(&c, sql, &Planner::default()).unwrap();
+        let plain_ops: Vec<&str> = plain.lines().collect();
+        let analyzed_ops: Vec<&str> = analyzed
+            .lines()
+            .map(|l| l.split(" | ").next().unwrap())
+            .collect();
+        assert_eq!(plain_ops, analyzed_ops);
+    }
+
+    #[test]
+    fn traced_execution_reports_actual_selectivity() {
+        let c = catalog();
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
+        let stmt = crate::parser::parse(sql).unwrap();
+        let planner = Planner::default();
+        let plan = planner.optimize(planner.plan(&stmt, c.schemas()).unwrap(), &c);
+        let before = dq_obs::registry().snapshot();
+        let (rel, trace) = execute_traced(&c, &plan).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(trace.rows_out, 1);
+        assert_eq!(trace.rows_in, 3);
+        // 1 of 3 rows matched; the planner estimated exactly that
+        assert_eq!(trace.actual_selectivity, Some(1.0 / 3.0));
+        assert_eq!(trace.est_selectivity, Some(1.0 / 3.0));
+        let after = dq_obs::registry().snapshot();
+        assert!(after.counter("query.ops") > before.counter("query.ops"));
+        assert!(after.validate().is_ok(), "{:?}", after.validate());
     }
 
     #[test]

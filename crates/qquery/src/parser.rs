@@ -3,7 +3,8 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! statement  := select | inspect | tag
+//! statement  := explain | select | inspect | tag
+//! explain    := EXPLAIN [ANALYZE] (select | inspect)
 //! select     := SELECT [DISTINCT] items FROM ident [join] [where]
 //!               [WITH QUALITY '(' expr (',' expr)* ')']
 //!               [GROUP BY idents] [HAVING expr]
@@ -110,6 +111,19 @@ impl Parser {
     }
 
     fn statement(&mut self) -> DbResult<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            let inner = self.statement()?;
+            if matches!(inner, Statement::Explain { .. }) {
+                return Err(DbError::ParseError(
+                    "EXPLAIN cannot be nested".into(),
+                ));
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
+        }
         if self.eat_kw("TAG") {
             let table = self.ident()?;
             self.expect_kw("SET")?;

@@ -158,49 +158,42 @@ impl Plan {
         for _ in 0..depth {
             out.push_str("  ");
         }
+        let _ = writeln!(out, "{}", self.node_line());
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// The single EXPLAIN line for this operator (no indentation, no
+    /// newline). Shared between [`Plan::explain`] and the EXPLAIN ANALYZE
+    /// trace renderer so both surfaces print identical operator text.
+    pub(crate) fn node_line(&self) -> String {
         match self {
-            Plan::Scan(name) => {
-                let _ = writeln!(out, "TableScan table={name} access=scan");
-            }
+            Plan::Scan(name) => format!("TableScan table={name} access=scan"),
             Plan::IndexScan {
                 table,
                 predicate,
                 atoms,
                 est_selectivity,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "IndexScan table={table} access=bitmap[{}] est_selectivity={est_selectivity:.4} predicate={predicate}",
-                    atoms.join(" AND ")
-                );
-            }
-            Plan::Filter { input, predicate } => {
-                let _ = writeln!(out, "Filter predicate={predicate}");
-                input.explain_into(out, depth + 1);
-            }
+            } => format!(
+                "IndexScan table={table} access=bitmap[{}] est_selectivity={est_selectivity:.4} predicate={predicate}",
+                atoms.join(" AND ")
+            ),
+            Plan::Filter { predicate, .. } => format!("Filter predicate={predicate}"),
             Plan::Join {
-                left,
-                right,
                 left_key,
                 right_key,
-            } => {
-                let _ = writeln!(out, "HashJoin on={left_key}={right_key} access=build");
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-            }
+                ..
+            } => format!("HashJoin on={left_key}={right_key} access=build"),
             Plan::IndexJoin {
-                left,
                 right_table,
                 left_key,
                 right_key,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "IndexJoin on={left_key}={right_key} right={right_table} access=index(probe)"
-                );
-                left.explain_into(out, depth + 1);
-            }
-            Plan::Project { input, columns } => {
+                ..
+            } => format!(
+                "IndexJoin on={left_key}={right_key} right={right_table} access=index(probe)"
+            ),
+            Plan::Project { columns, .. } => {
                 let cols: Vec<String> = columns
                     .iter()
                     .map(|(src, dst)| {
@@ -211,39 +204,40 @@ impl Plan {
                         }
                     })
                     .collect();
-                let _ = writeln!(out, "Project columns=[{}]", cols.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Project columns=[{}]", cols.join(", "))
             }
-            Plan::Aggregate {
-                input,
-                group_by,
-                aggs,
-            } => {
+            Plan::Aggregate { group_by, aggs, .. } => {
                 let calls: Vec<&str> = aggs.iter().map(|a| a.output.as_str()).collect();
-                let _ = writeln!(
-                    out,
+                format!(
                     "Aggregate group_by=[{}] aggs=[{}]",
                     group_by.join(", "),
                     calls.join(", ")
-                );
-                input.explain_into(out, depth + 1);
+                )
             }
-            Plan::Distinct { input } => {
-                let _ = writeln!(out, "Distinct");
-                input.explain_into(out, depth + 1);
-            }
-            Plan::Sort { input, keys } => {
+            Plan::Distinct { .. } => "Distinct".to_owned(),
+            Plan::Sort { keys, .. } => {
                 let rendered: Vec<String> = keys
                     .iter()
                     .map(|(c, asc)| format!("{c} {}", if *asc { "ASC" } else { "DESC" }))
                     .collect();
-                let _ = writeln!(out, "Sort keys=[{}]", rendered.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Sort keys=[{}]", rendered.join(", "))
             }
-            Plan::Limit { input, n } => {
-                let _ = writeln!(out, "Limit n={n}");
-                input.explain_into(out, depth + 1);
-            }
+            Plan::Limit { n, .. } => format!("Limit n={n}"),
+        }
+    }
+
+    /// Child operators in render order.
+    pub(crate) fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan(_) | Plan::IndexScan { .. } => vec![],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::IndexJoin { left, .. } => vec![left],
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
         }
     }
 }
@@ -437,6 +431,9 @@ impl Planner {
                 })
             }
             Statement::Select(q) => self.plan_select(q, schemas),
+            // EXPLAIN plans its inner statement; rendering (and, for
+            // ANALYZE, traced execution) happens at the execution layer.
+            Statement::Explain { inner, .. } => self.plan(inner, schemas),
             Statement::Tag { .. } => Err(DbError::InvalidExpression(
                 "TAG is a mutation statement; execute it with run_mut".into(),
             )),
@@ -607,6 +604,12 @@ impl Planner {
                 let input = self.optimize(*input, stats);
                 if let Plan::Scan(table) = &input {
                     if let Some((atoms, est)) = stats.access_estimate(table, &predicate) {
+                        // A degenerate stats source (e.g. popcount over a
+                        // zero-row snapshot) can hand back NaN, which fails
+                        // every comparison and silently disables the index
+                        // path. An empty table is maximally selective:
+                        // define its estimate as 0.0.
+                        let est = if est.is_finite() { est } else { 0.0 };
                         if est <= INDEX_SELECTIVITY_CUTOFF {
                             return Plan::IndexScan {
                                 table: table.clone(),
@@ -951,6 +954,49 @@ mod tests {
             .explain()
             .contains("IndexJoin on=ticker=tkr right=trades access=index(probe)"));
         assert_eq!(opt.operator_count(), 2); // index-join + left scan
+    }
+
+    /// Regression: planning a quality filter over a 0-row table must
+    /// yield a *defined* estimate of 0.0 (an empty table is maximally
+    /// selective) and take the index path — not an undefined estimate
+    /// that fails the cutoff comparison and silently keeps the scan.
+    /// Pins the full explain output.
+    #[test]
+    fn empty_table_explain_pins_zero_estimate() {
+        let cat = catalog(); // both relations have zero rows
+        let stmt =
+            parse("SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')").unwrap();
+        let planner = Planner::default();
+        let plan = planner.plan(&stmt, &cat).unwrap();
+        let opt = planner.optimize(plan, &cat);
+        assert_eq!(
+            opt.explain(),
+            "IndexScan table=stocks access=bitmap[price@source=manual entry] \
+             est_selectivity=0.0000 predicate=(price@source = 'manual entry')\n"
+        );
+    }
+
+    /// A stats source that reports NaN (e.g. popcount / 0 rows computed
+    /// outside the index's own guard) must not silently disable the
+    /// index path: non-finite estimates clamp to 0.0.
+    #[test]
+    fn nan_estimate_clamps_to_zero() {
+        struct NanStats;
+        impl AccessPathStats for NanStats {
+            fn access_estimate(&self, _: &str, _: &Expr) -> Option<(Vec<String>, f64)> {
+                Some((vec!["price@source=manual entry".to_owned()], f64::NAN))
+            }
+        }
+        let stmt =
+            parse("SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')").unwrap();
+        let planner = Planner::default();
+        let plan = planner.plan(&stmt, &catalog()).unwrap();
+        match planner.optimize(plan, &NanStats) {
+            Plan::IndexScan {
+                est_selectivity, ..
+            } => assert_eq!(est_selectivity, 0.0),
+            other => panic!("NaN estimate kept the scan: {other:?}"),
+        }
     }
 
     #[test]

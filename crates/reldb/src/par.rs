@@ -81,11 +81,14 @@ pub fn plan(len: usize) -> Option<usize> {
     let forced = OVERRIDE.with(|o| o.get()).is_some();
     let threads = thread_count();
     if threads <= 1 || len < 2 {
+        dq_obs::counter!("par.plan.serial").incr();
         return None;
     }
     if !forced && len < PAR_THRESHOLD {
+        dq_obs::counter!("par.plan.serial").incr();
         return None;
     }
+    dq_obs::counter!("par.plan.parallel").incr();
     Some(threads.min(len))
 }
 
@@ -100,17 +103,33 @@ where
 {
     let chunk = items.len().div_ceil(threads.max(1)).max(1);
     let f = &f;
+    let chunk_us = dq_obs::histogram!("par.chunk_us");
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
-            .map(|(i, c)| s.spawn(move || f(i, c)))
+            .map(|(i, c)| {
+                s.spawn(move || {
+                    let _t = chunk_us.start();
+                    f(i, c)
+                })
+            })
             .collect();
+        dq_obs::counter!("par.chunks").add(handles.len() as u64);
+        record_utilization(handles.len(), threads);
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
+}
+
+/// Counts how many worker threads a chunked run actually occupied vs.
+/// how many the plan asked for — the thread-utilization signal (tail
+/// chunks can leave planned threads idle when `len` is small).
+fn record_utilization(spawned: usize, planned: usize) {
+    dq_obs::counter!("par.threads_spawned").add(spawned as u64);
+    dq_obs::counter!("par.threads_planned").add(planned.max(1) as u64);
 }
 
 /// Splits `0..len` into `threads` contiguous index ranges and runs
@@ -125,15 +144,21 @@ where
 {
     let chunk = len.div_ceil(threads.max(1)).max(1);
     let f = &f;
+    let chunk_us = dq_obs::histogram!("par.chunk_us");
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..len)
             .step_by(chunk)
             .enumerate()
             .map(|(i, start)| {
                 let range = start..(start + chunk).min(len);
-                s.spawn(move || f(i, range))
+                s.spawn(move || {
+                    let _t = chunk_us.start();
+                    f(i, range)
+                })
             })
             .collect();
+        dq_obs::counter!("par.chunks").add(handles.len() as u64);
+        record_utilization(handles.len(), threads);
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
@@ -211,6 +236,27 @@ mod tests {
             assert_eq!(flat, items, "threads={threads}");
         }
         assert!(run_ranges(0, 4, |_, r| r).is_empty());
+    }
+
+    #[test]
+    fn instrumentation_counts_chunks_and_plans() {
+        let before = dq_obs::registry().snapshot();
+        let items: Vec<i64> = (0..100).collect();
+        with_thread_count(4, || assert_eq!(plan(items.len()), Some(4)));
+        with_thread_count(1, || assert_eq!(plan(items.len()), None));
+        let chunks = run_chunked(&items, 4, |_, c| c.len());
+        assert_eq!(chunks.iter().sum::<usize>(), items.len());
+        let after = dq_obs::registry().snapshot();
+        assert!(after.counter("par.chunks") >= before.counter("par.chunks") + 4);
+        assert!(after.counter("par.plan.parallel") > before.counter("par.plan.parallel"));
+        assert!(after.counter("par.plan.serial") > before.counter("par.plan.serial"));
+        let hist_before = before
+            .histograms
+            .get("par.chunk_us")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert!(after.histograms["par.chunk_us"].count >= hist_before + 4);
+        assert!(after.validate().is_ok());
     }
 
     #[test]

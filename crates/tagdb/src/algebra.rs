@@ -279,7 +279,11 @@ pub fn select_indexed(
 ) -> DbResult<(TaggedRelation, TagAccessPath)> {
     // Compile up front so malformed predicates error exactly like the scan.
     CompiledTagExpr::compile(rel, predicate)?;
-    let scan = |rel: &TaggedRelation| Ok((select(rel, predicate)?, TagAccessPath::Scan));
+    let _t = dq_obs::histogram!("tagstore.bitmap.select_us").start();
+    let scan = |rel: &TaggedRelation| {
+        dq_obs::counter!("tagstore.bitmap.scan_fallbacks").incr();
+        Ok((select(rel, predicate)?, TagAccessPath::Scan))
+    };
     if index.rows() != rel.len() {
         return scan(rel); // stale index — never trust it
     }
@@ -291,6 +295,8 @@ pub fn select_indexed(
         return scan(rel);
     };
     let ids: Vec<usize> = bs.iter_ones().collect();
+    dq_obs::counter!("tagstore.bitmap.intersections").add(atoms.len() as u64);
+    dq_obs::counter!("tagstore.bitmap.candidate_rows").add(ids.len() as u64);
     let path = TagAccessPath::Bitmap {
         atoms: atoms.iter().map(|a| a.to_string()).collect(),
         candidates: ids.len(),
@@ -303,6 +309,7 @@ pub fn select_indexed(
         // residual interleaves with atoms, and atom re-checks are cheap.
         select_at(rel, &ids, Some(predicate))?
     };
+    dq_obs::counter!("tagstore.bitmap.gathered_rows").add(filtered.len() as u64);
     Ok((filtered, path))
 }
 

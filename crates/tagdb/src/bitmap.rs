@@ -208,6 +208,31 @@ impl Posting {
     pub fn tagged_rows(&self) -> usize {
         self.tagged.count()
     }
+
+    /// Positional swap-delete fix-up: drops row `row`'s bits and re-homes
+    /// row `last`'s bits to position `row` in every bitset. Empty value
+    /// entries are pruned and `classes` recomputed from the survivors, so
+    /// deletes keep the posting tight rather than accumulating garbage.
+    /// Returns false when the posting indexes nothing any more.
+    fn remove_row(&mut self, row: usize, last: usize) -> bool {
+        fn move_bit(bs: &mut Bitset, row: usize, last: usize) {
+            if row != last {
+                if bs.contains(last) {
+                    bs.set(row);
+                } else {
+                    bs.clear(row);
+                }
+            }
+            bs.clear(last);
+        }
+        move_bit(&mut self.tagged, row, last);
+        self.values.retain(|_, bs| {
+            move_bit(bs, row, last);
+            bs.count() > 0
+        });
+        self.classes = self.values.keys().fold(0, |c, v| c | class_of(v));
+        self.tagged.count() > 0 || !self.values.is_empty()
+    }
 }
 
 /// One index-answerable quality constraint: `col@indicator OP literal`.
@@ -408,6 +433,7 @@ impl QualityIndex {
     /// Full (re)build from a relation — the bulk-load path. Equivalent to
     /// folding [`QualityIndex::note_row`] over the rows, by construction.
     pub fn build(rel: &TaggedRelation) -> Self {
+        dq_obs::counter!("tagstore.index.rebuilds").incr();
         let mut idx = Self::new();
         for row in rel.iter() {
             idx.note_row(row);
@@ -472,6 +498,23 @@ impl QualityIndex {
             posting.classes |= class_of(new);
             posting.values.entry(new.clone()).or_default().set(row);
         }
+    }
+
+    /// Positional swap-delete: removes row `row` from every posting,
+    /// re-homing the last row's bits to `row` — the fix-up matching
+    /// [`TaggedRelation::swap_remove`]. Postings left indexing nothing
+    /// are dropped, so a drained index compares equal to a fresh one.
+    ///
+    /// # Panics
+    /// When `row` is out of range — callers delete through
+    /// [`IndexedTaggedRelation::swap_remove`], which validates against
+    /// the relation first.
+    pub fn delete_row(&mut self, row: usize) {
+        assert!(row < self.rows, "delete_row: row {row} >= {}", self.rows);
+        dq_obs::counter!("tagstore.index.deletes").incr();
+        let last = self.rows - 1;
+        self.postings.retain(|_, p| p.remove_row(row, last));
+        self.rows = last;
     }
 
     /// Answers one atom as a bitset of matching rows, or `None` when the
@@ -603,9 +646,19 @@ impl IndexedTaggedRelation {
     /// Validates and appends a row, indexing its tags incrementally.
     pub fn push(&mut self, row: TaggedRow) -> relstore::DbResult<()> {
         self.rel.push(row)?;
+        dq_obs::counter!("tagstore.index.note_rows").incr();
         self.index
             .note_row(self.rel.rows().last().expect("just pushed"));
         Ok(())
+    }
+
+    /// Deletes row `row` by swap-remove (O(1) in the relation, one
+    /// positional fix-up pass over the index postings), returning the
+    /// removed row. Incremental: the index is never rebuilt.
+    pub fn swap_remove(&mut self, row: usize) -> relstore::DbResult<TaggedRow> {
+        let removed = self.rel.swap_remove(row)?;
+        self.index.delete_row(row);
+        Ok(removed)
     }
 
     /// Tags one cell (validated against the dictionary), updating the
@@ -625,6 +678,7 @@ impl IndexedTaggedRelation {
         let indicator = tag.indicator.clone();
         let new = tag.value.clone();
         self.rel.tag_cell(row, column, tag)?;
+        dq_obs::counter!("tagstore.index.retags").incr();
         self.index.retag(row, ci, old.as_ref(), &indicator, &new);
         Ok(())
     }
@@ -842,6 +896,46 @@ mod tests {
             ir.index().lookup(&c).unwrap().iter_ones().collect::<Vec<_>>(),
             vec![0, 4]
         );
+    }
+
+    #[test]
+    fn swap_delete_rehomes_moved_row() {
+        let r = rel();
+        let mut ir = IndexedTaggedRelation::from_relation(r);
+        // remove row 1 (source=b); row 4 (untagged) moves into its place
+        let removed = ir.swap_remove(1).unwrap();
+        assert_eq!(removed[0].value, Value::Int(1));
+        assert_eq!(ir.len(), 4);
+        assert_eq!(ir.index().rows(), 4);
+        // source=b is gone entirely — pruned, not a lingering empty bitset
+        let b = atom(ir.relation(), &Expr::col("v@source").eq(Expr::lit("b")));
+        assert_eq!(ir.index().lookup(&b).unwrap().count(), 0);
+        // every selection still matches a scan of the mutated relation
+        for p in [
+            Expr::col("v@source").eq(Expr::lit("a")),
+            Expr::col("v@source").ne(Expr::lit("a")),
+            Expr::col("v@age").le(Expr::lit(10i64)),
+        ] {
+            let (fast, _) = ir.select(&p).unwrap();
+            assert_eq!(fast, crate::algebra::select(ir.relation(), &p).unwrap(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn drained_index_equals_fresh() {
+        let mut ir = IndexedTaggedRelation::from_relation(rel());
+        assert!(ir.swap_remove(99).is_err()); // out of range: relation rejects
+        while !ir.is_empty() {
+            ir.swap_remove(0).unwrap();
+        }
+        // pruning leaves no posting garbage behind
+        assert_eq!(ir.index(), &QualityIndex::new());
+        // estimates on the empty index are defined (0.0), never NaN
+        let probe = rel();
+        let (atoms, _) = extract_atoms(&probe, &Expr::col("v@source").eq(Expr::lit("a")));
+        let est = ir.index().estimate(&atoms).unwrap();
+        assert_eq!(est, 0.0);
+        assert!(est.is_finite());
     }
 
     #[test]

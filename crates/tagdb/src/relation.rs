@@ -128,6 +128,20 @@ impl TaggedRelation {
         Ok(())
     }
 
+    /// Removes and returns row `row` in O(1) by swapping the last row
+    /// into its place — the same positional-delete contract as
+    /// `relstore::Table::delete`, so positional indexes fix themselves
+    /// up by re-homing the moved last row.
+    pub fn swap_remove(&mut self, row: usize) -> DbResult<TaggedRow> {
+        if row >= self.rows.len() {
+            return Err(DbError::IndexError(format!(
+                "row {row} out of range ({} rows)",
+                self.rows.len()
+            )));
+        }
+        Ok(self.rows.swap_remove(row))
+    }
+
     /// The cell at `(row, column-name)`.
     pub fn cell(&self, row: usize, column: &str) -> DbResult<&QualityCell> {
         let c = self.schema.resolve(column)?;

@@ -9,7 +9,7 @@ use dq_core::{
 use er_model::{Cardinality, Correspondences, EntityType, ErAttribute, ErSchema, RelationshipType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relstore::{DataType, Date, DbResult, Schema, Value};
+use relstore::{DataType, Date, DbError, DbResult, Schema, Value};
 use tagstore::{IndicatorDef, IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
 
 /// Figure 3's application view: client — trade — company_stock.
@@ -199,6 +199,52 @@ pub struct TradingWorkload {
     /// `trade(account_number, ticker_symbol, date, quantity, trade_price)`
     /// with `source`/`inspection` tags on quantity.
     pub trades: TaggedRelation,
+}
+
+impl TradingWorkload {
+    /// Checks the quality-tag invariants the generator promises on the
+    /// `stocks` relation: every `share_price` cell carries a
+    /// `creation_time` date tag, its `age` tag equals the day count from
+    /// creation to `today`, and its `source` is one of the known feeds.
+    ///
+    /// Returns a [`DbError::ConstraintViolation`] naming the offending
+    /// row and invariant instead of panicking, so callers (workload
+    /// consumers, admin audits) can surface the defect as data.
+    pub fn validate(&self, today: Date) -> DbResult<()> {
+        let violation = |row: usize, detail: String| {
+            Err(DbError::ConstraintViolation {
+                constraint: "stock quality tags".into(),
+                detail: format!("stocks row {row}: {detail}"),
+            })
+        };
+        for i in 0..self.stocks.len() {
+            let price = self.stocks.cell(i, "share_price")?;
+            let created = match price.tag_value("creation_time") {
+                Value::Date(d) => d,
+                Value::Null => return violation(i, "missing creation_time tag".into()),
+                other => {
+                    return violation(i, format!("creation_time is {other:?}, expected a date"))
+                }
+            };
+            match price.tag_value("age") {
+                Value::Int(age) => {
+                    let expected = today.days_between(&created);
+                    if age != expected {
+                        return violation(
+                            i,
+                            format!("age {age} != {expected} days since {created}"),
+                        );
+                    }
+                }
+                other => return violation(i, format!("age is {other:?}, expected an int")),
+            }
+            match price.tag_value("source") {
+                Value::Text(s) if FEEDS.contains(&s.as_str()) => {}
+                other => return violation(i, format!("source {other:?} is not a known feed")),
+            }
+        }
+        Ok(())
+    }
 }
 
 const ANALYSTS: &[&str] = &["Smith", "Jones", "Garcia", "Chen", "Okafor", "Meyer"];
@@ -415,15 +461,52 @@ mod tests {
         })
         .unwrap();
         let today = TradingGenConfig::default().today;
-        for i in 0..w.stocks.len() {
-            let price = w.stocks.cell(i, "share_price").unwrap();
-            let age = price.tag_value("age").as_int().unwrap();
-            if let Value::Date(created) = price.tag_value("creation_time") {
-                assert_eq!(today.days_between(&created), age);
-            } else {
-                panic!("missing creation_time");
+        w.stocks.cell(0, "share_price").unwrap(); // generator produced rows
+        w.validate(today).unwrap();
+    }
+
+    #[test]
+    fn validate_reports_malformed_rows_as_errors() {
+        let today = TradingGenConfig::default().today;
+        let mut w = generate_trading(&TradingGenConfig {
+            stocks: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        // stale age: validated against the wrong day, not a panic
+        let err = w.validate(today.plus_days(1)).unwrap_err();
+        match &err {
+            DbError::ConstraintViolation { constraint, detail } => {
+                assert_eq!(constraint, "stock quality tags");
+                assert!(detail.contains("stocks row 0"), "{detail}");
             }
+            other => panic!("{other:?}"),
         }
+        // untagged price cell: missing creation_time reported, not a panic
+        w.stocks
+            .push(vec![
+                QualityCell::bare("ZZZ"),
+                QualityCell::bare(1.0),
+                QualityCell::bare("no report"),
+            ])
+            .unwrap();
+        let err = w.validate(today).unwrap_err();
+        assert!(
+            err.to_string().contains("missing creation_time"),
+            "{err}"
+        );
+        // unknown feed source
+        let mut w2 = generate_trading(&TradingGenConfig {
+            stocks: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        w2.stocks
+            .cell_mut(0, "share_price")
+            .unwrap()
+            .set_tag(IndicatorValue::new("source", "carrier pigeon"));
+        let err = w2.validate(today).unwrap_err();
+        assert!(err.to_string().contains("not a known feed"), "{err}");
     }
 
     #[test]

@@ -18,4 +18,9 @@ DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
     DQ_BENCH_JSON=/tmp/ci_bench_index.json \
     cargo bench --offline -p dq-bench --bench index_scan >/dev/null
 
-echo "ci: build + test + clippy + index parity all green"
+# Observability smoke: EXPLAIN ANALYZE over the B7 query set plus the
+# trading join; exits nonzero if the metrics registry snapshot contains
+# a NaN, negative, or inconsistent value.
+cargo run -q --offline --release --example observability >/dev/null
+
+echo "ci: build + test + clippy + index parity + observability all green"

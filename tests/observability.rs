@@ -1,0 +1,101 @@
+//! Integration: the execution-observability layer end to end — EXPLAIN
+//! ANALYZE over the generated trading workload, serial/parallel parity,
+//! and a well-formed metrics registry snapshot.
+
+use dq_query::{explain_analyze, run, run_with, Planner, QueryCatalog, QueryResult};
+use dq_workloads::{generate_trading, TradingGenConfig};
+
+fn setup() -> QueryCatalog {
+    let w = generate_trading(&TradingGenConfig {
+        clients: 30,
+        stocks: 40,
+        trades: 400,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut catalog = QueryCatalog::new();
+    catalog.register("company_stock", w.stocks);
+    catalog.register("trade", w.trades);
+    catalog
+}
+
+/// The acceptance query: a quality-filtered join. Pushdown turns the
+/// quality predicate into an `IndexScan` on the stock side and the probe
+/// into an `IndexJoin` against the trade table's key index.
+const QUERY: &str = "SELECT l.ticker_symbol, quantity \
+     FROM company_stock JOIN trade ON ticker_symbol = ticker_symbol \
+     WITH QUALITY (share_price@source = 'manual entry')";
+
+#[test]
+fn explain_analyze_annotates_every_index_operator() {
+    let catalog = setup();
+    let report = explain_analyze(&catalog, QUERY, &Planner::default()).unwrap();
+
+    let mut index_ops = 0;
+    for line in report.lines() {
+        let op = line.trim_start();
+        assert!(line.contains(" | rows="), "missing row count: {line}");
+        assert!(line.contains("elapsed="), "missing timing: {line}");
+        if op.starts_with("IndexScan") || op.starts_with("IndexJoin") {
+            index_ops += 1;
+            assert!(line.contains("est_selectivity="), "missing estimate: {line}");
+            assert!(line.contains("actual_selectivity="), "missing actual: {line}");
+            assert!(line.contains("err="), "missing est-vs-actual error: {line}");
+        }
+    }
+    assert!(report.contains("IndexScan"), "no IndexScan in:\n{report}");
+    assert!(report.contains("IndexJoin"), "no IndexJoin in:\n{report}");
+    assert!(index_ops >= 2, "expected both index operators:\n{report}");
+}
+
+#[test]
+fn explain_analyze_statement_returns_rows_and_report() {
+    let catalog = setup();
+    let sql = format!("EXPLAIN ANALYZE {QUERY}");
+    let result = run_with(&catalog, &sql, &Planner::default()).unwrap();
+    let analyzed_rows = result.relation().len();
+    let report = result.report().unwrap().to_owned();
+    assert!(report.contains(&format!("rows={analyzed_rows}")), "{report}");
+
+    // The plain query returns the same relation the analyzed run produced.
+    let direct = run(&catalog, QUERY).unwrap();
+    assert_eq!(direct.relation().len(), analyzed_rows);
+    assert!(analyzed_rows > 0, "quality filter should keep some trades");
+
+    // Plain EXPLAIN renders the same operators without executing.
+    let plan_only = run_with(
+        &catalog,
+        &format!("EXPLAIN {QUERY}"),
+        &Planner::default(),
+    )
+    .unwrap();
+    match &plan_only {
+        QueryResult::Explain { rows: None, report: plan } => {
+            let ops = |s: &str| {
+                s.lines()
+                    .map(|l| l.split(" | ").next().unwrap().to_owned())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(ops(plan), ops(&report));
+        }
+        other => panic!("expected plan-only explain, got {other:?}"),
+    }
+}
+
+#[test]
+fn serial_and_parallel_runs_agree_and_snapshot_validates() {
+    let catalog = setup();
+    let rows_at = |threads: usize| {
+        relstore::par::with_thread_count(threads, || {
+            run(&catalog, QUERY).unwrap().relation().len()
+        })
+    };
+    let serial = rows_at(1);
+    let parallel = rows_at(8);
+    assert_eq!(serial, parallel, "thread count changed the answer");
+
+    let snap = dq_obs::registry().snapshot();
+    assert!(snap.counter("query.ops") > 0, "executor left no metrics");
+    snap.validate().unwrap_or_else(|errs| panic!("bad snapshot: {errs:?}"));
+    assert!(snap.render_text().contains("query.ops"));
+}
