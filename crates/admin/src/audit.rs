@@ -100,6 +100,15 @@ impl AuditTrail {
         seq
     }
 
+    /// Re-appends an event recovered from durable storage, keeping its
+    /// original sequence number (the trail must come back byte-identical
+    /// after a restart, not renumbered). Future [`AuditTrail::record`]
+    /// calls continue after the highest replayed sequence.
+    pub fn replay(&mut self, event: AuditEvent) {
+        self.next_seq = self.next_seq.max(event.seq + 1);
+        self.events.push(event);
+    }
+
     /// All events, in order.
     pub fn events(&self) -> &[AuditEvent] {
         &self.events
@@ -255,6 +264,27 @@ mod tests {
         assert_eq!(t.by_actor("sales").len(), 2);
         assert_eq!(t.between(d("10-25-91"), d("10-26-91")).len(), 3);
         assert!(t.between(d("1-1-92"), d("2-1-92")).is_empty());
+    }
+
+    #[test]
+    fn replay_preserves_sequence_numbers() {
+        let src = sample();
+        let mut back = AuditTrail::new();
+        for e in src.events() {
+            back.replay(e.clone());
+        }
+        assert_eq!(back.events(), src.events());
+        // recording continues after the replayed tail
+        let seq = back.record(
+            d("10-27-91"),
+            "quality_admin",
+            AuditAction::Inspect,
+            "customer",
+            vec![Value::text("Nut Co")],
+            None,
+            "post-recovery check",
+        );
+        assert_eq!(seq, 4);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub enum DbError {
     TransactionError(String),
     /// CSV import/export failure.
     CsvError(String),
+    /// Durable-storage failure: I/O error, torn or corrupt WAL record,
+    /// unreadable checkpoint (reported by the `dq-storage` crate).
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -75,6 +78,7 @@ impl fmt::Display for DbError {
             DbError::IndexError(m) => write!(f, "index error: {m}"),
             DbError::TransactionError(m) => write!(f, "transaction error: {m}"),
             DbError::CsvError(m) => write!(f, "csv error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -1,0 +1,360 @@
+//! Checkpoints: full snapshots of the durable state, written atomically.
+//!
+//! A checkpoint serializes everything the WAL's records mutate — plain
+//! `relstore` tables, `tagstore` tagged relations (schema, indicator
+//! dictionary, relation-level tags, rows with cell tags), and the
+//! `dq-admin` audit trail — plus the LSN of the last record it covers.
+//! Recovery loads the newest intact checkpoint and replays only WAL
+//! records beyond its LSN.
+//!
+//! ## Atomicity
+//!
+//! The snapshot is written to a `.tmp` file (fully fsynced) and then
+//! renamed into place, so a crash mid-checkpoint leaves at worst a stale
+//! `.tmp` plus the previous checkpoint. The file carries a magic header
+//! and a trailing CRC32 over everything before it; [`load_latest`] falls
+//! back to the next-older checkpoint when the newest fails either check.
+
+use crate::codec::{Decoder, Encoder};
+use crate::crc::crc32;
+use crate::fs::Fs;
+use dq_admin::AuditEvent;
+use relstore::{DbError, DbResult, Row, Schema};
+use tagstore::{IndicatorDef, IndicatorValue, TaggedRow};
+
+/// First bytes of every checkpoint file (version-bearing).
+pub const MAGIC: &[u8; 8] = b"DQCKPT1\n";
+/// File-name prefix of published checkpoints.
+pub const CKPT_PREFIX: &str = "ckpt-";
+/// File-name suffix of published checkpoints.
+pub const CKPT_SUFFIX: &str = ".snap";
+
+/// Snapshot of one tagged relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedSnapshot {
+    /// Relation name.
+    pub name: String,
+    /// Application schema.
+    pub schema: Schema,
+    /// Declared indicators (the dictionary, flattened in sorted order).
+    pub dict: Vec<IndicatorDef>,
+    /// Relation-level quality tags.
+    pub relation_tags: Vec<IndicatorValue>,
+    /// Rows with their cell tags.
+    pub rows: Vec<TaggedRow>,
+}
+
+/// Everything a checkpoint captures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointData {
+    /// LSN of the last WAL record reflected in this snapshot.
+    pub last_lsn: u64,
+    /// Plain tables: `(name, schema, rows)`, sorted by name.
+    pub tables: Vec<(String, Schema, Vec<Row>)>,
+    /// Tagged relations, sorted by name.
+    pub tagged: Vec<TaggedSnapshot>,
+    /// The audit trail's next sequence number.
+    pub audit_next_seq: u64,
+    /// The audit trail's events, in order.
+    pub audit_events: Vec<AuditEvent>,
+}
+
+fn file_name(last_lsn: u64) -> String {
+    format!("{CKPT_PREFIX}{last_lsn:020}{CKPT_SUFFIX}")
+}
+
+fn is_checkpoint(name: &str) -> bool {
+    name.starts_with(CKPT_PREFIX) && name.ends_with(CKPT_SUFFIX)
+}
+
+fn encode(data: &CheckpointData) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(data.last_lsn);
+    enc.put_u32(data.tables.len() as u32);
+    for (name, schema, rows) in &data.tables {
+        enc.put_str(name);
+        enc.put_schema(schema);
+        enc.put_u32(rows.len() as u32);
+        for r in rows {
+            enc.put_row(r);
+        }
+    }
+    enc.put_u32(data.tagged.len() as u32);
+    for t in &data.tagged {
+        enc.put_str(&t.name);
+        enc.put_schema(&t.schema);
+        enc.put_u32(t.dict.len() as u32);
+        for d in &t.dict {
+            enc.put_indicator_def(d);
+        }
+        enc.put_u32(t.relation_tags.len() as u32);
+        for tag in &t.relation_tags {
+            enc.put_tag(tag);
+        }
+        enc.put_u32(t.rows.len() as u32);
+        for r in &t.rows {
+            enc.put_tagged_row(r);
+        }
+    }
+    enc.put_u64(data.audit_next_seq);
+    enc.put_u32(data.audit_events.len() as u32);
+    for e in &data.audit_events {
+        enc.put_audit_event(e);
+    }
+    enc.into_bytes()
+}
+
+fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
+    let mut dec = Decoder::new(payload);
+    let last_lsn = dec.get_u64()?;
+    let ntables = dec.get_u32()? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1024));
+    for _ in 0..ntables {
+        let name = dec.get_str()?;
+        let schema = dec.get_schema()?;
+        let nrows = dec.get_u32()? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1024));
+        for _ in 0..nrows {
+            rows.push(dec.get_row()?);
+        }
+        tables.push((name, schema, rows));
+    }
+    let ntagged = dec.get_u32()? as usize;
+    let mut tagged = Vec::with_capacity(ntagged.min(1024));
+    for _ in 0..ntagged {
+        let name = dec.get_str()?;
+        let schema = dec.get_schema()?;
+        let ndict = dec.get_u32()? as usize;
+        let mut dict = Vec::with_capacity(ndict.min(1024));
+        for _ in 0..ndict {
+            dict.push(dec.get_indicator_def()?);
+        }
+        let ntags = dec.get_u32()? as usize;
+        let mut relation_tags = Vec::with_capacity(ntags.min(1024));
+        for _ in 0..ntags {
+            relation_tags.push(dec.get_tag()?);
+        }
+        let nrows = dec.get_u32()? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1024));
+        for _ in 0..nrows {
+            rows.push(dec.get_tagged_row()?);
+        }
+        tagged.push(TaggedSnapshot {
+            name,
+            schema,
+            dict,
+            relation_tags,
+            rows,
+        });
+    }
+    let audit_next_seq = dec.get_u64()?;
+    let nevents = dec.get_u32()? as usize;
+    let mut audit_events = Vec::with_capacity(nevents.min(1024));
+    for _ in 0..nevents {
+        audit_events.push(dec.get_audit_event()?);
+    }
+    if !dec.is_exhausted() {
+        return Err(DbError::Storage("checkpoint has trailing bytes".into()));
+    }
+    Ok(CheckpointData {
+        last_lsn,
+        tables,
+        tagged,
+        audit_next_seq,
+        audit_events,
+    })
+}
+
+/// Writes a checkpoint atomically (tmp + fsync + rename). Returns the
+/// published file name.
+pub fn write(fs: &dyn Fs, data: &CheckpointData) -> DbResult<String> {
+    let _t = dq_obs::histogram!("checkpoint.write_us").start();
+    let payload = encode(data);
+    let mut bytes = Vec::with_capacity(MAGIC.len() + payload.len() + 4);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&payload);
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+
+    let name = file_name(data.last_lsn);
+    let tmp = format!("{name}.tmp");
+    fs.write_file(&tmp, &bytes)?;
+    fs.rename(&tmp, &name)?;
+    dq_obs::counter!("checkpoint.write").incr();
+    dq_obs::counter!("checkpoint.bytes").add(bytes.len() as u64);
+    Ok(name)
+}
+
+fn read_one(fs: &dyn Fs, name: &str) -> DbResult<CheckpointData> {
+    let bytes = fs.read(name)?;
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(DbError::Storage(format!("checkpoint `{name}` too short")));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(DbError::Storage(format!("checkpoint `{name}` CRC mismatch")));
+    }
+    if &body[..MAGIC.len()] != MAGIC {
+        return Err(DbError::Storage(format!("checkpoint `{name}` bad magic")));
+    }
+    decode(&body[MAGIC.len()..])
+}
+
+/// Sorted list of published checkpoint file names (oldest first).
+pub fn list(fs: &dyn Fs) -> DbResult<Vec<String>> {
+    let mut names: Vec<String> = fs
+        .list()?
+        .into_iter()
+        .filter(|n| is_checkpoint(n))
+        .collect();
+    names.sort_unstable(); // zero-padded LSN ⇒ lexicographic == numeric
+    Ok(names)
+}
+
+/// Loads the newest intact checkpoint, falling back to older ones when
+/// the newest is corrupt (a crash can never corrupt a *published*
+/// checkpoint, but a dishonest disk can). Returns the file name too so
+/// callers can prune older files. `Ok(None)` on a fresh directory.
+pub fn load_latest(fs: &dyn Fs) -> DbResult<Option<(String, CheckpointData)>> {
+    for name in list(fs)?.into_iter().rev() {
+        match read_one(fs, &name) {
+            Ok(data) => return Ok(Some((name, data))),
+            Err(_) => {
+                dq_obs::counter!("checkpoint.corrupt").incr();
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes published checkpoints older than `keep`, plus any orphaned
+/// `.tmp` files from interrupted checkpoint writes.
+pub fn prune(fs: &dyn Fs, keep: &str) -> DbResult<()> {
+    for name in fs.list()? {
+        let stale_ckpt = is_checkpoint(&name) && name.as_str() < keep;
+        let orphan_tmp = name.starts_with(CKPT_PREFIX) && name.ends_with(".tmp");
+        if stale_ckpt || orphan_tmp {
+            fs.remove(&name)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+    use dq_admin::AuditAction;
+    use relstore::{DataType, Date, Value};
+    use tagstore::QualityCell;
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            last_lsn: 42,
+            tables: vec![(
+                "company".into(),
+                Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
+                vec![
+                    vec![Value::text("FRT"), Value::Float(10.5)],
+                    vec![Value::text("NUT"), Value::Null],
+                ],
+            )],
+            tagged: vec![TaggedSnapshot {
+                name: "stock".into(),
+                schema: Schema::of(&[("name", DataType::Text)]),
+                dict: vec![IndicatorDef::new("source", DataType::Text, "origin")],
+                relation_tags: vec![IndicatorValue::new("source", "bulk import")],
+                rows: vec![vec![
+                    QualityCell::bare("Fruit Co").with_tag(IndicatorValue::new("source", "Nexis")),
+                ]],
+            }],
+            audit_next_seq: 2,
+            audit_events: vec![AuditEvent {
+                seq: 1,
+                date: Date::parse("10-24-91").unwrap(),
+                actor: "acct'g".into(),
+                action: AuditAction::Create,
+                table: "company".into(),
+                row_key: vec![Value::text("FRT")],
+                column: None,
+                detail: "row created".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let fs = MemFs::new();
+        let data = sample();
+        let name = write(&fs, &data).unwrap();
+        assert!(fs.exists(&name) && !fs.exists(&format!("{name}.tmp")));
+        let (loaded_name, loaded) = load_latest(&fs).unwrap().unwrap();
+        assert_eq!(loaded_name, name);
+        assert_eq!(loaded, data);
+    }
+
+    #[test]
+    fn empty_dir_loads_none() {
+        assert!(load_latest(&MemFs::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn newest_wins_and_corrupt_falls_back() {
+        let fs = MemFs::new();
+        let mut old = sample();
+        old.last_lsn = 10;
+        write(&fs, &old).unwrap();
+        let new = sample();
+        write(&fs, &new).unwrap();
+        assert_eq!(load_latest(&fs).unwrap().unwrap().1.last_lsn, 42);
+        // corrupt the newest: loader falls back to the older one
+        let newest = list(&fs).unwrap().pop().unwrap();
+        let mut bytes = fs.read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs.write_file(&newest, &bytes).unwrap();
+        let (name, data) = load_latest(&fs).unwrap().unwrap();
+        assert_eq!(data.last_lsn, 10);
+        assert!(name < newest);
+    }
+
+    #[test]
+    fn interrupted_write_leaves_previous_checkpoint() {
+        let fs = MemFs::new();
+        let mut old = sample();
+        old.last_lsn = 10;
+        write(&fs, &old).unwrap();
+        // the next checkpoint write dies partway into the tmp file
+        fs.set_write_budget(20);
+        let mut new = sample();
+        new.last_lsn = 99;
+        assert!(write(&fs, &new).is_err());
+        fs.clear_write_budget();
+        assert_eq!(load_latest(&fs).unwrap().unwrap().1.last_lsn, 10);
+        // prune clears the orphaned tmp
+        prune(&fs, &file_name(10)).unwrap();
+        assert!(fs.list().unwrap().iter().all(|n| !n.ends_with(".tmp")));
+    }
+
+    #[test]
+    fn prune_keeps_only_newest() {
+        let fs = MemFs::new();
+        for lsn in [5, 10, 15] {
+            let mut d = sample();
+            d.last_lsn = lsn;
+            write(&fs, &d).unwrap();
+        }
+        prune(&fs, &file_name(15)).unwrap();
+        assert_eq!(list(&fs).unwrap(), vec![file_name(15)]);
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let fs = MemFs::new();
+        let name = write(&fs, &sample()).unwrap();
+        let bytes = fs.read(&name).unwrap();
+        fs.write_file(&name, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(load_latest(&fs).unwrap().is_none());
+    }
+}

@@ -1,0 +1,702 @@
+//! [`DurableDb`]: the durable facade over the whole quality stack.
+//!
+//! One database directory holds WAL segments plus checkpoints covering
+//! three kinds of state: plain `relstore` tables, `tagstore` tagged
+//! relations (kept behind their quality bitmap indexes), and the
+//! `dq-admin` audit trail. Every mutation is **applied first, logged
+//! second**: the in-memory engine validates and performs the operation,
+//! and only a successful operation is appended to the WAL — so every
+//! logged record is one that once succeeded, and replaying the committed
+//! prefix through the same code paths is deterministic redo.
+//!
+//! ## Recovery
+//!
+//! [`DurableDb::open`] loads the newest intact checkpoint, replays the
+//! WAL records beyond its LSN (the log's torn tail, if any, was already
+//! truncated by the scan), and only then builds the quality bitmap
+//! indexes — one bulk [`QualityIndex::build`] per tagged relation
+//! instead of per-record incremental upkeep.
+//!
+//! [`QualityIndex::build`]: tagstore::QualityIndex::build
+
+use crate::checkpoint::{self, CheckpointData, TaggedSnapshot};
+use crate::fs::Fs;
+use crate::record::WalRecord;
+use crate::wal::{self, Wal, WalOptions};
+use dq_admin::{AuditAction, AuditTrail};
+use relstore::{Database, Date, DbError, DbResult, Row, Schema, Table, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tagstore::{
+    IndexedTaggedRelation, IndicatorDef, IndicatorDictionary, IndicatorValue, TaggedRelation,
+    TaggedRow,
+};
+
+/// Tuning knobs for a durable database.
+#[derive(Debug, Clone, Default)]
+pub struct DurableOptions {
+    /// WAL segment sizing.
+    pub wal: WalOptions,
+    /// When true, mutations only buffer WAL frames; durability waits for
+    /// an explicit [`DurableDb::commit`] (one fsync covers the whole
+    /// group). When false, every mutation commits immediately.
+    pub group_commit: bool,
+}
+
+/// What [`DurableDb::open`] did to get the database back.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Checkpoint file the state was loaded from, if any.
+    pub checkpoint: Option<String>,
+    /// LSN the checkpoint covered (0 when starting fresh).
+    pub checkpoint_lsn: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Bytes of torn WAL tail truncated during the scan.
+    pub truncated_bytes: u64,
+    /// Quality bitmap indexes rebuilt (one per tagged relation).
+    pub indexes_rebuilt: usize,
+}
+
+/// A durable quality database: tables + tagged relations + audit trail,
+/// all recovered from one directory on [`DurableDb::open`].
+pub struct DurableDb {
+    fs: Arc<dyn Fs>,
+    wal: Wal,
+    group_commit: bool,
+    db: Database,
+    tagged: BTreeMap<String, IndexedTaggedRelation>,
+    audit: AuditTrail,
+}
+
+impl std::fmt::Debug for DurableDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableDb")
+            .field("tables", &self.db.table_names())
+            .field("tagged", &self.tagged.keys().collect::<Vec<_>>())
+            .field("audit_events", &self.audit.len())
+            .field("wal", &self.wal)
+            .finish()
+    }
+}
+
+fn flatten_dict(dict: &IndicatorDictionary) -> Vec<IndicatorDef> {
+    dict.names()
+        .iter()
+        .map(|n| dict.get(n).expect("listed name resolves").clone())
+        .collect()
+}
+
+fn build_dict(defs: &[IndicatorDef]) -> DbResult<IndicatorDictionary> {
+    let mut dict = IndicatorDictionary::new();
+    for d in defs {
+        dict.declare(d.clone())?;
+    }
+    Ok(dict)
+}
+
+/// Mutable state recovery applies records onto: tagged relations stay
+/// *unindexed* until the very end.
+struct Recovering {
+    db: Database,
+    tagged: BTreeMap<String, TaggedRelation>,
+    audit: AuditTrail,
+}
+
+impl Recovering {
+    fn from_checkpoint(data: CheckpointData) -> DbResult<Self> {
+        let mut db = Database::new();
+        for (name, schema, rows) in data.tables {
+            db.create_table(&name, schema)?;
+            db.table_mut(&name)?.bulk_load(rows)?;
+        }
+        let mut tagged = BTreeMap::new();
+        for snap in data.tagged {
+            let TaggedSnapshot {
+                name,
+                schema,
+                dict,
+                relation_tags,
+                rows,
+            } = snap;
+            let mut rel = TaggedRelation::new(schema, build_dict(&dict)?, rows)?;
+            for tag in relation_tags {
+                rel.tag_relation(tag)?;
+            }
+            tagged.insert(name, rel);
+        }
+        let mut audit = AuditTrail::new();
+        for e in data.audit_events {
+            audit.replay(e);
+        }
+        Ok(Recovering { db, tagged, audit })
+    }
+
+    fn tagged_mut(&mut self, name: &str) -> DbResult<&mut TaggedRelation> {
+        self.tagged
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Redo of one committed record — the recovery twin of the logged
+    /// mutation methods on [`DurableDb`].
+    fn apply(&mut self, rec: WalRecord) -> DbResult<()> {
+        match rec {
+            WalRecord::CreateTable { table, schema } => {
+                self.db.create_table(&table, schema)?;
+            }
+            WalRecord::Insert { table, row } => {
+                self.db.table_mut(&table)?.insert(row)?;
+            }
+            WalRecord::Update { table, pos, row } => {
+                self.db.table_mut(&table)?.update(pos as usize, row)?;
+            }
+            WalRecord::Delete { table, pos } => {
+                self.db.table_mut(&table)?.delete(pos as usize)?;
+            }
+            WalRecord::BulkLoad { table, rows } => {
+                self.db.table_mut(&table)?.bulk_load(rows)?;
+            }
+            WalRecord::CreateTagged { name, schema, dict } => {
+                if self.tagged.contains_key(&name) {
+                    return Err(DbError::DuplicateTable(name));
+                }
+                self.tagged
+                    .insert(name, TaggedRelation::empty(schema, build_dict(&dict)?));
+            }
+            WalRecord::TagPush { name, row } => {
+                self.tagged_mut(&name)?.push(row)?;
+            }
+            WalRecord::TagCell {
+                name,
+                row,
+                column,
+                tag,
+            } => {
+                self.tagged_mut(&name)?.tag_cell(row as usize, &column, tag)?;
+            }
+            WalRecord::TagRemove { name, row } => {
+                self.tagged_mut(&name)?.swap_remove(row as usize)?;
+            }
+            WalRecord::Audit { event } => {
+                self.audit.replay(event);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DurableDb {
+    /// Opens (recovering) the database stored under `fs`.
+    ///
+    /// Steps: load newest intact checkpoint → scan the WAL (truncating a
+    /// torn tail) → redo records beyond the checkpoint LSN → rebuild
+    /// quality bitmap indexes once.
+    pub fn open(fs: Arc<dyn Fs>, opts: DurableOptions) -> DbResult<(DurableDb, RecoveryReport)> {
+        let _t = dq_obs::histogram!("recovery.duration_us").start();
+        dq_obs::counter!("recovery.runs").incr();
+
+        let (ckpt_name, ckpt) = match checkpoint::load_latest(fs.as_ref())? {
+            Some((name, data)) => (Some(name), data),
+            None => (None, CheckpointData::default()),
+        };
+        let checkpoint_lsn = ckpt.last_lsn;
+        let mut state = Recovering::from_checkpoint(ckpt)?;
+
+        let scan = wal::replay(fs.as_ref())?;
+        let mut replayed = 0u64;
+        for (lsn, rec) in scan.records {
+            if lsn <= checkpoint_lsn {
+                continue; // already inside the checkpoint
+            }
+            state.apply(rec).map_err(|e| {
+                DbError::Storage(format!("recovery: redo of WAL record lsn={lsn} failed: {e}"))
+            })?;
+            replayed += 1;
+        }
+        dq_obs::counter!("recovery.replay").add(replayed);
+        dq_obs::counter!("recovery.truncated_bytes").add(scan.truncated_bytes);
+
+        // Index build happens exactly once, after the full redo pass.
+        let indexes_rebuilt = state.tagged.len();
+        let tagged = {
+            let _t = dq_obs::histogram!("recovery.index_rebuild_us").start();
+            state
+                .tagged
+                .into_iter()
+                .map(|(n, rel)| (n, IndexedTaggedRelation::from_relation(rel)))
+                .collect()
+        };
+
+        let next_lsn = scan.next_lsn.max(checkpoint_lsn + 1);
+        let wal = Wal::resume(Arc::clone(&fs), opts.wal.clone(), next_lsn, scan.tail);
+        let report = RecoveryReport {
+            checkpoint: ckpt_name,
+            checkpoint_lsn,
+            replayed_records: replayed,
+            truncated_bytes: scan.truncated_bytes,
+            indexes_rebuilt,
+        };
+        Ok((
+            DurableDb {
+                fs,
+                wal,
+                group_commit: opts.group_commit,
+                db: state.db,
+                tagged,
+                audit: state.audit,
+            },
+            report,
+        ))
+    }
+
+    /// Opens a database directory on the real filesystem.
+    pub fn open_dir(
+        path: impl Into<std::path::PathBuf>,
+        opts: DurableOptions,
+    ) -> DbResult<(DurableDb, RecoveryReport)> {
+        let fs = crate::fs::StdFs::open(path)?;
+        DurableDb::open(Arc::new(fs), opts)
+    }
+
+    /// Appends to the WAL; under autocommit, also makes it durable.
+    fn log(&mut self, rec: WalRecord) -> DbResult<()> {
+        self.wal.append(&rec);
+        if !self.group_commit {
+            self.wal.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered WAL frames with one fsync (the group commit).
+    /// A no-op under autocommit or with nothing pending.
+    pub fn commit(&mut self) -> DbResult<()> {
+        self.wal.commit()
+    }
+
+    // ---- plain tables ---------------------------------------------------
+
+    /// Creates a plain table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<()> {
+        self.db.create_table(name, schema.clone())?;
+        self.log(WalRecord::CreateTable {
+            table: name.to_owned(),
+            schema,
+        })
+    }
+
+    /// Inserts a row, returning its position.
+    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<usize> {
+        let pos = self.db.insert(table, row.clone())?;
+        self.log(WalRecord::Insert {
+            table: table.to_owned(),
+            row,
+        })?;
+        Ok(pos)
+    }
+
+    /// Replaces the row at `pos`.
+    pub fn update(&mut self, table: &str, pos: usize, row: Row) -> DbResult<()> {
+        self.db.update(table, pos, row.clone())?;
+        self.log(WalRecord::Update {
+            table: table.to_owned(),
+            pos: pos as u64,
+            row,
+        })
+    }
+
+    /// Deletes the row at `pos` (swap-remove), returning it.
+    pub fn delete(&mut self, table: &str, pos: usize) -> DbResult<Row> {
+        let removed = self.db.delete(table, pos)?;
+        self.log(WalRecord::Delete {
+            table: table.to_owned(),
+            pos: pos as u64,
+        })?;
+        Ok(removed)
+    }
+
+    /// Bulk-loads a batch (indexes rebuilt once), returning rows added.
+    pub fn bulk_load(&mut self, table: &str, rows: Vec<Row>) -> DbResult<usize> {
+        let n = self.db.table_mut(table)?.bulk_load(rows.clone())?;
+        self.log(WalRecord::BulkLoad {
+            table: table.to_owned(),
+            rows,
+        })?;
+        Ok(n)
+    }
+
+    // ---- tagged relations -----------------------------------------------
+
+    /// Creates an empty tagged relation governed by `dict`.
+    pub fn create_tagged(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        dict: IndicatorDictionary,
+    ) -> DbResult<()> {
+        if self.tagged.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_owned()));
+        }
+        let defs = flatten_dict(&dict);
+        let rel = TaggedRelation::empty(schema.clone(), dict);
+        self.tagged
+            .insert(name.to_owned(), IndexedTaggedRelation::from_relation(rel));
+        self.log(WalRecord::CreateTagged {
+            name: name.to_owned(),
+            schema,
+            dict: defs,
+        })
+    }
+
+    fn tagged_mut(&mut self, name: &str) -> DbResult<&mut IndexedTaggedRelation> {
+        self.tagged
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Appends a tagged row (validated, incrementally indexed).
+    pub fn push(&mut self, name: &str, row: TaggedRow) -> DbResult<()> {
+        self.tagged_mut(name)?.push(row.clone())?;
+        self.log(WalRecord::TagPush {
+            name: name.to_owned(),
+            row,
+        })
+    }
+
+    /// Tags one cell of a tagged relation.
+    pub fn tag_cell(
+        &mut self,
+        name: &str,
+        row: usize,
+        column: &str,
+        tag: IndicatorValue,
+    ) -> DbResult<()> {
+        self.tagged_mut(name)?.tag_cell(row, column, tag.clone())?;
+        self.log(WalRecord::TagCell {
+            name: name.to_owned(),
+            row: row as u64,
+            column: column.to_owned(),
+            tag,
+        })
+    }
+
+    /// Removes row `row` from a tagged relation (swap-remove).
+    pub fn swap_remove(&mut self, name: &str, row: usize) -> DbResult<TaggedRow> {
+        let removed = self.tagged_mut(name)?.swap_remove(row)?;
+        self.log(WalRecord::TagRemove {
+            name: name.to_owned(),
+            row: row as u64,
+        })?;
+        Ok(removed)
+    }
+
+    // ---- audit trail ----------------------------------------------------
+
+    /// Records an audit event on the durable trail, returning its
+    /// sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn audit(
+        &mut self,
+        date: Date,
+        actor: impl Into<String>,
+        action: AuditAction,
+        table: impl Into<String>,
+        row_key: Vec<Value>,
+        column: Option<&str>,
+        detail: impl Into<String>,
+    ) -> DbResult<u64> {
+        let seq = self
+            .audit
+            .record(date, actor, action, table, row_key, column, detail);
+        let event = self
+            .audit
+            .events()
+            .last()
+            .expect("just recorded")
+            .clone();
+        self.log(WalRecord::Audit { event })?;
+        Ok(seq)
+    }
+
+    // ---- checkpointing --------------------------------------------------
+
+    /// Writes a checkpoint covering everything committed so far, prunes
+    /// older checkpoints and fully-covered WAL segments, and returns the
+    /// checkpoint file name. Pending group-commit frames are flushed
+    /// first so the snapshot never claims an LSN it doesn't contain.
+    pub fn checkpoint(&mut self) -> DbResult<String> {
+        self.wal.commit()?;
+        let data = self.snapshot_data();
+        let name = checkpoint::write(self.fs.as_ref(), &data)?;
+        checkpoint::prune(self.fs.as_ref(), &name)?;
+        self.wal.rotate()?;
+        self.wal.prune_before_current()?;
+        Ok(name)
+    }
+
+    fn snapshot_data(&self) -> CheckpointData {
+        let tables = self
+            .db
+            .table_names()
+            .into_iter()
+            .map(|name| {
+                let t = self.db.table(name).expect("listed name resolves");
+                (name.to_owned(), t.schema().clone(), t.rows().to_vec())
+            })
+            .collect();
+        let tagged = self
+            .tagged
+            .iter()
+            .map(|(name, itr)| {
+                let rel = itr.relation();
+                TaggedSnapshot {
+                    name: name.clone(),
+                    schema: rel.schema().clone(),
+                    dict: flatten_dict(rel.dictionary()),
+                    relation_tags: rel.relation_tags().to_vec(),
+                    rows: rel.rows().to_vec(),
+                }
+            })
+            .collect();
+        CheckpointData {
+            last_lsn: self.wal.last_lsn(),
+            tables,
+            tagged,
+            audit_next_seq: self.audit.events().last().map_or(0, |e| e.seq + 1),
+            audit_events: self.audit.events().to_vec(),
+        }
+    }
+
+    // ---- accessors ------------------------------------------------------
+
+    /// The relational catalog (read-only; mutate through [`DurableDb`]).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// One plain table.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.db.table(name)
+    }
+
+    /// One tagged relation with its quality bitmap index.
+    pub fn tagged(&self, name: &str) -> DbResult<&IndexedTaggedRelation> {
+        self.tagged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all tagged relations, sorted.
+    pub fn tagged_names(&self) -> Vec<&str> {
+        self.tagged.keys().map(String::as_str).collect()
+    }
+
+    /// The audit trail (lineage queries live here).
+    pub fn audit_trail(&self) -> &AuditTrail {
+        &self.audit
+    }
+
+    /// LSN of the last appended record.
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// WAL records buffered but not yet committed (group-commit mode).
+    pub fn pending_records(&self) -> u64 {
+        self.wal.pending_records()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MemFs;
+    use relstore::DataType;
+    use tagstore::QualityCell;
+
+    fn open(fs: &MemFs, group_commit: bool) -> (DurableDb, RecoveryReport) {
+        DurableDb::open(
+            Arc::new(fs.clone()),
+            DurableOptions {
+                group_commit,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn seed(db: &mut DurableDb) {
+        db.create_table(
+            "company",
+            Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
+        )
+        .unwrap();
+        db.insert("company", vec![Value::text("FRT"), Value::Float(10.0)])
+            .unwrap();
+        db.insert("company", vec![Value::text("NUT"), Value::Float(20.0)])
+            .unwrap();
+        db.create_tagged(
+            "stock",
+            Schema::of(&[("name", DataType::Text), ("employees", DataType::Int)]),
+            IndicatorDictionary::with_paper_defaults(),
+        )
+        .unwrap();
+        db.push(
+            "stock",
+            vec![
+                QualityCell::bare("Fruit Co"),
+                QualityCell::bare(4004i64).with_tag(IndicatorValue::new("source", "Nexis")),
+            ],
+        )
+        .unwrap();
+        db.audit(
+            Date::parse("10-24-91").unwrap(),
+            "acct'g",
+            AuditAction::Create,
+            "stock",
+            vec![Value::text("Fruit Co")],
+            None,
+            "row created",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn state_survives_clean_restart() {
+        let fs = MemFs::new();
+        let (mut db, report) = open(&fs, false);
+        assert_eq!(report.replayed_records, 0);
+        seed(&mut db);
+        drop(db);
+        fs.crash(); // autocommit: everything was fsynced
+
+        let (db, report) = open(&fs, false);
+        assert_eq!(report.replayed_records, 6);
+        assert_eq!(db.table("company").unwrap().len(), 2);
+        let stock = db.tagged("stock").unwrap();
+        assert_eq!(stock.len(), 1);
+        assert_eq!(
+            stock.relation().cell(0, "employees").unwrap().tag_value("source"),
+            Value::text("Nexis")
+        );
+        assert_eq!(
+            db.audit_trail()
+                .lineage("stock", &[Value::text("Fruit Co")])
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn uncommitted_group_is_lost_committed_group_survives() {
+        let fs = MemFs::new();
+        let (mut db, _) = open(&fs, true);
+        seed(&mut db);
+        db.commit().unwrap();
+        db.insert("company", vec![Value::text("BLT"), Value::Float(1.0)])
+            .unwrap();
+        assert_eq!(db.pending_records(), 1);
+        // crash before commit: the last insert must vanish
+        drop(db);
+        fs.crash();
+        let (db, _) = open(&fs, true);
+        assert_eq!(db.table("company").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_then_tail_replay() {
+        let fs = MemFs::new();
+        let (mut db, _) = open(&fs, false);
+        seed(&mut db);
+        db.checkpoint().unwrap();
+        // post-checkpoint tail
+        db.update("company", 0, vec![Value::text("FRT"), Value::Float(11.0)])
+            .unwrap();
+        db.delete("company", 1).unwrap();
+        db.tag_cell(
+            "stock",
+            0,
+            "name",
+            IndicatorValue::new("source", "registry"),
+        )
+        .unwrap();
+        drop(db);
+        fs.crash();
+
+        let (db, report) = open(&fs, false);
+        assert!(report.checkpoint.is_some());
+        assert_eq!(report.checkpoint_lsn, 6);
+        assert_eq!(report.replayed_records, 3);
+        let company = db.table("company").unwrap();
+        assert_eq!(company.len(), 1);
+        assert_eq!(company.rows()[0][1], Value::Float(11.0));
+        assert_eq!(
+            db.tagged("stock")
+                .unwrap()
+                .relation()
+                .cell(0, "name")
+                .unwrap()
+                .tag_value("source"),
+            Value::text("registry")
+        );
+    }
+
+    #[test]
+    fn checkpoint_prunes_wal_and_older_checkpoints() {
+        let fs = MemFs::new();
+        let (mut db, _) = open(&fs, false);
+        seed(&mut db);
+        db.checkpoint().unwrap();
+        db.insert("company", vec![Value::text("BLT"), Value::Float(1.0)])
+            .unwrap();
+        db.checkpoint().unwrap();
+        let files = fs.list().unwrap();
+        let ckpts = files.iter().filter(|n| n.starts_with("ckpt-")).count();
+        let wals = files.iter().filter(|n| n.starts_with("wal-")).count();
+        assert_eq!(ckpts, 1, "old checkpoints pruned: {files:?}");
+        assert_eq!(wals, 0, "covered WAL segments pruned: {files:?}");
+        // and the database still opens with zero replay
+        let (db, report) = open(&fs, false);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(db.table("company").unwrap().len(), 3);
+        // LSNs continue past the checkpoint after a pruned-log reopen
+        assert_eq!(db.last_lsn(), report.checkpoint_lsn);
+    }
+
+    #[test]
+    fn rebuilt_index_matches_scratch_build() {
+        let fs = MemFs::new();
+        let (mut db, _) = open(&fs, false);
+        seed(&mut db);
+        db.push(
+            "stock",
+            vec![
+                QualityCell::bare("Nut Co"),
+                QualityCell::bare(700i64).with_tag(IndicatorValue::new("source", "estimate")),
+            ],
+        )
+        .unwrap();
+        db.swap_remove("stock", 0).unwrap();
+        drop(db);
+        fs.crash();
+        let (db, report) = open(&fs, false);
+        assert_eq!(report.indexes_rebuilt, 1);
+        let recovered = db.tagged("stock").unwrap();
+        let scratch = IndexedTaggedRelation::from_relation(recovered.relation().clone());
+        assert_eq!(recovered, &scratch);
+    }
+
+    #[test]
+    fn failed_mutation_is_not_logged() {
+        let fs = MemFs::new();
+        let (mut db, _) = open(&fs, false);
+        seed(&mut db);
+        let lsn = db.last_lsn();
+        // type error: rejected by the engine, so nothing may hit the log
+        assert!(db
+            .insert("company", vec![Value::Int(1), Value::Float(1.0)])
+            .is_err());
+        assert!(db.tag_cell("stock", 0, "name", IndicatorValue::new("ghost", "x")).is_err());
+        assert_eq!(db.last_lsn(), lsn);
+    }
+}

@@ -1,0 +1,428 @@
+//! Filesystem abstraction with fault injection.
+//!
+//! The WAL and checkpoint writers talk to storage only through [`Fs`],
+//! so recovery behaviour can be tested against *simulated* media faults
+//! — short writes, torn tails, dropped fsyncs — without touching a real
+//! disk. [`StdFs`] is the production implementation over a directory;
+//! [`MemFs`] is the in-memory fault-injection implementation whose
+//! [`MemFs::crash`] discards everything not yet fsynced, modelling
+//! process (or power) death.
+//!
+//! Durability model: `append` may be buffered by the OS; only `sync`
+//! makes appended bytes crash-durable. `write_file` + `rename` is the
+//! atomic-publish path used for checkpoints.
+
+use relstore::{DbError, DbResult};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+fn io_err(ctx: &str, e: impl std::fmt::Display) -> DbError {
+    DbError::Storage(format!("{ctx}: {e}"))
+}
+
+/// Storage operations the durability layer needs. Paths are plain file
+/// names relative to one database directory.
+pub trait Fs: Send + Sync {
+    /// Appends bytes to `name` (creating it if absent), returning how
+    /// many bytes were actually written — a fault-injecting
+    /// implementation may write fewer (a *short write*).
+    fn append(&self, name: &str, bytes: &[u8]) -> DbResult<usize>;
+
+    /// Forces previously appended bytes of `name` to durable storage.
+    fn sync(&self, name: &str) -> DbResult<()>;
+
+    /// Creates or replaces `name` with exactly `bytes`, synced.
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DbResult<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if it exists).
+    fn rename(&self, from: &str, to: &str) -> DbResult<()>;
+
+    /// Reads the entire contents of `name`.
+    fn read(&self, name: &str) -> DbResult<Vec<u8>>;
+
+    /// Deletes `name` (an error if absent).
+    fn remove(&self, name: &str) -> DbResult<()>;
+
+    /// Truncates `name` to `len` bytes (recovery chops torn tails).
+    fn truncate(&self, name: &str, len: u64) -> DbResult<()>;
+
+    /// All file names in the directory, sorted.
+    fn list(&self) -> DbResult<Vec<String>>;
+
+    /// True iff `name` exists.
+    fn exists(&self, name: &str) -> bool;
+}
+
+/// Production [`Fs`] over one real directory (created on construction).
+#[derive(Debug)]
+pub struct StdFs {
+    root: PathBuf,
+}
+
+impl StdFs {
+    /// Opens (creating if needed) the database directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> DbResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| io_err("create_dir_all", e))?;
+        Ok(StdFs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Fs for StdFs {
+    fn append(&self, name: &str, bytes: &[u8]) -> DbResult<usize> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for append", e))?;
+        f.write_all(bytes).map_err(|e| io_err("append", e))?;
+        Ok(bytes.len())
+    }
+
+    fn sync(&self, name: &str) -> DbResult<()> {
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for sync", e))?;
+        f.sync_all().map_err(|e| io_err("fsync", e))
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DbResult<()> {
+        let path = self.path(name);
+        let mut f = std::fs::File::create(&path).map_err(|e| io_err("create", e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", e))?;
+        f.sync_all().map_err(|e| io_err("fsync", e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> DbResult<()> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| io_err("rename", e))
+    }
+
+    fn read(&self, name: &str) -> DbResult<Vec<u8>> {
+        std::fs::read(self.path(name)).map_err(|e| io_err("read", e))
+    }
+
+    fn remove(&self, name: &str) -> DbResult<()> {
+        std::fs::remove_file(self.path(name)).map_err(|e| io_err("remove", e))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> DbResult<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for truncate", e))?;
+        f.set_len(len).map_err(|e| io_err("truncate", e))
+    }
+
+    fn list(&self) -> DbResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(|e| io_err("read_dir", e))? {
+            let entry = entry.map_err(|e| io_err("read_dir entry", e))?;
+            if entry.path().is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+}
+
+/// One in-memory file: its full byte content plus how much of it has
+/// been fsynced (and therefore survives [`MemFs::crash`]).
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    files: BTreeMap<String, MemFile>,
+    /// Remaining append budget in bytes; when it runs out, appends
+    /// become short writes and then fail — the torn-write injector.
+    write_budget: Option<usize>,
+    /// When set, `sync` silently does nothing — the dropped-fsync
+    /// injector (a disk that lies about flushing its cache).
+    drop_syncs: bool,
+    fsyncs: u64,
+}
+
+/// In-memory [`Fs`] with fault injection. Cloning shares the underlying
+/// state, so a "restarted process" is modelled by cloning the handle,
+/// calling [`MemFs::crash`], and re-opening the database over the clone.
+#[derive(Debug, Clone, Default)]
+pub struct MemFs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemFs {
+    /// Empty in-memory directory with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().expect("memfs poisoned")
+    }
+
+    /// Arms the torn-write injector: after `bytes` more appended bytes,
+    /// writes are cut short and subsequent appends fail.
+    pub fn set_write_budget(&self, bytes: usize) {
+        self.lock().write_budget = Some(bytes);
+    }
+
+    /// Disarms the torn-write injector.
+    pub fn clear_write_budget(&self) {
+        self.lock().write_budget = None;
+    }
+
+    /// Arms/disarms the dropped-fsync injector.
+    pub fn set_drop_syncs(&self, drop: bool) {
+        self.lock().drop_syncs = drop;
+    }
+
+    /// Simulates process/power death: every byte not yet fsynced is
+    /// discarded. Files never synced disappear entirely.
+    pub fn crash(&self) {
+        let mut st = self.lock();
+        st.files.retain(|_, f| {
+            f.data.truncate(f.synced_len);
+            f.synced_len > 0 || !f.data.is_empty()
+        });
+    }
+
+    /// Number of fsyncs observed (group-commit tests assert on this).
+    pub fn fsync_count(&self) -> u64 {
+        self.lock().fsyncs
+    }
+
+    /// Total durable (fsynced) bytes of `name`; 0 when absent.
+    pub fn synced_len(&self, name: &str) -> usize {
+        self.lock().files.get(name).map_or(0, |f| f.synced_len)
+    }
+
+    /// A deep snapshot of the current *durable* state, as a fresh
+    /// independent [`MemFs`] — "what a crashed machine's disk holds".
+    pub fn durable_snapshot(&self) -> MemFs {
+        let st = self.lock();
+        let files = st
+            .files
+            .iter()
+            .filter(|(_, f)| f.synced_len > 0)
+            .map(|(n, f)| {
+                (
+                    n.clone(),
+                    MemFile {
+                        data: f.data[..f.synced_len].to_vec(),
+                        synced_len: f.synced_len,
+                    },
+                )
+            })
+            .collect();
+        MemFs {
+            state: Arc::new(Mutex::new(MemState {
+                files,
+                ..Default::default()
+            })),
+        }
+    }
+}
+
+impl Fs for MemFs {
+    fn append(&self, name: &str, bytes: &[u8]) -> DbResult<usize> {
+        let mut st = self.lock();
+        let n = match st.write_budget {
+            None => bytes.len(),
+            Some(0) => {
+                return Err(DbError::Storage("injected write failure (budget exhausted)".into()))
+            }
+            Some(budget) => bytes.len().min(budget),
+        };
+        if let Some(b) = st.write_budget.as_mut() {
+            *b -= n;
+        }
+        let file = st.files.entry(name.to_owned()).or_default();
+        file.data.extend_from_slice(&bytes[..n]);
+        Ok(n)
+    }
+
+    fn sync(&self, name: &str) -> DbResult<()> {
+        let mut st = self.lock();
+        st.fsyncs += 1;
+        if st.drop_syncs {
+            return Ok(()); // the lying disk: reports success, flushes nothing
+        }
+        match st.files.get_mut(name) {
+            Some(f) => {
+                f.synced_len = f.data.len();
+                Ok(())
+            }
+            None => Err(DbError::Storage(format!("sync: no such file `{name}`"))),
+        }
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DbResult<()> {
+        let mut st = self.lock();
+        if let Some(budget) = st.write_budget {
+            if budget < bytes.len() {
+                // a partial checkpoint write that never completes
+                let keep = bytes[..budget].to_vec();
+                let kept = keep.len();
+                st.write_budget = Some(0);
+                st.files.insert(
+                    name.to_owned(),
+                    MemFile {
+                        data: keep,
+                        synced_len: kept,
+                    },
+                );
+                return Err(DbError::Storage("injected short checkpoint write".into()));
+            }
+            st.write_budget = Some(budget - bytes.len());
+        }
+        st.files.insert(
+            name.to_owned(),
+            MemFile {
+                data: bytes.to_vec(),
+                synced_len: bytes.len(),
+            },
+        );
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> DbResult<()> {
+        let mut st = self.lock();
+        let f = st
+            .files
+            .remove(from)
+            .ok_or_else(|| DbError::Storage(format!("rename: no such file `{from}`")))?;
+        st.files.insert(to.to_owned(), f);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> DbResult<Vec<u8>> {
+        self.lock()
+            .files
+            .get(name)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| DbError::Storage(format!("read: no such file `{name}`")))
+    }
+
+    fn remove(&self, name: &str) -> DbResult<()> {
+        self.lock()
+            .files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::Storage(format!("remove: no such file `{name}`")))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> DbResult<()> {
+        let mut st = self.lock();
+        let f = st
+            .files
+            .get_mut(name)
+            .ok_or_else(|| DbError::Storage(format!("truncate: no such file `{name}`")))?;
+        f.data.truncate(len as usize);
+        f.synced_len = f.synced_len.min(f.data.len());
+        Ok(())
+    }
+
+    fn list(&self) -> DbResult<Vec<String>> {
+        Ok(self.lock().files.keys().cloned().collect())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.lock().files.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_append_read_roundtrip() {
+        let fs = MemFs::new();
+        assert_eq!(fs.append("a.log", b"hello ").unwrap(), 6);
+        assert_eq!(fs.append("a.log", b"world").unwrap(), 5);
+        assert_eq!(fs.read("a.log").unwrap(), b"hello world");
+        assert!(fs.exists("a.log"));
+        assert!(!fs.exists("b.log"));
+        assert_eq!(fs.list().unwrap(), vec!["a.log".to_string()]);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_tail() {
+        let fs = MemFs::new();
+        fs.append("w.log", b"durable").unwrap();
+        fs.sync("w.log").unwrap();
+        fs.append("w.log", b" volatile").unwrap();
+        fs.crash();
+        assert_eq!(fs.read("w.log").unwrap(), b"durable");
+        // a never-synced file disappears entirely
+        fs.append("tmp", b"x").unwrap();
+        fs.crash();
+        assert!(!fs.exists("tmp"));
+    }
+
+    #[test]
+    fn write_budget_injects_short_writes() {
+        let fs = MemFs::new();
+        fs.set_write_budget(4);
+        assert_eq!(fs.append("w.log", b"123456").unwrap(), 4);
+        assert!(fs.append("w.log", b"more").is_err());
+        assert_eq!(fs.read("w.log").unwrap(), b"1234");
+        fs.clear_write_budget();
+        assert_eq!(fs.append("w.log", b"ok").unwrap(), 2);
+    }
+
+    #[test]
+    fn dropped_fsyncs_lose_data_on_crash() {
+        let fs = MemFs::new();
+        fs.set_drop_syncs(true);
+        fs.append("w.log", b"data").unwrap();
+        fs.sync("w.log").unwrap(); // lies
+        fs.crash();
+        assert!(!fs.exists("w.log"));
+    }
+
+    #[test]
+    fn durable_snapshot_is_independent() {
+        let fs = MemFs::new();
+        fs.append("w.log", b"abc").unwrap();
+        fs.sync("w.log").unwrap();
+        fs.append("w.log", b"xyz").unwrap();
+        let snap = fs.durable_snapshot();
+        assert_eq!(snap.read("w.log").unwrap(), b"abc");
+        fs.append("w.log", b"!!!").unwrap();
+        assert_eq!(snap.read("w.log").unwrap(), b"abc"); // unaffected
+    }
+
+    #[test]
+    fn stdfs_roundtrip_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("dq_storage_fs_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = StdFs::open(&dir).unwrap();
+        fs.append("w.log", b"hello").unwrap();
+        fs.sync("w.log").unwrap();
+        assert_eq!(fs.read("w.log").unwrap(), b"hello");
+        fs.truncate("w.log", 2).unwrap();
+        assert_eq!(fs.read("w.log").unwrap(), b"he");
+        fs.write_file("c.tmp", b"ckpt").unwrap();
+        fs.rename("c.tmp", "c.snap").unwrap();
+        assert!(fs.exists("c.snap") && !fs.exists("c.tmp"));
+        assert_eq!(fs.list().unwrap(), vec!["c.snap".to_string(), "w.log".to_string()]);
+        fs.remove("c.snap").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,313 @@
+//! Logical WAL records: one per durable mutation of the paper-level
+//! state — plain-table DML, tagged-relation tagging operations, and
+//! audit-trail ("electronic trail") events.
+//!
+//! Records are *logical* redo records: replaying the committed prefix
+//! through the same code paths that produced it reconstructs the exact
+//! in-memory state (the engine's mutations are deterministic).
+
+use crate::codec::{Decoder, Encoder};
+use dq_admin::AuditEvent;
+use relstore::{DbError, DbResult, Row, Schema};
+use tagstore::{IndicatorDef, IndicatorValue, TaggedRow};
+
+/// One logical operation in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `relstore` DDL: a new table.
+    CreateTable {
+        /// Table name.
+        table: String,
+        /// Its schema.
+        schema: Schema,
+    },
+    /// `relstore::Table::insert`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// The inserted row.
+        row: Row,
+    },
+    /// `relstore::Table::update` (positional).
+    Update {
+        /// Target table.
+        table: String,
+        /// Row position replaced.
+        pos: u64,
+        /// The replacement row.
+        row: Row,
+    },
+    /// `relstore::Table::delete` (positional swap-remove).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row position removed.
+        pos: u64,
+    },
+    /// `relstore::Table::bulk_load`.
+    BulkLoad {
+        /// Target table.
+        table: String,
+        /// The loaded batch.
+        rows: Vec<Row>,
+    },
+    /// `tagstore` DDL: a new tagged relation with its indicator
+    /// dictionary.
+    CreateTagged {
+        /// Relation name.
+        name: String,
+        /// Application schema.
+        schema: Schema,
+        /// Declared indicators (the dictionary, flattened).
+        dict: Vec<IndicatorDef>,
+    },
+    /// `tagstore` push of one tagged row.
+    TagPush {
+        /// Target tagged relation.
+        name: String,
+        /// The pushed row (cells with their tags).
+        row: TaggedRow,
+    },
+    /// `tagstore` cell tagging.
+    TagCell {
+        /// Target tagged relation.
+        name: String,
+        /// Row position.
+        row: u64,
+        /// Column name.
+        column: String,
+        /// The tag set on the cell.
+        tag: IndicatorValue,
+    },
+    /// `tagstore` positional swap-remove of a tagged row.
+    TagRemove {
+        /// Target tagged relation.
+        name: String,
+        /// Row position removed.
+        row: u64,
+    },
+    /// One `dq_admin::audit` event (sequence number included).
+    Audit {
+        /// The event, exactly as recorded on the trail.
+        event: AuditEvent,
+    },
+}
+
+impl WalRecord {
+    /// Encodes this record (without framing) into `enc`.
+    pub fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WalRecord::CreateTable { table, schema } => {
+                enc.put_u8(0);
+                enc.put_str(table);
+                enc.put_schema(schema);
+            }
+            WalRecord::Insert { table, row } => {
+                enc.put_u8(1);
+                enc.put_str(table);
+                enc.put_row(row);
+            }
+            WalRecord::Update { table, pos, row } => {
+                enc.put_u8(2);
+                enc.put_str(table);
+                enc.put_u64(*pos);
+                enc.put_row(row);
+            }
+            WalRecord::Delete { table, pos } => {
+                enc.put_u8(3);
+                enc.put_str(table);
+                enc.put_u64(*pos);
+            }
+            WalRecord::BulkLoad { table, rows } => {
+                enc.put_u8(4);
+                enc.put_str(table);
+                enc.put_u32(rows.len() as u32);
+                for r in rows {
+                    enc.put_row(r);
+                }
+            }
+            WalRecord::CreateTagged { name, schema, dict } => {
+                enc.put_u8(5);
+                enc.put_str(name);
+                enc.put_schema(schema);
+                enc.put_u32(dict.len() as u32);
+                for d in dict {
+                    enc.put_indicator_def(d);
+                }
+            }
+            WalRecord::TagPush { name, row } => {
+                enc.put_u8(6);
+                enc.put_str(name);
+                enc.put_tagged_row(row);
+            }
+            WalRecord::TagCell {
+                name,
+                row,
+                column,
+                tag,
+            } => {
+                enc.put_u8(7);
+                enc.put_str(name);
+                enc.put_u64(*row);
+                enc.put_str(column);
+                enc.put_tag(tag);
+            }
+            WalRecord::TagRemove { name, row } => {
+                enc.put_u8(8);
+                enc.put_str(name);
+                enc.put_u64(*row);
+            }
+            WalRecord::Audit { event } => {
+                enc.put_u8(9);
+                enc.put_audit_event(event);
+            }
+        }
+    }
+
+    /// Decodes one record from `dec`.
+    pub fn decode(dec: &mut Decoder<'_>) -> DbResult<WalRecord> {
+        Ok(match dec.get_u8()? {
+            0 => WalRecord::CreateTable {
+                table: dec.get_str()?,
+                schema: dec.get_schema()?,
+            },
+            1 => WalRecord::Insert {
+                table: dec.get_str()?,
+                row: dec.get_row()?,
+            },
+            2 => WalRecord::Update {
+                table: dec.get_str()?,
+                pos: dec.get_u64()?,
+                row: dec.get_row()?,
+            },
+            3 => WalRecord::Delete {
+                table: dec.get_str()?,
+                pos: dec.get_u64()?,
+            },
+            4 => {
+                let table = dec.get_str()?;
+                let n = dec.get_u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(dec.get_row()?);
+                }
+                WalRecord::BulkLoad { table, rows }
+            }
+            5 => {
+                let name = dec.get_str()?;
+                let schema = dec.get_schema()?;
+                let n = dec.get_u32()? as usize;
+                let mut dict = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    dict.push(dec.get_indicator_def()?);
+                }
+                WalRecord::CreateTagged { name, schema, dict }
+            }
+            6 => WalRecord::TagPush {
+                name: dec.get_str()?,
+                row: dec.get_tagged_row()?,
+            },
+            7 => WalRecord::TagCell {
+                name: dec.get_str()?,
+                row: dec.get_u64()?,
+                column: dec.get_str()?,
+                tag: dec.get_tag()?,
+            },
+            8 => WalRecord::TagRemove {
+                name: dec.get_str()?,
+                row: dec.get_u64()?,
+            },
+            9 => WalRecord::Audit {
+                event: dec.get_audit_event()?,
+            },
+            t => return Err(DbError::Storage(format!("unknown WAL record tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dq_admin::AuditAction;
+    use relstore::{DataType, Date, Value};
+    use tagstore::QualityCell;
+
+    fn roundtrip(r: WalRecord) {
+        let mut e = Encoder::new();
+        r.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(WalRecord::decode(&mut d).unwrap(), r);
+        assert!(d.is_exhausted(), "{r:?} left trailing bytes");
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let schema = Schema::of(&[("id", DataType::Int), ("name", DataType::Text)]);
+        roundtrip(WalRecord::CreateTable {
+            table: "customer".into(),
+            schema: schema.clone(),
+        });
+        roundtrip(WalRecord::Insert {
+            table: "customer".into(),
+            row: vec![Value::Int(1), Value::text("Fruit Co")],
+        });
+        roundtrip(WalRecord::Update {
+            table: "customer".into(),
+            pos: 0,
+            row: vec![Value::Int(1), Value::text("Fruit & Nut Co")],
+        });
+        roundtrip(WalRecord::Delete {
+            table: "customer".into(),
+            pos: 3,
+        });
+        roundtrip(WalRecord::BulkLoad {
+            table: "customer".into(),
+            rows: vec![
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Int(3), Value::text("Nut Co")],
+            ],
+        });
+        roundtrip(WalRecord::CreateTagged {
+            name: "stock".into(),
+            schema,
+            dict: vec![IndicatorDef::new("source", DataType::Text, "origin")],
+        });
+        roundtrip(WalRecord::TagPush {
+            name: "stock".into(),
+            row: vec![
+                QualityCell::bare(9i64),
+                QualityCell::bare("NYSE").with_tag(IndicatorValue::new("source", "feed")),
+            ],
+        });
+        roundtrip(WalRecord::TagCell {
+            name: "stock".into(),
+            row: 4,
+            column: "name".into(),
+            tag: IndicatorValue::new("source", "Nexis")
+                .with_meta(IndicatorValue::new("source", "system clock")),
+        });
+        roundtrip(WalRecord::TagRemove {
+            name: "stock".into(),
+            row: 1,
+        });
+        roundtrip(WalRecord::Audit {
+            event: AuditEvent {
+                seq: 7,
+                date: Date::parse("10-24-91").unwrap(),
+                actor: "acct'g".into(),
+                action: AuditAction::Create,
+                table: "customer".into(),
+                row_key: vec![Value::text("Nut Co")],
+                column: Some("address".into()),
+                detail: "recorded 62 Lois Av".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut d = Decoder::new(&[42]);
+        assert!(WalRecord::decode(&mut d).is_err());
+    }
+}

@@ -23,4 +23,12 @@ DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
 # a NaN, negative, or inconsistent value.
 cargo run -q --offline --release --example observability >/dev/null
 
-echo "ci: build + test + clippy + index parity + observability all green"
+# Crash-recovery at a higher case count: random op sequences cut at
+# every prefix must recover to exactly the committed state.
+PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
+
+# Recovery gate: write through the WAL into a temp directory, crash with
+# a pending group commit, recover, and check lineage + metrics survive.
+cargo run -q --offline --release --example crash_recovery >/dev/null
+
+echo "ci: build + test + clippy + index parity + observability + recovery all green"
