@@ -1,0 +1,203 @@
+//! B9 — vectorized batch execution vs. row-at-a-time.
+//!
+//! Four series over the shared customer fixture:
+//!
+//! * `B9/sigma/{rows}/sel{pct}` — compiled row-at-a-time σ (`select`)
+//!   vs. the batched pipeline (`select_vectorized`, 1024-row batches
+//!   with a selection vector), at ~10% and ~50% selectivity. The two
+//!   regimes separate what vectorization speeds up (per-row predicate
+//!   evaluation) from what it cannot (materializing surviving rows,
+//!   a cost both paths share that dominates at high selectivity).
+//! * `B9/indexed_sigma/{rows}` — `select_indexed` (bitmap candidates →
+//!   row-id gather) vs. `select_indexed_vectorized` (candidate words
+//!   feed the batch pipeline directly, no row-id round-trip).
+//! * `B9/index_build/{rows}` — serial vs. forced-8-thread
+//!   `QualityIndex::build` (chunked partial indexes, OR-merge).
+//! * `B9/join` and `B9/small/1000` — batched hash-join probe parity and
+//!   the small-input guard (vectorization must not tax tiny relations).
+//!
+//! Every series asserts vectorized == row-at-a-time on the actual
+//! fixture before timing anything, so a parity break fails the bench
+//! run rather than silently timing wrong answers. Thread counts are
+//! forced via `with_thread_count` because CI containers may report a
+//! single core.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dq_bench::{tagged_customers, tagged_join_partner, today};
+use relstore::index::HashIndex;
+use relstore::{par, Expr};
+use tagstore::algebra as ta;
+use tagstore::bitmap::QualityIndex;
+use tagstore::{
+    hash_join_probe_vectorized, select_indexed_vectorized, select_vectorized, DEFAULT_BATCH_SIZE,
+};
+
+/// Row-count tiers, overridable for smoke runs (`DQ_BENCH_TIERS=10000`).
+fn tiers() -> Vec<usize> {
+    std::env::var("DQ_BENCH_TIERS")
+        .unwrap_or_else(|_| "10000,100000,1000000".to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn aged(rows: usize) -> tagstore::TaggedRelation {
+    let mut rel = tagged_customers(rows, 4);
+    ta::derive_age(&mut rel, "employees", today()).unwrap();
+    rel
+}
+
+/// The B2 headline predicate: one range + one inequality conjunct,
+/// keeping roughly half the rows. Output materialization dominates.
+fn sigma_pred() -> Expr {
+    Expr::col("employees@age")
+        .le(Expr::lit(700i64))
+        .and(Expr::col("employees@source").ne(Expr::lit("estimate")))
+}
+
+/// Same shape at ~10% selectivity: predicate evaluation dominates, so
+/// this regime isolates the kernel-vs-expression-tree difference.
+fn sigma_pred_selective() -> Expr {
+    Expr::col("employees@age")
+        .le(Expr::lit(139i64))
+        .and(Expr::col("employees@source").ne(Expr::lit("estimate")))
+}
+
+fn bench_sigma(c: &mut Criterion) {
+    for rows in tiers() {
+        let rel = aged(rows);
+        for (tag, pred) in [("sel10", sigma_pred_selective()), ("sel50", sigma_pred())] {
+            let reference = ta::select(&rel, &pred).unwrap();
+            let (batched, stats) = select_vectorized(&rel, &pred, DEFAULT_BATCH_SIZE).unwrap();
+            assert_eq!(reference, batched, "σ parity at {rows} rows ({tag})");
+            assert!(stats.batches * stats.batch_size >= stats.rows_out);
+            let mut g = c.benchmark_group(format!("B9/sigma/{rows}/{tag}"));
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(rows as u64));
+            g.bench_function("row_at_a_time", |b| {
+                b.iter(|| ta::select(&rel, &pred).unwrap())
+            });
+            g.bench_function("vectorized", |b| {
+                b.iter(|| select_vectorized(&rel, &pred, DEFAULT_BATCH_SIZE).unwrap())
+            });
+            g.finish();
+        }
+    }
+}
+
+fn bench_indexed_sigma(c: &mut Criterion) {
+    for rows in tiers() {
+        let rel = aged(rows);
+        let index = QualityIndex::build(&rel);
+        // ~10% selectivity: the regime where gather strategy dominates
+        let pred = Expr::col("employees@age").le(Expr::lit(139i64));
+        let (reference, _) = ta::select_indexed(&rel, &index, &pred).unwrap();
+        let (batched, path, _) =
+            select_indexed_vectorized(&rel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap();
+        assert_eq!(reference, batched, "indexed σ parity at {rows} rows");
+        assert!(
+            matches!(path, ta::TagAccessPath::Bitmap { .. }),
+            "expected bitmap path, got {path}"
+        );
+        let mut g = c.benchmark_group(format!("B9/indexed_sigma/{rows}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function("row_gather", |b| {
+            b.iter(|| ta::select_indexed(&rel, &index, &pred).unwrap())
+        });
+        g.bench_function("vectorized", |b| {
+            b.iter(|| select_indexed_vectorized(&rel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap())
+        });
+        g.finish();
+    }
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    for rows in tiers() {
+        let rel = aged(rows);
+        let serial = par::with_thread_count(1, || QualityIndex::build(&rel));
+        let chunked = par::with_thread_count(8, || QualityIndex::build(&rel));
+        assert_eq!(serial, chunked, "parallel build parity at {rows} rows");
+        let mut g = c.benchmark_group(format!("B9/index_build/{rows}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function("serial", |b| {
+            b.iter(|| par::with_thread_count(1, || QualityIndex::build(&rel)))
+        });
+        g.bench_function("threads8", |b| {
+            b.iter(|| par::with_thread_count(8, || QualityIndex::build(&rel)))
+        });
+        g.finish();
+    }
+}
+
+fn bench_join_probe(c: &mut Criterion) {
+    let rows = tiers().first().copied().unwrap_or(10_000);
+    let left = tagged_customers(rows, 2);
+    let right = tagged_join_partner(rows);
+    let ri = right.schema().resolve("co_name").unwrap();
+    let keys: Vec<relstore::Row> = right
+        .rows()
+        .iter()
+        .map(|r| vec![r[ri].value.clone()])
+        .collect();
+    let mut idx = HashIndex::new(vec![0]);
+    idx.rebuild(&keys);
+    let reference = ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap();
+    let (batched, _) =
+        hash_join_probe_vectorized(&left, &right, "co_name", "co_name", &idx, DEFAULT_BATCH_SIZE)
+            .unwrap();
+    assert_eq!(reference, batched, "join probe parity");
+    let mut g = c.benchmark_group("B9/join");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(rows as u64));
+    g.bench_function("probe_row", |b| {
+        b.iter(|| ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap())
+    });
+    g.bench_function("probe_vectorized", |b| {
+        b.iter(|| {
+            hash_join_probe_vectorized(
+                &left,
+                &right,
+                "co_name",
+                "co_name",
+                &idx,
+                DEFAULT_BATCH_SIZE,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Small-input guard: at ≤1k rows the batched path must stay within
+/// noise of the row-at-a-time path (no fixed vectorization tax).
+fn bench_small(c: &mut Criterion) {
+    let rel = aged(1_000);
+    let pred = sigma_pred();
+    assert_eq!(
+        ta::select(&rel, &pred).unwrap(),
+        select_vectorized(&rel, &pred, DEFAULT_BATCH_SIZE).unwrap().0,
+        "σ parity at 1k rows"
+    );
+    let mut g = c.benchmark_group("B9/small/1000");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rel.len() as u64));
+    g.bench_function("row_at_a_time", |b| {
+        b.iter(|| ta::select(&rel, &pred).unwrap())
+    });
+    g.bench_function("vectorized", |b| {
+        b.iter(|| select_vectorized(&rel, &pred, DEFAULT_BATCH_SIZE).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sigma,
+    bench_indexed_sigma,
+    bench_index_build,
+    bench_join_probe,
+    bench_small
+);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use tagstore::algebra::{self, TagPolicy, TagRule};
 use tagstore::bitmap::{extract_atoms, QualityIndex};
-use tagstore::{QualityCell, TaggedRelation};
+use tagstore::{
+    hash_join_probe_vectorized, select_indexed_vectorized, select_vectorized, QualityCell,
+    TaggedRelation,
+};
 
 /// A named collection of tagged relations queries run against.
 ///
@@ -163,6 +166,21 @@ impl QueryResult {
     }
 }
 
+/// Row batch width used by the vectorized operators ([`select_vectorized`]
+/// and friends). Defaults to [`tagstore::DEFAULT_BATCH_SIZE`]; override
+/// with the `DQ_BATCH_SIZE` environment variable (read once per process,
+/// clamped to at least 1).
+pub fn exec_batch_size() -> usize {
+    static SIZE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("DQ_BATCH_SIZE")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(tagstore::DEFAULT_BATCH_SIZE)
+            .max(1)
+    })
+}
+
 /// Per-operator execution trace produced by `EXPLAIN ANALYZE` (and by
 /// [`execute_traced`] directly).
 #[derive(Debug, Clone)]
@@ -182,6 +200,12 @@ pub struct OpTrace {
     /// Observed matching fraction `rows_out / rows_in` (filtering and
     /// joining operators; `0.0` when no rows entered).
     pub actual_selectivity: Option<f64>,
+    /// Number of row batches this operator processed (vectorized
+    /// operators only; `None` for row-at-a-time operators).
+    pub batches: Option<usize>,
+    /// Batch width the vectorized operator ran with (`None` when
+    /// `batches` is `None`).
+    pub batch_size: Option<usize>,
     /// Child traces in plan order.
     pub children: Vec<OpTrace>,
 }
@@ -219,6 +243,9 @@ impl OpTrace {
                 let _ = write!(out, " actual_selectivity={actual:.4}");
             }
             _ => {}
+        }
+        if let (Some(batches), Some(batch_size)) = (self.batches, self.batch_size) {
+            let _ = write!(out, " batches={batches} batch_size={batch_size}");
         }
         out.push('\n');
         for child in &self.children {
@@ -350,26 +377,31 @@ fn frac(rows_out: usize, rows_in: usize) -> f64 {
 
 /// Executes a logical plan, returning the result alongside a per-operator
 /// [`OpTrace`] with actual row counts, per-operator wall-clock time
-/// (children excluded), and estimated-vs-actual selectivity for index
-/// access paths. Every operator also feeds the global metrics registry
-/// (`query.ops`, `query.rows_out`, `query.op_us`).
+/// (children excluded), estimated-vs-actual selectivity for index access
+/// paths, and batch counts for the vectorized operators (σ and index
+/// probes run batch-at-a-time over [`exec_batch_size`]-row windows).
+/// Every operator also feeds the global metrics registry (`query.ops`,
+/// `query.rows_out`, `query.op_us`, plus `vector.*` from the batch
+/// pipeline itself).
 pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRelation, OpTrace)> {
     use std::time::Instant;
     // Per arm: result, rows-in, planner estimate, whether an observed
-    // selectivity is meaningful, child traces, local elapsed time.
-    let (rel, rows_in, est_selectivity, selective, children, elapsed) = match plan {
+    // selectivity is meaningful, (batches, batch width) for vectorized
+    // operators, child traces, local elapsed time.
+    let (rel, rows_in, est_selectivity, selective, batch, children, elapsed) = match plan {
         Plan::Scan(name) => {
             let t0 = Instant::now();
             let rel = catalog.get(name)?.clone();
             let n = rel.len();
-            (rel, n, None, false, Vec::new(), t0.elapsed())
+            (rel, n, None, false, None, Vec::new(), t0.elapsed())
         }
         Plan::Filter { input, predicate } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
-            let rel = algebra::select(&input_rel, predicate)?;
+            let (rel, stats) = select_vectorized(&input_rel, predicate, exec_batch_size())?;
             let n = input_rel.len();
-            (rel, n, None, true, vec![child], t0.elapsed())
+            let batch = Some((stats.batches, stats.batch_size));
+            (rel, n, None, true, batch, vec![child], t0.elapsed())
         }
         Plan::Join {
             left,
@@ -382,14 +414,14 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let t0 = Instant::now();
             let rel = algebra::hash_join(&l, &r, left_key, right_key)?;
             let n = l.len() + r.len();
-            (rel, n, None, true, vec![lt, rt], t0.elapsed())
+            (rel, n, None, true, None, vec![lt, rt], t0.elapsed())
         }
         Plan::Project { input, columns } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = project_mixed(&input_rel, columns)?;
             let n = input_rel.len();
-            (rel, n, None, false, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed())
         }
         Plan::Aggregate {
             input,
@@ -401,21 +433,21 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
             let rel = algebra::aggregate(&input_rel, &gb, aggs, &default_agg_policies())?;
             let n = input_rel.len();
-            (rel, n, None, false, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed())
         }
         Plan::Distinct { input } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = algebra::distinct_merging(&input_rel);
             let n = input_rel.len();
-            (rel, n, None, false, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed())
         }
         Plan::Sort { input, keys } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = sort_multi(&input_rel, keys)?;
             let n = input_rel.len();
-            (rel, n, None, false, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed())
         }
         Plan::Limit { input, n } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
@@ -426,7 +458,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
                 input_rel.rows().iter().take(*n).cloned().collect(),
             )?;
             let rows_in = input_rel.len();
-            (rel, rows_in, None, false, vec![child], t0.elapsed())
+            (rel, rows_in, None, false, None, vec![child], t0.elapsed())
         }
         Plan::IndexScan {
             table,
@@ -437,13 +469,21 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let t0 = Instant::now();
             let rel = catalog.get(table)?;
             let n = rel.len();
-            let out = match catalog.quality_index(table) {
-                Some(idx) => algebra::select_indexed(rel, &idx, predicate).map(|(o, _path)| o)?,
+            let (out, batch) = match catalog.quality_index(table) {
+                Some(idx) => {
+                    let (o, _path, stats) =
+                        select_indexed_vectorized(rel, &idx, predicate, exec_batch_size())?;
+                    (o, Some((stats.batches, stats.batch_size)))
+                }
                 // unreachable through the optimizer (the table existed at
                 // plan time), but hand-built plans stay correct
-                None => algebra::select(rel, predicate)?,
+                None => {
+                    let (o, stats) = select_vectorized(rel, predicate, exec_batch_size())?;
+                    (o, Some((stats.batches, stats.batch_size)))
+                }
             };
-            (out, n, Some(*est_selectivity), true, Vec::new(), t0.elapsed())
+            let est = Some(*est_selectivity);
+            (out, n, est, true, batch, Vec::new(), t0.elapsed())
         }
         Plan::IndexJoin {
             left,
@@ -464,8 +504,10 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
                 1.0 / idx.distinct_keys() as f64
             };
             let n = l.len() + r.len();
-            let out = algebra::hash_join_probe(&l, r, left_key, right_key, &idx)?;
-            (out, n, Some(est), true, vec![lt], t0.elapsed())
+            let (out, stats) =
+                hash_join_probe_vectorized(&l, r, left_key, right_key, &idx, exec_batch_size())?;
+            let batch = Some((stats.batches, stats.batch_size));
+            (out, n, Some(est), true, batch, vec![lt], t0.elapsed())
         }
     };
     let rows_out = rel.len();
@@ -479,6 +521,8 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
         elapsed,
         est_selectivity,
         actual_selectivity: selective.then(|| frac(rows_out, rows_in)),
+        batches: batch.map(|(b, _)| b),
+        batch_size: batch.map(|(_, s)| s),
         children,
     };
     Ok((rel, trace))
@@ -931,6 +975,47 @@ mod tests {
         assert_eq!(trace.est_selectivity, Some(1.0 / 3.0));
         let after = dq_obs::registry().snapshot();
         assert!(after.counter("query.ops") > before.counter("query.ops"));
+        assert!(after.validate().is_ok(), "{:?}", after.validate());
+    }
+
+    /// The batched operators surface their batch counts both through
+    /// EXPLAIN ANALYZE annotations and the `vector.*` metrics.
+    #[test]
+    fn vectorized_execution_reports_batches() {
+        let c = catalog();
+        let before = dq_obs::registry().snapshot();
+        // plain σ (indexes off) runs through the vectorized pipeline
+        let off = Planner {
+            use_indexes: false,
+            ..Planner::default()
+        };
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
+        let report = explain_analyze(&c, sql, &off).unwrap();
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("Filter"))
+            .unwrap_or_else(|| panic!("no Filter line in:\n{report}"));
+        assert!(line.contains("batches=1"), "{report}");
+        assert!(
+            line.contains(&format!("batch_size={}", exec_batch_size())),
+            "{report}"
+        );
+        // the indexed σ and the index-join probe report batches too
+        let report = explain_analyze(&c, sql, &Planner::default()).unwrap();
+        let line = report.lines().find(|l| l.contains("IndexScan")).unwrap();
+        assert!(line.contains("batches=1"), "{report}");
+        let report = explain_analyze(
+            &c,
+            "SELECT * FROM trades JOIN stocks ON tkr = ticker",
+            &Planner::default(),
+        )
+        .unwrap();
+        let line = report.lines().find(|l| l.contains("IndexJoin")).unwrap();
+        assert!(line.contains("batches=1"), "{report}");
+        // and the batch pipeline fed the metrics registry
+        let after = dq_obs::registry().snapshot();
+        assert!(after.counter("vector.batches") > before.counter("vector.batches"));
+        assert!(after.counter("vector.join.batches") > before.counter("vector.join.batches"));
         assert!(after.validate().is_ok(), "{:?}", after.validate());
     }
 

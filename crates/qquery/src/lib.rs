@@ -37,8 +37,8 @@ pub mod token;
 
 pub use ast::{JoinClause, OrderItem, SelectItem, SelectQuery, Statement};
 pub use exec::{
-    default_agg_policies, execute, execute_traced, explain, explain_analyze, run, run_mut,
-    run_with, OpTrace, QueryCatalog, QueryResult,
+    default_agg_policies, exec_batch_size, execute, execute_traced, explain, explain_analyze, run,
+    run_mut, run_with, OpTrace, QueryCatalog, QueryResult,
 };
 pub use parser::parse;
 pub use plan::{AccessPathStats, Plan, Planner, SchemaProvider};

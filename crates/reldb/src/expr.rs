@@ -599,8 +599,9 @@ fn eval_binop(l: &Value, op: BinOp, r: &Value) -> DbResult<Value> {
 
 /// Ordering comparisons across unrelated types are almost always schema
 /// mistakes in quality predicates, so we reject them instead of using the
-/// arbitrary cross-type total order.
-fn cmp_check(l: &Value, r: &Value) -> DbResult<()> {
+/// arbitrary cross-type total order. Public so vectorized comparison
+/// kernels can reproduce the evaluator's `<`-family type errors exactly.
+pub fn cmp_check(l: &Value, r: &Value) -> DbResult<()> {
     let ok = matches!(
         (l, r),
         (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))

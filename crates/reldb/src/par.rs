@@ -25,6 +25,15 @@ use std::cell::Cell;
 /// the per-row work below a couple thousand rows.
 pub const PAR_THRESHOLD: usize = 2048;
 
+/// Minimum rows each worker must receive before an extra thread pays for
+/// itself. Derived from the B2 bench: at 10k rows the parallel σ/mask
+/// path was *slower* than serial (spawn + merge overhead ≈ the per-chunk
+/// work), while at 100k rows 8 threads win ~3.5×. `100_000 / 8 = 12_500`
+/// rows per thread is comfortably profitable and `10_000 / 8 = 1_250` is
+/// not, so the break-even sits between — 8192 keeps 10k-row inputs
+/// serial and lets 2 threads engage from 16 384 rows up.
+pub const MIN_ROWS_PER_THREAD: usize = 8192;
+
 /// Hard upper bound on the thread count accepted from the environment.
 pub const MAX_THREADS: usize = 64;
 
@@ -75,21 +84,45 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
 
 /// Decides whether an operator over `len` items should take the parallel
 /// path, returning the chunk count to use. `None` means "stay serial":
-/// one thread configured, or the input is below [`PAR_THRESHOLD`] and no
-/// test override is forcing the issue.
+/// one thread configured, or the input is too small for any thread to
+/// clear [`MIN_ROWS_PER_THREAD`] and no test override is forcing the
+/// issue. When parallel, the chunk count is cost-based: never more
+/// threads than `len / MIN_ROWS_PER_THREAD`, so every worker has enough
+/// rows to amortize its spawn.
 pub fn plan(len: usize) -> Option<usize> {
     let forced = OVERRIDE.with(|o| o.get()).is_some();
     let threads = thread_count();
+    match decide(len, threads, forced) {
+        None => {
+            dq_obs::counter!("par.plan.serial").incr();
+            None
+        }
+        Some(n) => {
+            dq_obs::counter!("par.plan.parallel").incr();
+            Some(n)
+        }
+    }
+}
+
+/// The pure spawn decision behind [`plan`], factored out so the cost
+/// model is unit-testable without touching thread-count state. `forced`
+/// (a [`with_thread_count`] override) bypasses the cost model entirely so
+/// tests can exercise chunked execution on tiny relations.
+fn decide(len: usize, threads: usize, forced: bool) -> Option<usize> {
     if threads <= 1 || len < 2 {
-        dq_obs::counter!("par.plan.serial").incr();
         return None;
     }
-    if !forced && len < PAR_THRESHOLD {
-        dq_obs::counter!("par.plan.serial").incr();
+    if forced {
+        return Some(threads.min(len));
+    }
+    if len < PAR_THRESHOLD {
         return None;
     }
-    dq_obs::counter!("par.plan.parallel").incr();
-    Some(threads.min(len))
+    let affordable = len / MIN_ROWS_PER_THREAD;
+    if affordable <= 1 {
+        return None;
+    }
+    Some(threads.min(affordable))
 }
 
 /// Splits `items` into `threads` contiguous chunks, runs `f(chunk_index,
@@ -215,6 +248,30 @@ mod tests {
         with_thread_count(1, || {
             assert_eq!(plan(1_000_000), None);
         });
+    }
+
+    #[test]
+    fn decide_is_cost_based_on_rows_per_thread() {
+        // The B2 regression case: 10k rows on 8 threads must stay serial
+        // (each thread would only see 1 250 rows — spawn overhead wins).
+        assert_eq!(decide(10_000, 8, false), None);
+        // 100k rows keeps the full 8-way split that wins ~3.5× in B1.
+        assert_eq!(decide(100_000, 8, false), Some(8));
+        // Parallelism engages at exactly 2 × MIN_ROWS_PER_THREAD, with
+        // the thread count capped so each worker clears the minimum.
+        assert_eq!(decide(2 * MIN_ROWS_PER_THREAD, 8, false), Some(2));
+        assert_eq!(decide(2 * MIN_ROWS_PER_THREAD - 1, 8, false), None);
+        assert_eq!(decide(4 * MIN_ROWS_PER_THREAD, 8, false), Some(4));
+        // Tiny inputs are serial regardless of configured threads.
+        assert_eq!(decide(1_000, 8, false), None);
+        // One configured thread is always serial; force never resurrects it.
+        assert_eq!(decide(1_000_000, 1, false), None);
+        assert_eq!(decide(1_000_000, 1, true), None);
+        // A test override forces the parallel path below the threshold
+        // but still never plans more chunks than items.
+        assert_eq!(decide(10, 4, true), Some(4));
+        assert_eq!(decide(3, 4, true), Some(3));
+        assert_eq!(decide(1, 4, true), None);
     }
 
     #[test]

@@ -115,6 +115,32 @@ impl CompiledTagExpr {
             compiled: self,
         })
     }
+
+    /// The compiled scalar expression (the vectorized executor decomposes
+    /// it into per-conjunct kernels).
+    pub(crate) fn expr(&self) -> &CompiledExpr {
+        &self.expr
+    }
+
+    /// The pseudo-column extraction plan backing positions `base..`.
+    pub(crate) fn plan(&self) -> &[(usize, Vec<Symbol>)] {
+        &self.plan
+    }
+
+    /// Arity of the application schema — the first pseudo-column slot.
+    pub(crate) fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Evaluates `sub` — a node of [`Self::expr`] — as a predicate
+    /// against `row` using this expression's extraction plan (the
+    /// vectorized executor's fallback for non-kernel conjuncts).
+    pub(crate) fn matches_sub(&self, sub: &CompiledExpr, row: &TaggedRow) -> DbResult<bool> {
+        sub.eval_predicate(&TagRowSource {
+            row,
+            compiled: self,
+        })
+    }
 }
 
 /// Evaluates an expression (which may reference `col@indicator` and

@@ -154,6 +154,52 @@ impl Bitset {
         self.mask_tail();
     }
 
+    /// The backing `u64` words. Bit `i` lives in `words()[i / 64]` at
+    /// `1 << (i % 64)`; bits at positions `>= len()` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words, for word-at-a-time kernels
+    /// (the vectorized executor's selection vectors). Clearing bits is
+    /// always safe; callers must not *set* bits at positions `>= len()`
+    /// (the tail invariant every other operation relies on).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Builds a bitset directly from backing words. The word vector is
+    /// resized to cover exactly `nbits` and tail bits are masked off, so
+    /// any word source is safe.
+    pub fn from_words(mut words: Vec<u64>, nbits: usize) -> Self {
+        words.resize(nbits.div_ceil(64), 0);
+        let mut b = Bitset { words, nbits };
+        b.mask_tail();
+        b
+    }
+
+    /// Copies bits `start..start + len` into a fresh `len`-bit bitset —
+    /// the word-at-a-time batch slice used by the vectorized executor.
+    /// Bits beyond `self.len()` read as zero. Word-aligned starts copy
+    /// whole words; unaligned starts stitch adjacent words with shifts.
+    pub fn extract_range(&self, start: usize, len: usize) -> Bitset {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        let woff = start / 64;
+        let shift = start % 64;
+        if shift == 0 {
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = self.words.get(woff + i).copied().unwrap_or(0);
+            }
+        } else {
+            for (i, w) in words.iter_mut().enumerate() {
+                let lo = self.words.get(woff + i).copied().unwrap_or(0) >> shift;
+                let hi = self.words.get(woff + i + 1).copied().unwrap_or(0) << (64 - shift);
+                *w = lo | hi;
+            }
+        }
+        Bitset::from_words(words, len)
+    }
+
     /// Iterates set bit positions in ascending order — the deterministic
     /// candidate row-id order the chunked executor relies on.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
@@ -432,11 +478,46 @@ impl QualityIndex {
 
     /// Full (re)build from a relation — the bulk-load path. Equivalent to
     /// folding [`QualityIndex::note_row`] over the rows, by construction.
+    ///
+    /// Large relations build in parallel (per [`relstore::par::plan`]'s
+    /// cost model, honoring `DQ_THREADS`): contiguous row ranges are
+    /// indexed into partial indexes on scoped threads using **absolute**
+    /// row ids, then the partials are OR-merged posting by posting.
+    /// Because the ranges are disjoint and every per-key merge step
+    /// (`tagged` OR, per-value bitset OR, `classes` union) is commutative
+    /// and associative, the merged index is bit-for-bit identical to the
+    /// serial fold at every thread count — each bitset's universe ends at
+    /// its highest set bit + 1 in both paths.
     pub fn build(rel: &TaggedRelation) -> Self {
         dq_obs::counter!("tagstore.index.rebuilds").incr();
+        let rows = rel.rows();
+        let Some(threads) = relstore::par::plan(rows.len()) else {
+            let mut idx = Self::new();
+            for row in rows {
+                idx.note_row(row);
+            }
+            return idx;
+        };
+        dq_obs::counter!("tagstore.index.par_builds").incr();
+        let _t = dq_obs::histogram!("tagstore.index.par_build_us").start();
+        let partials = relstore::par::run_ranges(rows.len(), threads, |_, range| {
+            let mut partial = Self::new();
+            for id in range {
+                partial.note_row_at(id, &rows[id]);
+            }
+            partial
+        });
         let mut idx = Self::new();
-        for row in rel.iter() {
-            idx.note_row(row);
+        idx.rows = rows.len();
+        for partial in partials {
+            for (key, p) in partial.postings {
+                let posting = idx.postings.entry(key).or_default();
+                posting.tagged.or_assign(&p.tagged);
+                posting.classes |= p.classes;
+                for (v, bs) in p.values {
+                    posting.values.entry(v).or_default().or_assign(&bs);
+                }
+            }
         }
         idx
     }
@@ -458,7 +539,13 @@ impl QualityIndex {
 
     /// Indexes the tags of one appended row. Must be called in row order.
     pub fn note_row(&mut self, row: &TaggedRow) {
-        let id = self.rows;
+        self.note_row_at(self.rows, row);
+        self.rows += 1;
+    }
+
+    /// Indexes `row`'s tags at absolute id `id` without advancing the
+    /// row counter — the parallel-build worker primitive.
+    fn note_row_at(&mut self, id: usize, row: &TaggedRow) {
         for (ci, cell) in row.iter().enumerate() {
             for tag in cell.tags() {
                 if tag.value.is_null() {
@@ -473,7 +560,6 @@ impl QualityIndex {
                 posting.values.entry(tag.value.clone()).or_default().set(id);
             }
         }
-        self.rows += 1;
     }
 
     /// Updates the index after `set_tag` replaced (or added) one tag on
@@ -744,6 +830,71 @@ mod tests {
         assert_eq!(c.count(), 66);
         assert!(!c.contains(3));
         assert!(Bitset::new(0).is_empty());
+    }
+
+    #[test]
+    fn bitset_words_round_trip_and_extract() {
+        let mut a = Bitset::new(0);
+        for i in [0, 1, 63, 64, 65, 127, 130] {
+            a.set(i);
+        }
+        // words() exposes the exact backing representation
+        assert_eq!(a.words().len(), a.len().div_ceil(64));
+        let rebuilt = Bitset::from_words(a.words().to_vec(), a.len());
+        assert_eq!(rebuilt, a);
+        // from_words masks tail bits and resizes the word vector
+        let masked = Bitset::from_words(vec![u64::MAX, u64::MAX], 3);
+        assert_eq!(masked.count(), 3);
+        assert_eq!(masked.words(), &[0b111]);
+
+        // word-aligned extraction
+        let w = a.extract_range(64, 64);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), vec![0, 1, 63]);
+        // unaligned extraction stitches across word boundaries
+        let u = a.extract_range(63, 66);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 64]);
+        // reads beyond the universe are zero
+        let z = a.extract_range(120, 128);
+        assert_eq!(z.iter_ones().collect::<Vec<_>>(), vec![7, 10]);
+        assert_eq!(a.extract_range(10_000, 64).count(), 0);
+        // exhaustive parity with the bit-at-a-time definition
+        for start in 0..130 {
+            for len in [1usize, 7, 64, 100] {
+                let got = a.extract_range(start, len);
+                for i in 0..len {
+                    assert_eq!(got.contains(i), a.contains(start + i), "start={start} len={len} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        // enough rows that 8 forced threads produce uneven tail chunks
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mut r = TaggedRelation::empty(schema, dict);
+        for k in 0..533i64 {
+            let mut cell = QualityCell::bare(k * 3);
+            if k % 3 == 0 {
+                cell.set_tag(IndicatorValue::new("source", ["a", "b", "c"][(k % 9 / 3) as usize]));
+            }
+            if k % 5 != 4 {
+                cell.set_tag(IndicatorValue::new("age", k % 17));
+            }
+            r.push(vec![QualityCell::bare(k), cell]).unwrap();
+        }
+        let serial = relstore::par::with_thread_count(1, || QualityIndex::build(&r));
+        for threads in [2, 3, 8] {
+            let par = relstore::par::with_thread_count(threads, || QualityIndex::build(&r));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // and both equal the incremental fold
+        let mut inc = QualityIndex::new();
+        for row in r.iter() {
+            inc.note_row(row);
+        }
+        assert_eq!(inc, serial);
     }
 
     fn rel() -> TaggedRelation {

@@ -2,18 +2,20 @@
 # Smoke-run the tag-propagation benchmark series (B1/tagprop, B2/parallel,
 # B6/parallel, plus the baseline B1/B2/B6 groups) with a small per-bench
 # time budget, and record one JSON line per benchmark in BENCH_tagprop.json.
-# Then run the B7 scan-vs-bitmap index series into BENCH_index.json and
-# the B8 WAL/recovery durability series into BENCH_wal.json.
+# Then run the B7 scan-vs-bitmap index series into BENCH_index.json, the
+# B8 WAL/recovery durability series into BENCH_wal.json, and the B9
+# vectorized-execution series into BENCH_vector.json.
 #
 # Knobs (all optional):
-#   DQ_BENCH_JSON       output file for B1/B2/B6 (default BENCH_tagprop.json)
-#   DQ_BENCH_INDEX_JSON output file for B7       (default BENCH_index.json)
-#   DQ_BENCH_WAL_JSON   output file for B8       (default BENCH_wal.json)
+#   DQ_BENCH_JSON        output file for B1/B2/B6 (default BENCH_tagprop.json)
+#   DQ_BENCH_INDEX_JSON  output file for B7       (default BENCH_index.json)
+#   DQ_BENCH_WAL_JSON    output file for B8       (default BENCH_wal.json)
+#   DQ_BENCH_VECTOR_JSON output file for B9       (default BENCH_vector.json)
 #   DQ_BENCH_WAL_TIERS  log lengths for B8 recovery (default 1000,10000,50000)
 #   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
 #   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
 #   DQ_BENCH_ROWS       row counts for B1/tagprop      (default 100000)
-#   DQ_BENCH_TIERS      row tiers for B7          (default 10000,100000,1000000)
+#   DQ_BENCH_TIERS      row tiers for B7/B9       (default 10000,100000,1000000)
 #   DQ_THREADS          worker threads for the parallel series
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,3 +49,11 @@ export DQ_BENCH_WAL_TIERS="${DQ_BENCH_WAL_TIERS:-1000,10000,50000}"
 DQ_BENCH_JSON="$DQ_BENCH_WAL_JSON" cargo bench --offline -p dq-bench --bench durability
 
 echo "wrote $(wc -l < "$DQ_BENCH_WAL_JSON") records to $DQ_BENCH_WAL_JSON"
+
+# B9: vectorized batch execution vs. row-at-a-time (σ, indexed σ,
+# parallel index build, join probe, small-input guard)
+DQ_BENCH_VECTOR_JSON="${DQ_BENCH_VECTOR_JSON:-$PWD/BENCH_vector.json}"
+: > "$DQ_BENCH_VECTOR_JSON"
+DQ_BENCH_JSON="$DQ_BENCH_VECTOR_JSON" cargo bench --offline -p dq-bench --bench vector
+
+echo "wrote $(wc -l < "$DQ_BENCH_VECTOR_JSON") records to $DQ_BENCH_VECTOR_JSON"

@@ -12,11 +12,27 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 PROPTEST_CASES=128 cargo test -q --offline -p tagstore bitmap_
 PROPTEST_CASES=128 cargo test -q --offline -p dq-query index_planner
 
+# Vectorized-execution parity: batched σ/π/⋈ and the parallel index
+# build against their row-at-a-time twins, at a higher case count.
+PROPTEST_CASES=128 cargo test -q --offline -p tagstore vector
+PROPTEST_CASES=128 cargo test -q --offline -p polygen restrict_vectorized
+
 # B7 smoke at the 10k tier: asserts scan==bitmap parity inside the bench
 # before timing anything.
 DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
     DQ_BENCH_JSON=/tmp/ci_bench_index.json \
     cargo bench --offline -p dq-bench --bench index_scan >/dev/null
+
+# B9 smoke at the 10k tier: asserts vectorized==row-at-a-time parity
+# (σ, indexed σ, join probe, parallel index build) before timing.
+DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
+    DQ_BENCH_JSON=/tmp/ci_bench_vector.json \
+    cargo bench --offline -p dq-bench --bench vector >/dev/null
+
+# Vectorized-execution gate: row-at-a-time vs batched parity (tagged and
+# polygen), EXPLAIN ANALYZE batch annotations, and the vector.* metrics
+# invariants (finite, non-negative, batches × batch_size ≥ rows_out).
+cargo run -q --offline --release --example vectorized >/dev/null
 
 # Observability smoke: EXPLAIN ANALYZE over the B7 query set plus the
 # trading join; exits nonzero if the metrics registry snapshot contains
@@ -31,4 +47,4 @@ PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
 # a pending group commit, recover, and check lineage + metrics survive.
 cargo run -q --offline --release --example crash_recovery >/dev/null
 
-echo "ci: build + test + clippy + index parity + observability + recovery all green"
+echo "ci: build + test + clippy + index parity + vector parity + observability + recovery all green"
