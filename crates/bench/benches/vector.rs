@@ -9,12 +9,17 @@
 //!   evaluation) from what it cannot (materializing surviving rows,
 //!   a cost both paths share that dominates at high selectivity).
 //! * `B9/indexed_sigma/{rows}` — `select_indexed` (bitmap candidates →
-//!   row-id gather) vs. `select_indexed_vectorized` (candidate words
-//!   feed the batch pipeline directly, no row-id round-trip).
+//!   row-id gather) vs. `select_indexed_columnar` (candidate words feed
+//!   per-batch selection vectors over contiguous column arrays; the
+//!   relation is converted to columnar **outside** the timed region,
+//!   modeling the catalog's cached layout, and parity is asserted via
+//!   `to_tagged()` before timing).
 //! * `B9/index_build/{rows}` — serial vs. forced-8-thread
-//!   `QualityIndex::build` (chunked partial indexes, OR-merge).
-//! * `B9/join` and `B9/small/1000` — batched hash-join probe parity and
-//!   the small-input guard (vectorization must not tax tiny relations).
+//!   `QualityIndex::build` (word-aligned disjoint ranges, range-local
+//!   row ids, `or_words_at` merge).
+//! * `B9/join` (all tiers ≤ 100k) and `B9/small/1000` — columnar
+//!   hash-join probe vs. the row probe, and the small-input guard
+//!   (vectorization must not tax tiny relations).
 //!
 //! Every series asserts vectorized == row-at-a-time on the actual
 //! fixture before timing anything, so a parity break fails the bench
@@ -28,8 +33,9 @@ use relstore::index::HashIndex;
 use relstore::{par, Expr};
 use tagstore::algebra as ta;
 use tagstore::bitmap::QualityIndex;
+use tagstore::columnar::ColumnarRelation;
 use tagstore::{
-    hash_join_probe_vectorized, select_indexed_vectorized, select_vectorized, DEFAULT_BATCH_SIZE,
+    hash_join_probe_columnar, select_indexed_columnar, select_vectorized, DEFAULT_BATCH_SIZE,
 };
 
 /// Row-count tiers, overridable for smoke runs (`DQ_BENCH_TIERS=10000`).
@@ -89,12 +95,19 @@ fn bench_indexed_sigma(c: &mut Criterion) {
     for rows in tiers() {
         let rel = aged(rows);
         let index = QualityIndex::build(&rel);
+        // Conversion happens once, outside the timed region — queries
+        // run against the catalog's cached columnar layout.
+        let crel = ColumnarRelation::from_tagged(&rel);
         // ~10% selectivity: the regime where gather strategy dominates
         let pred = Expr::col("employees@age").le(Expr::lit(139i64));
         let (reference, _) = ta::select_indexed(&rel, &index, &pred).unwrap();
         let (batched, path, _) =
-            select_indexed_vectorized(&rel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap();
-        assert_eq!(reference, batched, "indexed σ parity at {rows} rows");
+            select_indexed_columnar(&crel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap();
+        assert_eq!(
+            reference,
+            batched.to_tagged(),
+            "indexed σ parity at {rows} rows"
+        );
         assert!(
             matches!(path, ta::TagAccessPath::Bitmap { .. }),
             "expected bitmap path, got {path}"
@@ -106,7 +119,7 @@ fn bench_indexed_sigma(c: &mut Criterion) {
             b.iter(|| ta::select_indexed(&rel, &index, &pred).unwrap())
         });
         g.bench_function("vectorized", |b| {
-            b.iter(|| select_indexed_vectorized(&rel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap())
+            b.iter(|| select_indexed_columnar(&crel, &index, &pred, DEFAULT_BATCH_SIZE).unwrap())
         });
         g.finish();
     }
@@ -132,42 +145,43 @@ fn bench_index_build(c: &mut Criterion) {
 }
 
 fn bench_join_probe(c: &mut Criterion) {
-    let rows = tiers().first().copied().unwrap_or(10_000);
-    let left = tagged_customers(rows, 2);
-    let right = tagged_join_partner(rows);
-    let ri = right.schema().resolve("co_name").unwrap();
-    let keys: Vec<relstore::Row> = right
-        .rows()
-        .iter()
-        .map(|r| vec![r[ri].value.clone()])
-        .collect();
-    let mut idx = HashIndex::new(vec![0]);
-    idx.rebuild(&keys);
-    let reference = ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap();
-    let (batched, _) =
-        hash_join_probe_vectorized(&left, &right, "co_name", "co_name", &idx, DEFAULT_BATCH_SIZE)
-            .unwrap();
-    assert_eq!(reference, batched, "join probe parity");
-    let mut g = c.benchmark_group("B9/join");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(rows as u64));
-    g.bench_function("probe_row", |b| {
-        b.iter(|| ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap())
-    });
-    g.bench_function("probe_vectorized", |b| {
-        b.iter(|| {
-            hash_join_probe_vectorized(
-                &left,
-                &right,
-                "co_name",
-                "co_name",
-                &idx,
-                DEFAULT_BATCH_SIZE,
-            )
-            .unwrap()
-        })
-    });
-    g.finish();
+    // ⋈ output is quadratic-ish in key multiplicity, so cap at 100k rows.
+    for rows in tiers().into_iter().filter(|&r| r <= 100_000) {
+        let left = tagged_customers(rows, 2);
+        let right = tagged_join_partner(rows);
+        let ri = right.schema().resolve("co_name").unwrap();
+        let keys: Vec<relstore::Row> = right
+            .rows()
+            .iter()
+            .map(|r| vec![r[ri].value.clone()])
+            .collect();
+        let mut idx = HashIndex::new(vec![0]);
+        idx.rebuild(&keys);
+        let cl = ColumnarRelation::from_tagged(&left);
+        let cr = ColumnarRelation::from_tagged(&right);
+        let reference = ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap();
+        let (batched, _) =
+            hash_join_probe_columnar(&cl, &cr, "co_name", "co_name", &idx, DEFAULT_BATCH_SIZE)
+                .unwrap();
+        assert_eq!(
+            reference,
+            batched.to_tagged(),
+            "join probe parity at {rows} rows"
+        );
+        let mut g = c.benchmark_group(format!("B9/join/{rows}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_function("probe_row", |b| {
+            b.iter(|| ta::hash_join_probe(&left, &right, "co_name", "co_name", &idx).unwrap())
+        });
+        g.bench_function("probe_vectorized", |b| {
+            b.iter(|| {
+                hash_join_probe_columnar(&cl, &cr, "co_name", "co_name", &idx, DEFAULT_BATCH_SIZE)
+                    .unwrap()
+            })
+        });
+        g.finish();
+    }
 }
 
 /// Small-input guard: at ≤1k rows the batched path must stay within

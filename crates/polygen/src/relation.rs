@@ -163,9 +163,11 @@ impl PolyRelation {
     /// [`PolyRelation::restrict`]; the predicate is compiled once and
     /// evaluated straight over the polygen cells (no per-row `Row`
     /// materialization), processing `batch_size`-row windows at a time.
-    /// Consecutive retained tuples whose examined cells carry the same
-    /// originating sources share one consulted-set allocation. Reports
-    /// under the `vector.poly.*` metrics.
+    /// Survivors are tracked in a [`tagstore::Bitset`] selection vector
+    /// (one word per 64 rows, dead words skipped wholesale) and gathered
+    /// run-at-a-time. Consecutive retained tuples whose examined cells
+    /// carry the same originating sources share one consulted-set
+    /// allocation. Reports under the `vector.poly.*` metrics.
     pub fn restrict_vectorized(
         &self,
         predicate: &Expr,
@@ -187,37 +189,64 @@ impl PolyRelation {
         let compiled = predicate.compile(&self.schema)?;
         let batch_size = batch_size.max(1);
         let mut out_rows: Vec<PolyRow> = Vec::new();
-        let mut keep: Vec<usize> = Vec::with_capacity(batch_size);
         let mut batches = 0usize;
         let mut rows_in = 0usize;
         let mut cached: Option<std::sync::Arc<SourceSet>> = None;
         for window in self.rows.chunks(batch_size) {
             batches += 1;
             rows_in += window.len();
-            keep.clear();
-            for (i, row) in window.iter().enumerate() {
-                if compiled.eval_predicate(&CellRow(row))? {
-                    keep.push(i);
+            // Selection vector: one bit per window row, filtered with
+            // word-granular loops so fully-dead words cost one compare.
+            let mut sel = tagstore::Bitset::full(window.len());
+            for (wi, word) in sel.words_mut().iter_mut().enumerate() {
+                let mut bits = *word;
+                let mut keep = bits;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let i = wi * 64 + tz as usize;
+                    if !compiled.eval_predicate(&CellRow(&window[i]))? {
+                        keep &= !(1u64 << tz);
+                    }
+                }
+                *word = keep;
+            }
+            // Run-at-a-time gather over maximal survivor runs.
+            let mut run: Option<(usize, usize)> = None;
+            let flush = |run: (usize, usize),
+                         out_rows: &mut Vec<PolyRow>,
+                         cached: &mut Option<std::sync::Arc<SourceSet>>| {
+                for row in &window[run.0..run.1] {
+                    let mut consulted = SourceSet::new();
+                    for &c in &examined {
+                        consulted.extend(row[c].originating().iter().cloned());
+                    }
+                    let shared = if cached.as_ref().is_some_and(|a| **a == consulted) {
+                        std::sync::Arc::clone(cached.as_ref().expect("just checked"))
+                    } else {
+                        let a = std::sync::Arc::new(consulted);
+                        *cached = Some(std::sync::Arc::clone(&a));
+                        a
+                    };
+                    let mut out = row.clone();
+                    for cell in &mut out {
+                        cell.consult_shared(&shared);
+                    }
+                    out_rows.push(out);
+                }
+            };
+            for i in sel.iter_ones() {
+                match run {
+                    Some((s, e)) if e == i => run = Some((s, i + 1)),
+                    Some(done) => {
+                        flush(done, &mut out_rows, &mut cached);
+                        run = Some((i, i + 1));
+                    }
+                    None => run = Some((i, i + 1)),
                 }
             }
-            for &i in &keep {
-                let row = &window[i];
-                let mut consulted = SourceSet::new();
-                for &c in &examined {
-                    consulted.extend(row[c].originating().iter().cloned());
-                }
-                let shared = if cached.as_ref().is_some_and(|a| **a == consulted) {
-                    std::sync::Arc::clone(cached.as_ref().expect("just checked"))
-                } else {
-                    let a = std::sync::Arc::new(consulted);
-                    cached = Some(std::sync::Arc::clone(&a));
-                    a
-                };
-                let mut out = row.clone();
-                for cell in &mut out {
-                    cell.consult_shared(&shared);
-                }
-                out_rows.push(out);
+            if let Some(done) = run {
+                flush(done, &mut out_rows, &mut cached);
             }
         }
         dq_obs::counter!("vector.poly.batches").add(batches as u64);

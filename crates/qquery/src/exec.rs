@@ -8,9 +8,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use tagstore::algebra::{self, TagPolicy, TagRule};
 use tagstore::bitmap::{extract_atoms, QualityIndex};
+use tagstore::columnar::ColumnarRelation;
 use tagstore::{
-    hash_join_probe_vectorized, select_indexed_vectorized, select_vectorized, QualityCell,
-    TaggedRelation,
+    hash_join_probe_columnar, hash_join_probe_vectorized, select_columnar,
+    select_indexed_columnar, select_vectorized, QualityCell, TaggedRelation,
 };
 
 /// A named collection of tagged relations queries run against.
@@ -24,6 +25,7 @@ pub struct QueryCatalog {
     relations: HashMap<String, TaggedRelation>,
     quality_indexes: RwLock<HashMap<String, Arc<QualityIndex>>>,
     key_indexes: RwLock<HashMap<(String, String), Arc<HashIndex>>>,
+    columnar: RwLock<HashMap<String, Arc<ColumnarRelation>>>,
 }
 
 impl QueryCatalog {
@@ -41,6 +43,7 @@ impl QueryCatalog {
             .write()
             .unwrap()
             .retain(|(t, _), _| t != &name);
+        self.columnar.write().unwrap().remove(&name);
         self.relations.insert(name, rel);
     }
 
@@ -74,6 +77,22 @@ impl QueryCatalog {
             .unwrap()
             .insert(table.to_owned(), Arc::clone(&idx));
         Some(idx)
+    }
+
+    /// Cached columnar layout of `table` (converted on first use,
+    /// invalidated by [`QueryCatalog::register`]). Base-table σ and ⋈
+    /// probes run over this instead of the row layout.
+    fn columnar(&self, table: &str) -> DbResult<Arc<ColumnarRelation>> {
+        let rel = self.get(table)?;
+        if let Some(c) = self.columnar.read().unwrap().get(table) {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(ColumnarRelation::from_tagged(rel));
+        self.columnar
+            .write()
+            .unwrap()
+            .insert(table.to_owned(), Arc::clone(&c));
+        Ok(c)
     }
 
     /// Cached hash index over `table.key` application values, positions
@@ -206,6 +225,11 @@ pub struct OpTrace {
     /// Batch width the vectorized operator ran with (`None` when
     /// `batches` is `None`).
     pub batch_size: Option<usize>,
+    /// Physical layout the operator executed over: `Some("columnar")`
+    /// for operators that ran the columnar kernels (contiguous typed
+    /// column arrays + tag runs), `None` for row-at-a-time and
+    /// row-gather vectorized operators.
+    pub layout: Option<&'static str>,
     /// Child traces in plan order.
     pub children: Vec<OpTrace>,
 }
@@ -246,6 +270,9 @@ impl OpTrace {
         }
         if let (Some(batches), Some(batch_size)) = (self.batches, self.batch_size) {
             let _ = write!(out, " batches={batches} batch_size={batch_size}");
+        }
+        if let Some(layout) = self.layout {
+            let _ = write!(out, " layout={layout}");
         }
         out.push('\n');
         for child in &self.children {
@@ -387,13 +414,40 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
     use std::time::Instant;
     // Per arm: result, rows-in, planner estimate, whether an observed
     // selectivity is meaningful, (batches, batch width) for vectorized
-    // operators, child traces, local elapsed time.
-    let (rel, rows_in, est_selectivity, selective, batch, children, elapsed) = match plan {
+    // operators, child traces, local elapsed time, physical layout.
+    let (rel, rows_in, est_selectivity, selective, batch, children, elapsed, layout) = match plan
+    {
         Plan::Scan(name) => {
             let t0 = Instant::now();
             let rel = catalog.get(name)?.clone();
             let n = rel.len();
-            (rel, n, None, false, None, Vec::new(), t0.elapsed())
+            (rel, n, None, false, None, Vec::new(), t0.elapsed(), None)
+        }
+        // σ directly over a base table runs the columnar kernels against
+        // the catalog's cached columnar layout — no row clone of the
+        // scanned table, rows materialize only at the operator boundary
+        // (proportional to the *result* size).
+        Plan::Filter { input, predicate } if matches!(&**input, Plan::Scan(_)) => {
+            let Plan::Scan(name) = &**input else {
+                unreachable!()
+            };
+            let t0 = Instant::now();
+            let crel = catalog.columnar(name)?;
+            let (out, stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+            let rel = out.to_tagged();
+            let n = crel.len();
+            let child = synth_scan_trace(input, n);
+            let batch = Some((stats.batches, stats.batch_size));
+            (
+                rel,
+                n,
+                None,
+                true,
+                batch,
+                vec![child],
+                t0.elapsed(),
+                Some("columnar"),
+            )
         }
         Plan::Filter { input, predicate } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
@@ -401,7 +455,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let (rel, stats) = select_vectorized(&input_rel, predicate, exec_batch_size())?;
             let n = input_rel.len();
             let batch = Some((stats.batches, stats.batch_size));
-            (rel, n, None, true, batch, vec![child], t0.elapsed())
+            (rel, n, None, true, batch, vec![child], t0.elapsed(), None)
         }
         Plan::Join {
             left,
@@ -414,14 +468,14 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let t0 = Instant::now();
             let rel = algebra::hash_join(&l, &r, left_key, right_key)?;
             let n = l.len() + r.len();
-            (rel, n, None, true, None, vec![lt, rt], t0.elapsed())
+            (rel, n, None, true, None, vec![lt, rt], t0.elapsed(), None)
         }
         Plan::Project { input, columns } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = project_mixed(&input_rel, columns)?;
             let n = input_rel.len();
-            (rel, n, None, false, None, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed(), None)
         }
         Plan::Aggregate {
             input,
@@ -433,21 +487,21 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
             let rel = algebra::aggregate(&input_rel, &gb, aggs, &default_agg_policies())?;
             let n = input_rel.len();
-            (rel, n, None, false, None, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed(), None)
         }
         Plan::Distinct { input } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = algebra::distinct_merging(&input_rel);
             let n = input_rel.len();
-            (rel, n, None, false, None, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed(), None)
         }
         Plan::Sort { input, keys } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
             let t0 = Instant::now();
             let rel = sort_multi(&input_rel, keys)?;
             let n = input_rel.len();
-            (rel, n, None, false, None, vec![child], t0.elapsed())
+            (rel, n, None, false, None, vec![child], t0.elapsed(), None)
         }
         Plan::Limit { input, n } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
@@ -458,7 +512,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
                 input_rel.rows().iter().take(*n).cloned().collect(),
             )?;
             let rows_in = input_rel.len();
-            (rel, rows_in, None, false, None, vec![child], t0.elapsed())
+            (rel, rows_in, None, false, None, vec![child], t0.elapsed(), None)
         }
         Plan::IndexScan {
             table,
@@ -467,23 +521,70 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             ..
         } => {
             let t0 = Instant::now();
-            let rel = catalog.get(table)?;
-            let n = rel.len();
+            let crel = catalog.columnar(table)?;
+            let n = crel.len();
             let (out, batch) = match catalog.quality_index(table) {
                 Some(idx) => {
                     let (o, _path, stats) =
-                        select_indexed_vectorized(rel, &idx, predicate, exec_batch_size())?;
-                    (o, Some((stats.batches, stats.batch_size)))
+                        select_indexed_columnar(&crel, &idx, predicate, exec_batch_size())?;
+                    (o.to_tagged(), Some((stats.batches, stats.batch_size)))
                 }
                 // unreachable through the optimizer (the table existed at
                 // plan time), but hand-built plans stay correct
                 None => {
-                    let (o, stats) = select_vectorized(rel, predicate, exec_batch_size())?;
-                    (o, Some((stats.batches, stats.batch_size)))
+                    let (o, stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+                    (o.to_tagged(), Some((stats.batches, stats.batch_size)))
                 }
             };
             let est = Some(*est_selectivity);
-            (out, n, est, true, batch, Vec::new(), t0.elapsed())
+            (
+                out,
+                n,
+                est,
+                true,
+                batch,
+                Vec::new(),
+                t0.elapsed(),
+                Some("columnar"),
+            )
+        }
+        // ⋈ probing straight out of a base-table scan runs the columnar
+        // probe over both cached columnar relations: key reads touch only
+        // the key column, and the gather assembles output columns run by
+        // run instead of cloning rows.
+        Plan::IndexJoin {
+            left,
+            right_table,
+            left_key,
+            right_key,
+        } if matches!(&**left, Plan::Scan(_)) => {
+            let Plan::Scan(lname) = &**left else {
+                unreachable!()
+            };
+            let t0 = Instant::now();
+            let cl = catalog.columnar(lname)?;
+            let cr = catalog.columnar(right_table)?;
+            let idx = catalog.key_index(right_table, right_key)?;
+            let est = if idx.distinct_keys() == 0 {
+                0.0
+            } else {
+                1.0 / idx.distinct_keys() as f64
+            };
+            let n = cl.len() + cr.len();
+            let (out, stats) =
+                hash_join_probe_columnar(&cl, &cr, left_key, right_key, &idx, exec_batch_size())?;
+            let lt = synth_scan_trace(left, cl.len());
+            let batch = Some((stats.batches, stats.batch_size));
+            (
+                out.to_tagged(),
+                n,
+                Some(est),
+                true,
+                batch,
+                vec![lt],
+                t0.elapsed(),
+                Some("columnar"),
+            )
         }
         Plan::IndexJoin {
             left,
@@ -507,7 +608,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let (out, stats) =
                 hash_join_probe_vectorized(&l, r, left_key, right_key, &idx, exec_batch_size())?;
             let batch = Some((stats.batches, stats.batch_size));
-            (out, n, Some(est), true, batch, vec![lt], t0.elapsed())
+            (out, n, Some(est), true, batch, vec![lt], t0.elapsed(), None)
         }
     };
     let rows_out = rel.len();
@@ -523,9 +624,29 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
         actual_selectivity: selective.then(|| frac(rows_out, rows_in)),
         batches: batch.map(|(b, _)| b),
         batch_size: batch.map(|(_, s)| s),
+        layout,
         children,
     };
     Ok((rel, trace))
+}
+
+/// Trace line for a base-table scan a columnar parent absorbed: the
+/// scan never materialized rows (the parent read the catalog's cached
+/// columnar layout directly), so it reports the table's row count and
+/// zero local time.
+fn synth_scan_trace(scan: &Plan, rows: usize) -> OpTrace {
+    OpTrace {
+        label: scan.node_line(),
+        rows_out: rows,
+        rows_in: rows,
+        elapsed: std::time::Duration::ZERO,
+        est_selectivity: None,
+        actual_selectivity: None,
+        batches: None,
+        batch_size: None,
+        layout: Some("columnar"),
+        children: Vec::new(),
+    }
 }
 
 /// Parses and plans one statement (with the planner's optimizations
@@ -978,13 +1099,15 @@ mod tests {
         assert!(after.validate().is_ok(), "{:?}", after.validate());
     }
 
-    /// The batched operators surface their batch counts both through
-    /// EXPLAIN ANALYZE annotations and the `vector.*` metrics.
+    /// The batched operators surface their batch counts and physical
+    /// layout both through EXPLAIN ANALYZE annotations and the
+    /// `columnar.*` metrics: base-table σ, indexed σ, and the ⋈ probe
+    /// all run the columnar kernels.
     #[test]
     fn vectorized_execution_reports_batches() {
         let c = catalog();
         let before = dq_obs::registry().snapshot();
-        // plain σ (indexes off) runs through the vectorized pipeline
+        // plain σ over a base scan (indexes off) runs columnar
         let off = Planner {
             use_indexes: false,
             ..Planner::default()
@@ -1000,10 +1123,12 @@ mod tests {
             line.contains(&format!("batch_size={}", exec_batch_size())),
             "{report}"
         );
+        assert!(line.contains("layout=columnar"), "{report}");
         // the indexed σ and the index-join probe report batches too
         let report = explain_analyze(&c, sql, &Planner::default()).unwrap();
         let line = report.lines().find(|l| l.contains("IndexScan")).unwrap();
         assert!(line.contains("batches=1"), "{report}");
+        assert!(line.contains("layout=columnar"), "{report}");
         let report = explain_analyze(
             &c,
             "SELECT * FROM trades JOIN stocks ON tkr = ticker",
@@ -1012,10 +1137,14 @@ mod tests {
         .unwrap();
         let line = report.lines().find(|l| l.contains("IndexJoin")).unwrap();
         assert!(line.contains("batches=1"), "{report}");
+        assert!(line.contains("layout=columnar"), "{report}");
         // and the batch pipeline fed the metrics registry
         let after = dq_obs::registry().snapshot();
-        assert!(after.counter("vector.batches") > before.counter("vector.batches"));
-        assert!(after.counter("vector.join.batches") > before.counter("vector.join.batches"));
+        assert!(after.counter("columnar.batches") > before.counter("columnar.batches"));
+        assert!(
+            after.counter("columnar.join.batches") > before.counter("columnar.join.batches")
+        );
+        assert!(after.counter("columnar.conversions") > before.counter("columnar.conversions"));
         assert!(after.validate().is_ok(), "{:?}", after.validate());
     }
 

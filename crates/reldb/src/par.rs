@@ -34,6 +34,18 @@ pub const PAR_THRESHOLD: usize = 2048;
 /// serial and lets 2 threads engage from 16 384 rows up.
 pub const MIN_ROWS_PER_THREAD: usize = 8192;
 
+/// Minimum rows each *index-build* worker must receive before an extra
+/// thread pays for itself. Index construction is heavier per row than a
+/// σ/mask kernel (hash lookups into the posting map plus bitset growth),
+/// but each worker also allocates a full partial index that the merge
+/// pass must traverse — so the break-even sits *higher* than
+/// [`MIN_ROWS_PER_THREAD`], not lower. B9 pinned the regression: at 10k
+/// rows an 8-way build lost to serial outright, and even 2 workers only
+/// clear their merge cost once each owns a few tens of thousands of
+/// rows. 32 768 keeps 10k-row builds serial (the PR-5 bug spawned
+/// threads there) and lets 2 threads engage from 65 536 rows up.
+pub const MIN_ROWS_PER_INDEX_THREAD: usize = 32_768;
+
 /// Hard upper bound on the thread count accepted from the environment.
 pub const MAX_THREADS: usize = 64;
 
@@ -90,9 +102,23 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// threads than `len / MIN_ROWS_PER_THREAD`, so every worker has enough
 /// rows to amortize its spawn.
 pub fn plan(len: usize) -> Option<usize> {
+    plan_with_min(len, MIN_ROWS_PER_THREAD)
+}
+
+/// Like [`plan`], but with the index-build cost model: workers must each
+/// own at least [`MIN_ROWS_PER_INDEX_THREAD`] rows before the partial
+/// indexes they allocate (and the merge pass over them) pay for
+/// themselves. This is the fix for the PR-5 regression where
+/// `QualityIndex::build` consulted [`plan`] and spawned threads at 10k
+/// rows — a size where serial wins per B9.
+pub fn plan_index(len: usize) -> Option<usize> {
+    plan_with_min(len, MIN_ROWS_PER_INDEX_THREAD)
+}
+
+fn plan_with_min(len: usize, min_rows: usize) -> Option<usize> {
     let forced = OVERRIDE.with(|o| o.get()).is_some();
     let threads = thread_count();
-    match decide(len, threads, forced) {
+    match decide_with_min(len, threads, forced, min_rows) {
         None => {
             dq_obs::counter!("par.plan.serial").incr();
             None
@@ -108,7 +134,15 @@ pub fn plan(len: usize) -> Option<usize> {
 /// model is unit-testable without touching thread-count state. `forced`
 /// (a [`with_thread_count`] override) bypasses the cost model entirely so
 /// tests can exercise chunked execution on tiny relations.
+#[cfg(test)]
 fn decide(len: usize, threads: usize, forced: bool) -> Option<usize> {
+    decide_with_min(len, threads, forced, MIN_ROWS_PER_THREAD)
+}
+
+/// The shared cost model behind [`decide`] (σ/mask kernels) and
+/// [`plan_index`] (index builds): parallel only when more than one worker
+/// can clear `min_rows`, and never more threads than `len / min_rows`.
+fn decide_with_min(len: usize, threads: usize, forced: bool, min_rows: usize) -> Option<usize> {
     if threads <= 1 || len < 2 {
         return None;
     }
@@ -118,11 +152,30 @@ fn decide(len: usize, threads: usize, forced: bool) -> Option<usize> {
     if len < PAR_THRESHOLD {
         return None;
     }
-    let affordable = len / MIN_ROWS_PER_THREAD;
+    let affordable = len / min_rows;
     if affordable <= 1 {
         return None;
     }
     Some(threads.min(affordable))
+}
+
+/// Splits `0..len` into at most `threads` contiguous ranges whose start
+/// offsets are multiples of 64 — so each range owns a **disjoint word
+/// span** of any [`len`-bit bitset] indexed by position. The parallel
+/// index build exploits this: each worker fills bitset words no other
+/// worker touches, and the merge is a plain word copy with no OR over
+/// shared words (see `QualityIndex::build`). Ranges are returned in
+/// ascending order and cover `0..len` exactly once.
+pub fn word_aligned_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let nwords = len.div_ceil(64);
+    let chunk_words = nwords.div_ceil(threads.max(1)).max(1);
+    (0..nwords)
+        .step_by(chunk_words)
+        .map(|w| (w * 64)..((w + chunk_words) * 64).min(len))
+        .collect()
 }
 
 /// Splits `items` into `threads` contiguous chunks, runs `f(chunk_index,
@@ -272,6 +325,49 @@ mod tests {
         assert_eq!(decide(10, 4, true), Some(4));
         assert_eq!(decide(3, 4, true), Some(3));
         assert_eq!(decide(1, 4, true), None);
+    }
+
+    #[test]
+    fn decide_index_crossover_keeps_10k_serial() {
+        // The B9 regression case from PR 5: `QualityIndex::build` used the
+        // generic σ cost model and spawned 8 threads at 10k rows, where
+        // serial wins. The index model must keep that input serial …
+        assert_eq!(decide_with_min(10_000, 8, false, MIN_ROWS_PER_INDEX_THREAD), None);
+        // … and in fact everything below 2 × MIN_ROWS_PER_INDEX_THREAD.
+        assert_eq!(
+            decide_with_min(2 * MIN_ROWS_PER_INDEX_THREAD - 1, 8, false, MIN_ROWS_PER_INDEX_THREAD),
+            None
+        );
+        assert_eq!(
+            decide_with_min(2 * MIN_ROWS_PER_INDEX_THREAD, 8, false, MIN_ROWS_PER_INDEX_THREAD),
+            Some(2)
+        );
+        // 1M rows keeps the full 8-way split that the disjoint-word merge
+        // protocol makes profitable.
+        assert_eq!(decide_with_min(1_000_000, 8, false, MIN_ROWS_PER_INDEX_THREAD), Some(8));
+        // The index model is strictly more conservative than the σ model.
+        const { assert!(MIN_ROWS_PER_INDEX_THREAD > MIN_ROWS_PER_THREAD) };
+        // Forced overrides still bypass the model so parity tests can
+        // exercise the parallel build on tiny relations.
+        assert_eq!(decide_with_min(10, 4, true, MIN_ROWS_PER_INDEX_THREAD), Some(4));
+    }
+
+    #[test]
+    fn word_aligned_ranges_cover_exactly_once_on_word_boundaries() {
+        for len in [0usize, 1, 63, 64, 65, 533, 4096, 100_000] {
+            for threads in [1usize, 2, 3, 7, 8] {
+                let ranges = word_aligned_ranges(len, threads);
+                assert!(ranges.len() <= threads.max(1), "len={len} threads={threads}");
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap/overlap at len={len} threads={threads}");
+                    assert_eq!(r.start % 64, 0, "unaligned start at len={len}");
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, len, "coverage at len={len} threads={threads}");
+            }
+        }
     }
 
     #[test]

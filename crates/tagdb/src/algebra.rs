@@ -68,15 +68,22 @@ impl CompiledTagExpr {
     /// plain columns and pseudo-columns over unknown application columns
     /// error here, once — not per row.
     pub fn compile(rel: &TaggedRelation, expr: &Expr) -> DbResult<CompiledTagExpr> {
-        let base = rel.schema().arity();
+        Self::compile_schema(rel.schema(), expr)
+    }
+
+    /// [`Self::compile`] against a bare schema — compilation only consults
+    /// column names, so callers holding a columnar relation (no
+    /// [`TaggedRelation`] in hand) compile identically.
+    pub fn compile_schema(schema: &relstore::Schema, expr: &Expr) -> DbResult<CompiledTagExpr> {
+        let base = schema.arity();
         let mut plan: Vec<(usize, Vec<Symbol>)> = Vec::new();
         let compiled = expr.compile_with(&mut |name| {
-            if let Some(i) = rel.schema().index_of(name) {
+            if let Some(i) = schema.index_of(name) {
                 return Ok(i);
             }
             match TaggedRelation::split_pseudo(name) {
                 Some((col, ind_path)) => {
-                    let ci = rel.schema().resolve(col)?;
+                    let ci = schema.resolve(col)?;
                     let path: Vec<Symbol> =
                         ind_path.split(TAG_SEP).map(Symbol::intern).collect();
                     let slot = plan

@@ -77,6 +77,13 @@ impl QualityCell {
         self.tags = if tags.is_empty() { None } else { Some(tags) };
     }
 
+    /// The shared tag vector itself (`None` ⇔ untagged) — the columnar
+    /// converter reads this to preserve `Arc` identity run by run, so
+    /// cells sharing one tag allocation collapse into one tag run.
+    pub(crate) fn shared_tags(&self) -> Option<&Arc<Vec<IndicatorValue>>> {
+        self.tags.as_ref()
+    }
+
     /// Builder-style [`QualityCell::set_tag`].
     pub fn with_tag(mut self, tag: IndicatorValue) -> Self {
         self.set_tag(tag);

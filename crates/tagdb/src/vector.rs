@@ -67,7 +67,7 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    fn new(batch_size: usize) -> Self {
+    pub(crate) fn new(batch_size: usize) -> Self {
         BatchStats {
             batches: 0,
             batch_size,
@@ -76,7 +76,7 @@ impl BatchStats {
         }
     }
 
-    fn absorb(&mut self, other: BatchStats) {
+    pub(crate) fn absorb(&mut self, other: BatchStats) {
         self.batches += other.batches;
         self.rows_in += other.rows_in;
         self.rows_out += other.rows_out;
@@ -94,13 +94,13 @@ static NULL_SENTINEL: Value = Value::Null;
 
 /// How a kernel reads its column: an application cell value or a tag
 /// value down an interned indicator path.
-enum Access {
+pub(crate) enum Access {
     App(usize),
     Tag(usize, Vec<Symbol>),
 }
 
 impl Access {
-    fn from_col(idx: usize, compiled: &CompiledTagExpr) -> Access {
+    pub(crate) fn from_col(idx: usize, compiled: &CompiledTagExpr) -> Access {
         if idx < compiled.base() {
             Access::App(idx)
         } else {
@@ -123,7 +123,7 @@ impl Access {
 }
 
 /// One conjunct of the predicate, compiled to its cheapest batch form.
-enum Kernel<'e> {
+pub(crate) enum Kernel<'e> {
     /// `col OP literal` — direct cell/tag access, no expression-tree
     /// walk, no `Cow` allocation per row.
     Cmp {
@@ -144,7 +144,7 @@ enum Kernel<'e> {
 impl Kernel<'_> {
     /// Scalar comparison against an already-extracted column value.
     #[inline]
-    fn test_value(&self, v: &Value) -> DbResult<bool> {
+    pub(crate) fn test_value(&self, v: &Value) -> DbResult<bool> {
         if v.is_null() {
             return Ok(false); // 3VL: NULL comparison never holds
         }
@@ -185,7 +185,7 @@ fn split_and<'e>(e: &'e CompiledExpr, out: &mut Vec<&'e CompiledExpr>) {
 
 /// Decomposes the compiled predicate into top-level AND conjuncts and
 /// compiles each to its cheapest kernel.
-fn compile_kernels(compiled: &CompiledTagExpr) -> Vec<Kernel<'_>> {
+pub(crate) fn compile_kernels(compiled: &CompiledTagExpr) -> Vec<Kernel<'_>> {
     let mut conjuncts = Vec::new();
     split_and(compiled.expr(), &mut conjuncts);
     conjuncts
@@ -308,7 +308,7 @@ fn filter_batch<'r>(
 
 /// Calls `f(run_start, run_len)` for each maximal run of consecutive set
 /// bits — the "surviving batch slice" unit of tag propagation.
-fn for_each_run(sel: &Bitset, mut f: impl FnMut(usize, usize)) {
+pub(crate) fn for_each_run(sel: &Bitset, mut f: impl FnMut(usize, usize)) {
     let mut run: Option<(usize, usize)> = None;
     for i in sel.iter_ones() {
         run = match run {

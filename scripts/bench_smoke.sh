@@ -3,14 +3,17 @@
 # B6/parallel, plus the baseline B1/B2/B6 groups) with a small per-bench
 # time budget, and record one JSON line per benchmark in BENCH_tagprop.json.
 # Then run the B7 scan-vs-bitmap index series into BENCH_index.json, the
-# B8 WAL/recovery durability series into BENCH_wal.json, and the B9
-# vectorized-execution series into BENCH_vector.json.
+# B8 WAL/recovery durability series into BENCH_wal.json, the B9
+# vectorized-execution series into BENCH_vector.json, and the B10
+# columnar-vs-row series into BENCH_columnar.json. Finishes with the
+# parallel index-build regression gate over the fresh B9 numbers.
 #
 # Knobs (all optional):
 #   DQ_BENCH_JSON        output file for B1/B2/B6 (default BENCH_tagprop.json)
 #   DQ_BENCH_INDEX_JSON  output file for B7       (default BENCH_index.json)
 #   DQ_BENCH_WAL_JSON    output file for B8       (default BENCH_wal.json)
 #   DQ_BENCH_VECTOR_JSON output file for B9       (default BENCH_vector.json)
+#   DQ_BENCH_COLUMNAR_JSON output file for B10    (default BENCH_columnar.json)
 #   DQ_BENCH_WAL_TIERS  log lengths for B8 recovery (default 1000,10000,50000)
 #   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
 #   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
@@ -57,3 +60,15 @@ DQ_BENCH_VECTOR_JSON="${DQ_BENCH_VECTOR_JSON:-$PWD/BENCH_vector.json}"
 DQ_BENCH_JSON="$DQ_BENCH_VECTOR_JSON" cargo bench --offline -p dq-bench --bench vector
 
 echo "wrote $(wc -l < "$DQ_BENCH_VECTOR_JSON") records to $DQ_BENCH_VECTOR_JSON"
+
+# B10: columnar tagged storage vs. the row layout (σ, π, index build,
+# conversion costs)
+DQ_BENCH_COLUMNAR_JSON="${DQ_BENCH_COLUMNAR_JSON:-$PWD/BENCH_columnar.json}"
+: > "$DQ_BENCH_COLUMNAR_JSON"
+DQ_BENCH_JSON="$DQ_BENCH_COLUMNAR_JSON" cargo bench --offline -p dq-bench --bench columnar
+
+echo "wrote $(wc -l < "$DQ_BENCH_COLUMNAR_JSON") records to $DQ_BENCH_COLUMNAR_JSON"
+
+# Regression gate: forced-8-thread index build must not be slower than
+# serial at >=100k rows (fails the run; warn-only on single-CPU boxes).
+scripts/index_build_gate.sh "$DQ_BENCH_VECTOR_JSON"

@@ -17,6 +17,11 @@ PROPTEST_CASES=128 cargo test -q --offline -p dq-query index_planner
 PROPTEST_CASES=128 cargo test -q --offline -p tagstore vector
 PROPTEST_CASES=128 cargo test -q --offline -p polygen restrict_vectorized
 
+# Columnar-layout parity: row↔columnar round-trip (values, nulls,
+# per-cell tags), columnar σ/π/⋈ vs row-at-a-time, and the columnar
+# index build vs the serial fold, at a higher case count.
+PROPTEST_CASES=128 cargo test -q --offline -p tagstore columnar
+
 # B7 smoke at the 10k tier: asserts scan==bitmap parity inside the bench
 # before timing anything.
 DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
@@ -29,10 +34,28 @@ DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
     DQ_BENCH_JSON=/tmp/ci_bench_vector.json \
     cargo bench --offline -p dq-bench --bench vector >/dev/null
 
+# Parallel index-build regression check over the fresh 10k smoke
+# numbers. Warn-only here: the tiny CI time budget makes mean_ns noisy
+# and 10k rows sits below the par::plan_index crossover; the failing
+# version of this gate runs in scripts/bench_smoke.sh at full tiers.
+scripts/index_build_gate.sh --warn-only /tmp/ci_bench_vector.json
+
+# B10 smoke at the 10k tier: asserts columnar==row parity (σ, π, index
+# build, round-trip) before timing.
+DQ_BENCH_TIERS=10000 DQ_BENCH_MS=50 DQ_BENCH_WARMUP_MS=10 \
+    DQ_BENCH_JSON=/tmp/ci_bench_columnar.json \
+    cargo bench --offline -p dq-bench --bench columnar >/dev/null
+
 # Vectorized-execution gate: row-at-a-time vs batched parity (tagged and
 # polygen), EXPLAIN ANALYZE batch annotations, and the vector.* metrics
 # invariants (finite, non-negative, batches × batch_size ≥ rows_out).
 cargo run -q --offline --release --example vectorized >/dev/null
+
+# Columnar-layout gate: lossless row↔columnar round-trip, columnar
+# σ/π/⋈ and index-build parity at 1/2/8 threads × batch 1/7/1024,
+# EXPLAIN ANALYZE layout=columnar annotations, and the columnar.*
+# metrics invariants.
+cargo run -q --offline --release --example columnar >/dev/null
 
 # Observability smoke: EXPLAIN ANALYZE over the B7 query set plus the
 # trading join; exits nonzero if the metrics registry snapshot contains
@@ -47,4 +70,4 @@ PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
 # a pending group commit, recover, and check lineage + metrics survive.
 cargo run -q --offline --release --example crash_recovery >/dev/null
 
-echo "ci: build + test + clippy + index parity + vector parity + observability + recovery all green"
+echo "ci: build + test + clippy + index parity + vector parity + columnar parity + observability + recovery all green"

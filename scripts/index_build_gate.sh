@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Parallel index-build regression gate.
+#
+# Reads B9/index_build records from a bench JSON file (one JSON object
+# per line, as written by the criterion shim) and compares the forced
+# 8-thread build against the serial build at every tier present:
+#
+#   {"id":"B9/index_build/100000/serial","mean_ns":218890000,...}
+#   {"id":"B9/index_build/100000/threads8","mean_ns":295404000,...}
+#
+# Policy:
+#   * threads8 slower than serial at a tier >= 100k rows  -> FAIL (exit 1)
+#   * threads8 slower below 100k rows                     -> warn only
+#     (below the par::plan_index crossover the planner would not
+#     parallelize a real build; the bench forces 8 threads regardless)
+#   * fewer than 2 CPUs (nproc < 2)                       -> warn only
+#     (forced threads timeshare one core, so wall-clock parity with
+#     serial plus merge overhead is the physical ceiling; failing the
+#     build here would gate on hardware, not on the code)
+#   * --warn-only                                         -> warn only
+#     (CI smoke runs use tiny time budgets where mean_ns is noisy)
+#
+# Usage: index_build_gate.sh [--warn-only] [BENCH_vector.json]
+set -euo pipefail
+
+warn_only=0
+if [ "${1:-}" = "--warn-only" ]; then
+    warn_only=1
+    shift
+fi
+json="${1:-BENCH_vector.json}"
+
+if [ ! -s "$json" ]; then
+    echo "index_build_gate: $json missing or empty, nothing to check" >&2
+    exit 0
+fi
+
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 2 ]; then
+    echo "index_build_gate: only $cpus CPU visible; forced-thread builds" >&2
+    echo "index_build_gate: timeshare one core, downgrading failures to warnings" >&2
+    warn_only=1
+fi
+
+# Emit "tier serial_ns threads8_ns" per tier that has both variants.
+pairs="$(grep '"id":"B9/index_build/' "$json" |
+    sed -E 's|.*"id":"B9/index_build/([0-9]+)/([a-z0-9]+)","mean_ns":([0-9]+).*|\1 \2 \3|' |
+    awk '{ m[$1 " " $2] = $3; tiers[$1] = 1 }
+         END { for (t in tiers)
+                   if ((t " serial") in m && (t " threads8") in m)
+                       print t, m[t " serial"], m[t " threads8"] }' |
+    sort -n)"
+
+if [ -z "$pairs" ]; then
+    echo "index_build_gate: no B9/index_build serial/threads8 pairs in $json" >&2
+    exit 0
+fi
+
+status=0
+while read -r tier serial_ns par_ns; do
+    ratio="$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", p / s }')"
+    if [ "$par_ns" -gt "$serial_ns" ]; then
+        msg="threads8 ${ratio}x slower than serial at ${tier} rows (${par_ns}ns vs ${serial_ns}ns)"
+        if [ "$warn_only" -eq 1 ] || [ "$tier" -lt 100000 ]; then
+            echo "index_build_gate: WARNING: $msg" >&2
+        else
+            echo "index_build_gate: FAIL: $msg" >&2
+            status=1
+        fi
+    else
+        speedup="$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')"
+        echo "index_build_gate: ok: threads8 ${speedup}x faster than serial at ${tier} rows"
+    fi
+done <<EOF
+$pairs
+EOF
+
+exit "$status"
