@@ -140,6 +140,23 @@ impl UserProfile {
             Some(p) => algebra::select(rel, &p),
         }
     }
+
+    /// The profile's default `WITH QUALITY` predicate *for one table*:
+    /// the conjunction of standards whose column exists in `schema`.
+    /// Standards over columns the table does not have are skipped —
+    /// a profile spans every table its user touches, and a session
+    /// applying it to `stocks` must not fail because the profile also
+    /// constrains `addresses.address`. Returns `None` when no standard
+    /// applies (the mass-mailing grade for this table).
+    pub fn default_quality_for(&self, schema: &relstore::Schema) -> Option<Expr> {
+        let mut it = self
+            .standards
+            .iter()
+            .filter(|s| schema.index_of(&s.column).is_some())
+            .map(QualityStandard::to_expr);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, e| acc.and(e)))
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +287,37 @@ mod tests {
         let out = p.filter(&addresses()).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.cell(0, "person").unwrap().value, Value::text("Cyd"));
+    }
+
+    #[test]
+    fn default_quality_skips_foreign_columns() {
+        let p = UserProfile::new("trader", "multi-table profile")
+            .with_standard(QualityStandard::new("address", "age", StandardOp::Le, 5i64))
+            .with_standard(QualityStandard::new(
+                "share_price",
+                "age",
+                StandardOp::Le,
+                1i64,
+            ));
+        let addr_schema =
+            Schema::of(&[("person", DataType::Text), ("address", DataType::Text)]);
+        let stock_schema =
+            Schema::of(&[("ticker", DataType::Text), ("share_price", DataType::Float)]);
+        let unrelated = Schema::of(&[("id", DataType::Int)]);
+        // only the standard over a column the table actually has applies
+        assert_eq!(
+            p.default_quality_for(&addr_schema),
+            Some(Expr::col("address@age").le(Expr::lit(5i64)))
+        );
+        assert_eq!(
+            p.default_quality_for(&stock_schema),
+            Some(Expr::col("share_price@age").le(Expr::lit(1i64)))
+        );
+        assert_eq!(p.default_quality_for(&unrelated), None);
+        assert_eq!(
+            UserProfile::new("mass_mailing", "").default_quality_for(&addr_schema),
+            None
+        );
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Plan execution over a catalog of tagged relations.
 
 use crate::ast::Statement;
-use crate::plan::{AccessPathStats, Plan, Planner};
+use crate::plan::{AccessPathStats, Plan, Planner, SchemaProvider};
 use relstore::index::HashIndex;
 use relstore::{ColumnDef, DataType, DbError, DbResult, Expr, Schema};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use tagstore::algebra::{self, TagPolicy, TagRule};
 use tagstore::bitmap::{extract_atoms, QualityIndex};
 use tagstore::columnar::ColumnarRelation;
@@ -14,97 +14,60 @@ use tagstore::{
     select_indexed_columnar, select_vectorized, QualityCell, TaggedRelation,
 };
 
-/// A named collection of tagged relations queries run against.
-///
-/// The catalog also owns the physical access paths: per-table quality
-/// bitmap indexes and per-(table, key) hash indexes, built lazily on
-/// first use and invalidated whenever [`QueryCatalog::register`]
-/// replaces the underlying relation.
-#[derive(Debug, Default)]
-pub struct QueryCatalog {
-    relations: HashMap<String, TaggedRelation>,
-    quality_indexes: RwLock<HashMap<String, Arc<QualityIndex>>>,
-    key_indexes: RwLock<HashMap<(String, String), Arc<HashIndex>>>,
-    columnar: RwLock<HashMap<String, Arc<ColumnarRelation>>>,
+/// One registered table and **all** of its physical access paths, bound
+/// together so they can never go stale against each other: the columnar
+/// layout, the quality bitmap index, and the per-key hash indexes are
+/// built lazily *from this entry's own relation* and share its lifetime.
+/// [`QueryCatalog::register`] replaces the whole entry in one `Arc`
+/// swap — there is no window where a new relation pairs with a cached
+/// index over the old one (or vice versa), which is the invariant the
+/// concurrent-session snapshots rely on.
+#[derive(Debug)]
+struct TableEntry {
+    rel: TaggedRelation,
+    columnar: OnceLock<Arc<ColumnarRelation>>,
+    quality_index: OnceLock<Arc<QualityIndex>>,
+    key_indexes: RwLock<HashMap<String, Arc<HashIndex>>>,
 }
 
-impl QueryCatalog {
-    /// Empty catalog.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Registers (or replaces) a relation, dropping any cached indexes
-    /// over the previous version.
-    pub fn register(&mut self, name: impl Into<String>, rel: TaggedRelation) {
-        let name = name.into();
-        self.quality_indexes.write().unwrap().remove(&name);
-        self.key_indexes
-            .write()
-            .unwrap()
-            .retain(|(t, _), _| t != &name);
-        self.columnar.write().unwrap().remove(&name);
-        self.relations.insert(name, rel);
-    }
-
-    /// Looks up a relation.
-    pub fn get(&self, name: &str) -> DbResult<&TaggedRelation> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
-    }
-
-    /// Registered names, sorted.
-    pub fn names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
-        v.sort_unstable();
-        v
-    }
-
-    fn schemas(&self) -> &HashMap<String, TaggedRelation> {
-        &self.relations
-    }
-
-    /// Cached quality bitmap index over `table` (built on first use).
-    fn quality_index(&self, table: &str) -> Option<Arc<QualityIndex>> {
-        let rel = self.relations.get(table)?;
-        if let Some(idx) = self.quality_indexes.read().unwrap().get(table) {
-            return Some(Arc::clone(idx));
+impl TableEntry {
+    fn new(rel: TaggedRelation) -> Self {
+        TableEntry {
+            rel,
+            columnar: OnceLock::new(),
+            quality_index: OnceLock::new(),
+            key_indexes: RwLock::new(HashMap::new()),
         }
-        let idx = Arc::new(QualityIndex::build(rel));
-        self.quality_indexes
-            .write()
-            .unwrap()
-            .insert(table.to_owned(), Arc::clone(&idx));
-        Some(idx)
     }
 
-    /// Cached columnar layout of `table` (converted on first use,
-    /// invalidated by [`QueryCatalog::register`]). Base-table σ and ⋈
-    /// probes run over this instead of the row layout.
-    fn columnar(&self, table: &str) -> DbResult<Arc<ColumnarRelation>> {
-        let rel = self.get(table)?;
-        if let Some(c) = self.columnar.read().unwrap().get(table) {
-            return Ok(Arc::clone(c));
-        }
-        let c = Arc::new(ColumnarRelation::from_tagged(rel));
-        self.columnar
-            .write()
-            .unwrap()
-            .insert(table.to_owned(), Arc::clone(&c));
-        Ok(c)
+    /// Columnar layout, converted on first use and shared by every
+    /// snapshot holding this entry. After initialization this is a
+    /// single atomic load — no lock on the read hot path.
+    fn columnar(&self) -> Arc<ColumnarRelation> {
+        Arc::clone(
+            self.columnar
+                .get_or_init(|| Arc::new(ColumnarRelation::from_tagged(&self.rel))),
+        )
     }
 
-    /// Cached hash index over `table.key` application values, positions
-    /// in row order (the layout [`algebra::hash_join_probe`] expects).
-    fn key_index(&self, table: &str, key: &str) -> DbResult<Arc<HashIndex>> {
-        let rel = self.get(table)?;
-        let ci = rel.schema().resolve(key)?;
-        let cache_key = (table.to_owned(), key.to_owned());
-        if let Some(idx) = self.key_indexes.read().unwrap().get(&cache_key) {
+    /// Quality bitmap index, built on first use (same sharing and
+    /// lock-freedom as [`TableEntry::columnar`]).
+    fn quality_index(&self) -> Arc<QualityIndex> {
+        Arc::clone(
+            self.quality_index
+                .get_or_init(|| Arc::new(QualityIndex::build(&self.rel))),
+        )
+    }
+
+    /// Hash index over `key` application values, positions in row order
+    /// (the layout [`algebra::hash_join_probe`] expects).
+    fn key_index(&self, key: &str) -> DbResult<Arc<HashIndex>> {
+        let ci = self.rel.schema().resolve(key)?;
+        if let Some(idx) = self.key_indexes.read().unwrap().get(key) {
             return Ok(Arc::clone(idx));
         }
-        let keys: Vec<relstore::Row> = rel
+        let keys: Vec<relstore::Row> = self
+            .rel
             .rows()
             .iter()
             .map(|r| vec![r[ci].value.clone()])
@@ -115,20 +78,120 @@ impl QueryCatalog {
         self.key_indexes
             .write()
             .unwrap()
-            .insert(cache_key, Arc::clone(&idx));
+            .insert(key.to_owned(), Arc::clone(&idx));
         Ok(idx)
+    }
+}
+
+/// A named collection of tagged relations queries run against.
+///
+/// The catalog also owns the physical access paths: per-table quality
+/// bitmap indexes, columnar layouts, and per-(table, key) hash indexes,
+/// built lazily on first use. Each table lives in one [`TableEntry`]
+/// holding the relation *and* its caches, so
+/// [`QueryCatalog::register`] invalidates all of them atomically — the
+/// entry is replaced in a single `Arc` swap.
+///
+/// ## Snapshots (clone-on-publish)
+///
+/// `Clone` is cheap (one `Arc` clone of the name → entry map) and
+/// produces an immutable **read snapshot**: concurrent readers run
+/// whole queries against their own clone without taking any lock, and
+/// lazily-built access paths are shared across every snapshot holding
+/// the same entry. `register` on one clone follows copy-on-write — it
+/// rebuilds the (small) name map and bumps that clone's
+/// [`QueryCatalog::generation`], leaving other clones untouched. The
+/// `dq-server` session layer publishes the writer's clone to readers
+/// and uses the generation to invalidate its prepared-statement cache.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCatalog {
+    tables: Arc<HashMap<String, Arc<TableEntry>>>,
+    generation: u64,
+}
+
+impl QueryCatalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a relation. The table's entry — relation
+    /// plus every cached access path over it — is replaced in one `Arc`
+    /// swap, and the catalog generation advances so plan caches keyed on
+    /// it know to re-plan. Existing clones (snapshots) are unaffected.
+    pub fn register(&mut self, name: impl Into<String>, rel: TaggedRelation) {
+        let mut tables: HashMap<String, Arc<TableEntry>> = (*self.tables).clone();
+        tables.insert(name.into(), Arc::new(TableEntry::new(rel)));
+        self.tables = Arc::new(tables);
+        self.generation += 1;
+    }
+
+    /// Monotone registration counter: bumped by every
+    /// [`QueryCatalog::register`], compared by the prepared-statement
+    /// cache to decide whether a cached plan is still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A cheap immutable read snapshot — alias for `clone`, named for
+    /// call sites where the intent is "pin the catalog for this query".
+    pub fn snapshot(&self) -> QueryCatalog {
+        self.clone()
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> DbResult<&TaggedRelation> {
+        self.tables
+            .get(name)
+            .map(|e| &e.rel)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn entry(&self, table: &str) -> DbResult<&Arc<TableEntry>> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))
+    }
+
+    /// Cached quality bitmap index over `table` (built on first use).
+    fn quality_index(&self, table: &str) -> Option<Arc<QualityIndex>> {
+        self.tables.get(table).map(|e| e.quality_index())
+    }
+
+    /// Cached columnar layout of `table` (converted on first use).
+    /// Base-table σ and ⋈ probes run over this instead of the row
+    /// layout.
+    fn columnar(&self, table: &str) -> DbResult<Arc<ColumnarRelation>> {
+        Ok(self.entry(table)?.columnar())
+    }
+
+    /// Cached hash index over `table.key` application values.
+    fn key_index(&self, table: &str, key: &str) -> DbResult<Arc<HashIndex>> {
+        self.entry(table)?.key_index(key)
+    }
+}
+
+impl SchemaProvider for QueryCatalog {
+    fn schema_of(&self, name: &str) -> DbResult<Schema> {
+        self.get(name).map(|r| r.schema().clone())
     }
 }
 
 impl AccessPathStats for QueryCatalog {
     fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)> {
-        let rel = self.relations.get(table)?;
-        let (atoms, _residual) = extract_atoms(rel, predicate);
+        let entry = self.tables.get(table)?;
+        let (atoms, _residual) = extract_atoms(&entry.rel, predicate);
         if atoms.is_empty() {
             return None;
         }
-        let idx = self.quality_index(table)?;
-        let est = idx.estimate(&atoms)?;
+        let est = entry.quality_index().estimate(&atoms)?;
         Some((atoms.iter().map(|a| a.to_string()).collect(), est))
     }
 }
@@ -301,7 +364,7 @@ pub fn run(catalog: &QueryCatalog, sql: &str) -> DbResult<QueryResult> {
 pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<QueryResult> {
     let stmt = crate::parser::parse(sql)?;
     if let Statement::Explain { analyze, inner } = stmt {
-        let plan = planner.plan(&inner, catalog.schemas())?;
+        let plan = planner.plan(&inner, catalog)?;
         let plan = planner.optimize(plan, catalog);
         return Ok(if analyze {
             let (rel, trace) = execute_traced(catalog, &plan)?;
@@ -321,7 +384,7 @@ pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResul
             "TAG mutates the catalog; use run_mut".into(),
         ));
     }
-    let plan = planner.plan(&stmt, catalog.schemas())?;
+    let plan = planner.plan(&stmt, catalog)?;
     let plan = planner.optimize(plan, catalog);
     let rel = execute(catalog, &plan)?;
     match stmt {
@@ -387,9 +450,185 @@ pub fn run_mut(catalog: &mut QueryCatalog, sql: &str) -> DbResult<QueryResult> {
     }
 }
 
-/// Executes a logical plan.
+/// Executes a logical plan — the lean path.
+///
+/// Runs the same operator kernels as [`execute_traced`] (results are
+/// identical, operator for operator) but builds no [`OpTrace`]: no
+/// per-operator wall clocks, no rendered operator labels, no trace
+/// allocations. This is the server's execute-from-cached-plan hot path,
+/// where a point query's real work is a few microseconds and the
+/// tracing scaffolding would cost more than the query. Per-operator
+/// `query.ops` / `query.rows_out` counters still tick (atomic adds);
+/// the `query.op_us` histogram only gets samples from traced runs.
 pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> {
-    execute_traced(catalog, plan).map(|(rel, _trace)| rel)
+    let rel = match plan {
+        Plan::Scan(name) => catalog.get(name)?.clone(),
+        // σ over a base table: columnar kernels against the catalog's
+        // cached layout, rows materialize only at the operator boundary.
+        Plan::Filter { input, predicate } if matches!(&**input, Plan::Scan(_)) => {
+            let Plan::Scan(name) = &**input else {
+                unreachable!()
+            };
+            match try_point_lookup(catalog, name, predicate)? {
+                Some(out) => out,
+                None => {
+                    let crel = catalog.columnar(name)?;
+                    let (out, _stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+                    out.to_tagged()
+                }
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            let input_rel = execute(catalog, input)?;
+            let (rel, _stats) = select_vectorized(&input_rel, predicate, exec_batch_size())?;
+            rel
+        }
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let l = execute(catalog, left)?;
+            let r = execute(catalog, right)?;
+            algebra::hash_join(&l, &r, left_key, right_key)?
+        }
+        Plan::Project { input, columns } => {
+            let input_rel = execute(catalog, input)?;
+            project_mixed(&input_rel, columns)?
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let input_rel = execute(catalog, input)?;
+            let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            algebra::aggregate(&input_rel, &gb, aggs, &default_agg_policies())?
+        }
+        Plan::Distinct { input } => {
+            let input_rel = execute(catalog, input)?;
+            algebra::distinct_merging(&input_rel)
+        }
+        Plan::Sort { input, keys } => {
+            let input_rel = execute(catalog, input)?;
+            sort_multi(&input_rel, keys)?
+        }
+        Plan::Limit { input, n } => {
+            let input_rel = execute(catalog, input)?;
+            TaggedRelation::new(
+                input_rel.schema().clone(),
+                input_rel.dictionary().clone(),
+                input_rel.rows().iter().take(*n).cloned().collect(),
+            )?
+        }
+        Plan::IndexScan {
+            table, predicate, ..
+        } => {
+            if let Some(out) = try_point_lookup(catalog, table, predicate)? {
+                out
+            } else {
+                let crel = catalog.columnar(table)?;
+                match catalog.quality_index(table) {
+                    Some(idx) => {
+                        let (o, _path, _stats) =
+                            select_indexed_columnar(&crel, &idx, predicate, exec_batch_size())?;
+                        o.to_tagged()
+                    }
+                    None => {
+                        let (o, _stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+                        o.to_tagged()
+                    }
+                }
+            }
+        }
+        Plan::IndexJoin {
+            left,
+            right_table,
+            left_key,
+            right_key,
+        } if matches!(&**left, Plan::Scan(_)) => {
+            let Plan::Scan(lname) = &**left else {
+                unreachable!()
+            };
+            let cl = catalog.columnar(lname)?;
+            let cr = catalog.columnar(right_table)?;
+            let idx = catalog.key_index(right_table, right_key)?;
+            let (out, _stats) =
+                hash_join_probe_columnar(&cl, &cr, left_key, right_key, &idx, exec_batch_size())?;
+            out.to_tagged()
+        }
+        Plan::IndexJoin {
+            left,
+            right_table,
+            left_key,
+            right_key,
+        } => {
+            let l = execute(catalog, left)?;
+            let r = catalog.get(right_table)?;
+            let idx = catalog.key_index(right_table, right_key)?;
+            let (out, _stats) =
+                hash_join_probe_vectorized(&l, r, left_key, right_key, &idx, exec_batch_size())?;
+            out
+        }
+    };
+    dq_obs::counter!("query.ops").incr();
+    dq_obs::counter!("query.rows_out").add(rel.len() as u64);
+    Ok(rel)
+}
+
+/// Point-lookup access path for the lean executor: when a σ over a base
+/// table contains a `col = literal` conjunct on a base (non-tag) column,
+/// probe the table's per-key hash index for the candidate positions and
+/// evaluate the **full** predicate only on those rows. A served point
+/// query touches a handful of rows instead of the whole table, which is
+/// what lets the prepared-statement cache's saving (parse + plan) show
+/// up at all — under a full scan the scan dominates both paths.
+///
+/// Returns `Ok(None)` when no usable equality conjunct exists (caller
+/// falls back to the columnar scan kernels). Candidates are visited in
+/// ascending row order, and the unmodified predicate re-runs over them,
+/// so the kept rows — and their order — match the scan path exactly.
+fn try_point_lookup(
+    catalog: &QueryCatalog,
+    table: &str,
+    predicate: &Expr,
+) -> DbResult<Option<TaggedRelation>> {
+    let rel = catalog.get(table)?;
+    let Some((col, key)) = equality_conjunct(predicate, rel.schema()) else {
+        return Ok(None);
+    };
+    let idx = catalog.key_index(table, col)?;
+    let mut positions: Vec<usize> = idx.get(&vec![key.clone()]).to_vec();
+    positions.sort_unstable();
+    let out = algebra::select_at(rel, &positions, Some(predicate))?;
+    dq_obs::counter!("query.point_lookups").incr();
+    Ok(Some(out))
+}
+
+/// Finds a `col = literal` (or `literal = col`) conjunct reachable
+/// through top-level ANDs only — never under OR/NOT, where satisfying
+/// the equality is not necessary for the row to qualify. Tag
+/// pseudo-columns (`col@indicator`) and NULL literals (never equal to
+/// anything under 3VL) are skipped.
+fn equality_conjunct<'a>(
+    e: &'a Expr,
+    schema: &Schema,
+) -> Option<(&'a str, &'a relstore::Value)> {
+    match e {
+        Expr::Bin(l, relstore::expr::BinOp::And, r) => {
+            equality_conjunct(l, schema).or_else(|| equality_conjunct(r, schema))
+        }
+        Expr::Bin(l, relstore::expr::BinOp::Eq, r) => match (&**l, &**r) {
+            (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c))
+                if !v.is_null() && !c.contains('@') && schema.index_of(c).is_some() =>
+            {
+                Some((c.as_str(), v))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 /// Observed matching fraction; a zero-row input is defined as 0.0 (no
@@ -654,7 +893,7 @@ fn synth_scan_trace(scan: &Plan, rows: usize) -> OpTrace {
 /// operator with access paths and estimated selectivities.
 pub fn explain(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResult<String> {
     let stmt = crate::parser::parse(sql)?;
-    let plan = planner.plan(&stmt, catalog.schemas())?;
+    let plan = planner.plan(&stmt, catalog)?;
     let plan = planner.optimize(plan, catalog);
     Ok(plan.explain())
 }
@@ -670,7 +909,7 @@ pub fn explain_analyze(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> 
         Statement::Explain { inner, .. } => *inner,
         other => other,
     };
-    let plan = planner.plan(&inner, catalog.schemas())?;
+    let plan = planner.plan(&inner, catalog)?;
     let plan = planner.optimize(plan, catalog);
     let (_rel, trace) = execute_traced(catalog, &plan)?;
     Ok(trace.render())
@@ -1085,7 +1324,7 @@ mod tests {
         let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
         let stmt = crate::parser::parse(sql).unwrap();
         let planner = Planner::default();
-        let plan = planner.optimize(planner.plan(&stmt, c.schemas()).unwrap(), &c);
+        let plan = planner.optimize(planner.plan(&stmt, &c).unwrap(), &c);
         let before = dq_obs::registry().snapshot();
         let (rel, trace) = execute_traced(&c, &plan).unwrap();
         assert_eq!(rel.len(), 1);
@@ -1161,6 +1400,59 @@ mod tests {
             .unwrap();
         c.register("stocks", stocks);
         assert_eq!(run(&c, sql).unwrap().relation().len(), 1);
+    }
+
+    /// Re-registration must never leave a window where a fresh relation
+    /// pairs with a stale cached access path. Both the columnar dispatch
+    /// (σ over base table) and the bitmap-index path (IndexScan) are
+    /// warmed against the old version, then the table is swapped; every
+    /// subsequent read must see the new version on every path.
+    #[test]
+    fn register_invalidates_columnar_and_bitmap_atomically() {
+        let mut c = catalog();
+        let idx_sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'late feed')";
+        let col_sql = "SELECT * FROM stocks WHERE ticker = 'NEWCO'";
+        // Warm the bitmap index and columnar caches against version 1.
+        assert_eq!(run(&c, idx_sql).unwrap().relation().len(), 0);
+        assert_eq!(run(&c, col_sql).unwrap().relation().len(), 0);
+        let g0 = c.generation();
+        // Version 2: extra row, retagged price.
+        let mut stocks = c.get("stocks").unwrap().clone();
+        stocks
+            .push(vec![QualityCell::bare("NEWCO"), QualityCell::bare(9.0)])
+            .unwrap();
+        stocks
+            .tag_cell(0, "price", IndicatorValue::new("source", "late feed"))
+            .unwrap();
+        c.register("stocks", stocks);
+        assert!(c.generation() > g0, "register must advance the generation");
+        // Both access paths must agree with the new version immediately.
+        assert_eq!(run(&c, idx_sql).unwrap().relation().len(), 1);
+        assert_eq!(run(&c, col_sql).unwrap().relation().len(), 1);
+        // And the plain scan path, for good measure.
+        assert_eq!(
+            run(&c, "SELECT * FROM stocks").unwrap().relation().len(),
+            4
+        );
+    }
+
+    /// A clone taken before a re-registration is a stable snapshot: it
+    /// keeps answering from the old version (its caches included) while
+    /// the writer's catalog serves the new one.
+    #[test]
+    fn snapshot_isolated_from_later_registration() {
+        let mut c = catalog();
+        let sql = "SELECT * FROM stocks WHERE ticker = 'NEWCO'";
+        let snap = c.snapshot();
+        let mut stocks = c.get("stocks").unwrap().clone();
+        stocks
+            .push(vec![QualityCell::bare("NEWCO"), QualityCell::bare(9.0)])
+            .unwrap();
+        c.register("stocks", stocks);
+        assert_eq!(run(&c, sql).unwrap().relation().len(), 1);
+        assert_eq!(run(&snap, sql).unwrap().relation().len(), 0);
+        assert_eq!(snap.get("stocks").unwrap().len(), 3);
+        assert_eq!(c.get("stocks").unwrap().len(), 4);
     }
 
     #[test]

@@ -30,12 +30,16 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod exec;
 pub mod parser;
 pub mod plan;
 pub mod token;
 
 pub use ast::{JoinClause, OrderItem, SelectItem, SelectQuery, Statement};
+pub use cache::{
+    normalize, NoDefaults, PlanCache, PreparedStatement, QualityDefaultsProvider, TableDefaults,
+};
 pub use exec::{
     default_agg_policies, exec_batch_size, execute, execute_traced, explain, explain_analyze, run,
     run_mut, run_with, OpTrace, QueryCatalog, QueryResult,

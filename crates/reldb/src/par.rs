@@ -11,9 +11,12 @@
 //!
 //! 1. a per-thread override installed by [`with_thread_count`] (tests use
 //!    this to force the parallel path on small inputs);
-//! 2. the `DQ_THREADS` environment variable (clamped to `1..=64`;
-//!    `DQ_THREADS=1` disables parallelism entirely and reproduces the
-//!    serial path exactly);
+//! 2. the `DQ_THREADS` environment variable (`1..=64`; `DQ_THREADS=1`
+//!    disables parallelism entirely and reproduces the serial path
+//!    exactly). A value that is zero, not a number, or above
+//!    [`MAX_THREADS`] is **rejected, not trusted**: the resolution falls
+//!    through to available parallelism and a warning is logged once per
+//!    process (`par.env_threads_rejected` counts the rejection);
 //! 3. `std::thread::available_parallelism()`, capped at 8 — operator
 //!    kernels here are memory-bound and stop scaling long before the
 //!    core count on large machines.
@@ -53,29 +56,70 @@ thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-fn parse_threads(s: &str) -> Option<usize> {
-    s.trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n >= 1)
-        .map(|n| n.min(MAX_THREADS))
+/// Validates a raw `DQ_THREADS` value. `Ok` is a usable thread count in
+/// `1..=MAX_THREADS`; `Err` explains why the value was rejected, in
+/// which case resolution falls back to available parallelism. An
+/// over-the-cap value is rejected outright rather than clamped: a
+/// setting like `DQ_THREADS=9999` is a configuration mistake, and
+/// silently running 64 threads would hide it.
+fn resolve_env_threads(raw: &str) -> Result<usize, String> {
+    let t = raw.trim();
+    match t.parse::<usize>() {
+        Ok(0) => Err("DQ_THREADS=0: zero worker threads cannot execute anything".into()),
+        Ok(n) if n > MAX_THREADS => Err(format!(
+            "DQ_THREADS={n}: exceeds the {MAX_THREADS}-thread cap"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("DQ_THREADS={t:?}: not an unsigned integer")),
+    }
 }
 
-/// The thread count operators will use (see module docs for resolution
-/// order). Always at least 1.
-pub fn thread_count() -> usize {
-    if let Some(n) = OVERRIDE.with(|o| o.get()) {
-        return n.max(1);
-    }
-    if let Ok(s) = std::env::var("DQ_THREADS") {
-        if let Some(n) = parse_threads(&s) {
-            return n;
-        }
-    }
+/// Logs a rejected `DQ_THREADS` value once per process (repeating the
+/// warning on every operator call would swamp stderr) and counts it.
+fn warn_env_threads_once(why: &str, fallback: usize) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        dq_obs::counter!("par.env_threads_rejected").incr();
+        eprintln!(
+            "warning: {why}; falling back to {fallback} worker thread(s) \
+             (available parallelism)"
+        );
+    });
+}
+
+/// Available parallelism, capped at 8 (see module docs).
+fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// The thread count operators will use (see module docs for resolution
+/// order). Always at least 1.
+///
+/// `DQ_THREADS` and available parallelism are resolved **once per
+/// process** and cached: `env::var` takes the global environment lock
+/// and `available_parallelism` is a syscall (cgroup-aware kernels make
+/// it a slow one), and this function sits on [`plan`]'s path — i.e. in
+/// front of every operator, including point queries whose entire
+/// execution is cheaper than one of those syscalls. The thread-local
+/// [`with_thread_count`] override is still consulted first on every
+/// call, so tests can pin counts without touching the cache.
+pub fn thread_count() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        if let Ok(s) = std::env::var("DQ_THREADS") {
+            match resolve_env_threads(&s) {
+                Ok(n) => return n,
+                Err(why) => warn_env_threads_once(&why, default_threads()),
+            }
+        }
+        default_threads()
+    })
 }
 
 /// Runs `f` with the thread count pinned to `n` on this thread (operators
@@ -269,13 +313,34 @@ mod tests {
     use super::*;
     use crate::error::DbError;
 
+    /// `DQ_THREADS` hardening: zero, garbage, and absurd values are all
+    /// rejected (→ fall back to available parallelism with a warning),
+    /// never trusted or silently clamped.
     #[test]
-    fn parse_threads_clamps_and_rejects() {
-        assert_eq!(parse_threads("4"), Some(4));
-        assert_eq!(parse_threads(" 2 "), Some(2));
-        assert_eq!(parse_threads("0"), None);
-        assert_eq!(parse_threads("nope"), None);
-        assert_eq!(parse_threads("9999"), Some(MAX_THREADS));
+    fn env_threads_rejects_zero_garbage_and_absurd() {
+        assert_eq!(resolve_env_threads("4"), Ok(4));
+        assert_eq!(resolve_env_threads(" 2 "), Ok(2));
+        assert_eq!(resolve_env_threads("1"), Ok(1));
+        assert_eq!(resolve_env_threads(&MAX_THREADS.to_string()), Ok(MAX_THREADS));
+        for bad in ["0", "nope", "", "-3", "3.5", "9999", "65"] {
+            let got = resolve_env_threads(bad);
+            assert!(got.is_err(), "{bad:?} must be rejected, got {got:?}");
+        }
+        // the rejection reasons name the offending value
+        assert!(resolve_env_threads("9999").unwrap_err().contains("9999"));
+        assert!(resolve_env_threads("banana").unwrap_err().contains("banana"));
+    }
+
+    /// The once-per-process warning path feeds the rejection counter.
+    #[test]
+    fn env_threads_warning_counts_once() {
+        let before = dq_obs::registry().snapshot();
+        warn_env_threads_once("DQ_THREADS=0: test", 4);
+        warn_env_threads_once("DQ_THREADS=0: test again", 4);
+        let after = dq_obs::registry().snapshot();
+        let delta =
+            after.counter("par.env_threads_rejected") - before.counter("par.env_threads_rejected");
+        assert!(delta <= 1, "warned {delta} times; the warning must be once-per-process");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! A minimal blocking client for the dq-server protocol — what the
+//! load generator, the examples, and the parity tests speak.
+
+use crate::protocol::{self, ProtocolError, Request, Response};
+use dq_core::profiles::UserProfile;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport/protocol trouble, or a server-side
+/// statement error relayed verbatim.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing / socket / decoding failure.
+    Protocol(ProtocolError),
+    /// The server answered `Err` — the message is the engine's.
+    Server(String),
+    /// The server answered with a response kind the call didn't expect
+    /// (e.g. `Pong` to a query).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// One blocking connection. Every call is a strict request/response
+/// round-trip.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (TCP, Nagle off).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.stream, &request.encode())?;
+        let payload = protocol::read_frame(&mut self.stream)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Binds `profile` as the session's quality profile (its standards
+    /// become the `WITH QUALITY` defaults for statements that don't
+    /// spell their own); `None` rebinds the unconstrained profile.
+    pub fn hello(&mut self, profile: Option<&UserProfile>) -> Result<(), ClientError> {
+        let profile_json = match profile {
+            Some(p) => serde_json::to_string(p)
+                .map_err(|e| ClientError::Unexpected(format!("profile serialize: {e}")))?,
+            None => String::new(),
+        };
+        match self.round_trip(&Request::Hello { profile_json })? {
+            Response::Pong => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            Response::Ok { body } => Err(ClientError::Unexpected(body)),
+        }
+    }
+
+    /// Executes one QQL statement, returning the rendered result.
+    pub fn query(&mut self, sql: &str) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Query { sql: sql.into() })? {
+            Response::Ok { body } => Ok(body),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            Response::Pong => Err(ClientError::Unexpected("pong to a query".into())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            Response::Ok { body } => Err(ClientError::Unexpected(body)),
+        }
+    }
+}

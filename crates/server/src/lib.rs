@@ -1,0 +1,44 @@
+//! `dq-server` — the concurrent quality-query server.
+//!
+//! Puts `dq-query` behind a TCP socket for the paper's "quality
+//! indicators travel with the data to the application interface"
+//! premise at serving scale: many consumers, each with their own
+//! quality requirements (Premise 2.1/2.2 — per-session `dq-core` user
+//! profiles supply `WITH QUALITY` defaults), all reading shared
+//! snapshots of the same tagged relations.
+//!
+//! Architecture (see DESIGN.md §13):
+//!
+//! * **Protocol** — length-prefixed CRC-framed request/response
+//!   messages, the WAL codec's framing applied to a socket.
+//! * **Sessions** — per-connection state (catalog snapshot, bound
+//!   profile, prepared-statement cache) multiplexed nonblockingly on a
+//!   fixed worker pool.
+//! * **Prepared-statement cache** — parse + plan once per (profile,
+//!   normalized text), re-execute the cached plan; invalidated by the
+//!   catalog generation that every registration bumps.
+//! * **Shared read snapshots** — the catalog is `Arc`-shared
+//!   clone-on-publish; the read hot path takes zero locks.
+//!
+//! ```no_run
+//! use dq_query::QueryCatalog;
+//! use dq_server::{start, Client, ServerConfig};
+//!
+//! let catalog = QueryCatalog::new(); // register tables first
+//! let server = start(ServerConfig::default(), catalog).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let rendered = client.query("SELECT * FROM stocks").unwrap();
+//! println!("{rendered}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+mod session;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Response};
+pub use server::{start, ServerConfig, ServerHandle, SharedCatalog};
+pub use session::{is_write_statement, render_result};

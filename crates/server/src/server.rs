@@ -1,0 +1,223 @@
+//! The accept loop, worker pool, and shared-catalog publication.
+//!
+//! Topology: one accept thread hands fresh connections round-robin to
+//! `workers` session threads over channels; each worker multiplexes all
+//! of its sessions with a nonblocking pump (read → frame → execute →
+//! write), sleeping briefly only when every one of its sessions is
+//! idle. This serves many more connections than threads — 64 simulated
+//! clients run fine on a 2-worker pool — without an async runtime,
+//! which the offline build cannot pull in.
+//!
+//! Writers (`TAG`) serialize through [`SharedCatalog::publish`]; readers
+//! never take that lock mid-query — they run against their session's
+//! own catalog snapshot and check one published-generation atomic per
+//! request to decide whether to re-snapshot.
+
+use crate::session::Session;
+use dq_query::QueryCatalog;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker / accept thread sleeps before re-polling.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads multiplexing sessions.
+    pub workers: usize,
+    /// Per-session prepared-statement cache capacity.
+    pub stmt_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            stmt_cache_capacity: 256,
+        }
+    }
+}
+
+/// The master catalog plus its published generation.
+///
+/// `master` is the single mutable copy writers update; `generation`
+/// mirrors `master.generation()` and is the only thing the read hot
+/// path touches (one `Relaxed`-ordering atomic load per request —
+/// snapshot publication happens under the mutex, so a session that
+/// observes a new generation and then locks to re-snapshot always sees
+/// at least that generation's catalog).
+#[derive(Debug)]
+pub struct SharedCatalog {
+    master: Mutex<QueryCatalog>,
+    generation: AtomicU64,
+}
+
+impl SharedCatalog {
+    /// Wraps a catalog for serving.
+    pub fn new(catalog: QueryCatalog) -> Self {
+        let generation = AtomicU64::new(catalog.generation());
+        SharedCatalog {
+            master: Mutex::new(catalog),
+            generation,
+        }
+    }
+
+    /// The generation of the most recently published catalog.
+    pub fn published_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A read snapshot of the current catalog (cheap: one `Arc` clone).
+    pub fn snapshot(&self) -> QueryCatalog {
+        self.master.lock().unwrap().snapshot()
+    }
+
+    /// Runs a mutation against the master copy and publishes the new
+    /// generation. All writers serialize here; readers keep executing
+    /// against their snapshots throughout.
+    pub fn publish<R>(&self, mutate: impl FnOnce(&mut QueryCatalog) -> R) -> R {
+        let mut master = self.master.lock().unwrap();
+        let out = mutate(&mut master);
+        self.generation
+            .store(master.generation(), Ordering::Release);
+        out
+    }
+}
+
+/// A running server; dropping it shuts the server down and joins every
+/// thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<SharedCatalog>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared catalog, e.g. for out-of-band registration:
+    /// `handle.catalog().publish(|c| c.register("t", rel))`.
+    pub fn catalog(&self) -> &SharedCatalog {
+        &self.shared
+    }
+
+    /// Signals shutdown and joins the accept + worker threads. Open
+    /// connections are dropped.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds and serves `catalog` until the handle is shut down.
+pub fn start(config: ServerConfig, catalog: QueryCatalog) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(SharedCatalog::new(catalog));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = config.workers.max(1);
+    let mut threads = Vec::with_capacity(workers + 1);
+    let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+
+    for i in 0..workers {
+        let (tx, rx) = channel::<TcpStream>();
+        senders.push(tx);
+        let shared = Arc::clone(&shared);
+        let shutdown = Arc::clone(&shutdown);
+        let capacity = config.stmt_cache_capacity;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("dq-server-worker-{i}"))
+                .spawn(move || worker_loop(rx, shared, shutdown, capacity))?,
+        );
+    }
+
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("dq-server-accept".into())
+                .spawn(move || accept_loop(listener, senders, shutdown))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        shutdown,
+        threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, senders: Vec<Sender<TcpStream>>, shutdown: Arc<AtomicBool>) {
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Round-robin: each worker multiplexes its share.
+                if senders[next % senders.len()].send(stream).is_err() {
+                    break; // worker gone — server is tearing down
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+            Err(_) => std::thread::sleep(IDLE_SLEEP),
+        }
+    }
+}
+
+fn worker_loop(
+    incoming: Receiver<TcpStream>,
+    shared: Arc<SharedCatalog>,
+    shutdown: Arc<AtomicBool>,
+    stmt_cache_capacity: usize,
+) {
+    let mut sessions: Vec<Session> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        while let Ok(stream) = incoming.try_recv() {
+            match Session::new(stream, &shared, stmt_cache_capacity) {
+                Ok(s) => sessions.push(s),
+                Err(_) => dq_obs::counter!("server.accept_errors").incr(),
+            }
+        }
+        let mut progress = false;
+        sessions.retain_mut(|s| {
+            progress |= s.pump(&shared);
+            !s.closed
+        });
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}

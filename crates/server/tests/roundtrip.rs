@@ -1,0 +1,170 @@
+//! End-to-end client/server round-trips over a real socket.
+
+use dq_core::profiles::{QualityStandard, StandardOp, UserProfile};
+use dq_query::{run, QueryCatalog};
+use dq_server::{render_result, start, Client, ClientError, ServerConfig};
+use relstore::{DataType, Date, Schema, Value};
+use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
+
+fn stocks() -> TaggedRelation {
+    let schema = Schema::of(&[("ticker", DataType::Text), ("share_price", DataType::Float)]);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+    let mk = |t: &str, p: f64, ct: &str, src: &str| {
+        vec![
+            QualityCell::bare(t),
+            QualityCell::bare(p)
+                .with_tag(IndicatorValue::new("creation_time", d(ct)))
+                .with_tag(IndicatorValue::new("source", src)),
+        ]
+    };
+    TaggedRelation::new(
+        schema,
+        dict,
+        vec![
+            mk("FRT", 10.0, "10-20-91", "NYSE feed"),
+            mk("NUT", 20.0, "10-1-91", "NYSE feed"),
+            mk("BLT", 30.0, "9-1-91", "manual entry"),
+        ],
+    )
+    .unwrap()
+}
+
+fn catalog() -> QueryCatalog {
+    let mut c = QueryCatalog::new();
+    c.register("stocks", stocks());
+    c
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        stmt_cache_capacity: 64,
+    }
+}
+
+#[test]
+fn ping_query_and_errors() {
+    let server = start(test_config(), catalog()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+
+    let sql = "SELECT ticker FROM stocks WITH QUALITY (share_price@source = 'NYSE feed')";
+    let over_wire = client.query(sql).unwrap();
+    let embedded = render_result(&run(&catalog(), sql).unwrap());
+    assert_eq!(over_wire, embedded);
+    assert!(over_wire.contains("FRT") && over_wire.contains("NUT"));
+    assert!(!over_wire.contains("BLT"));
+
+    // engine errors come back as Server errors, session stays usable
+    match client.query("SELECT * FROM ghost") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("ghost")),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    client.ping().unwrap();
+}
+
+#[test]
+fn repeated_query_hits_stmt_cache() {
+    let server = start(test_config(), catalog()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let hits = dq_obs::counter!("server.stmt_cache.hits");
+    let h0 = hits.get();
+    let sql = "SELECT * FROM stocks WHERE ticker = 'FRT'";
+    let first = client.query(sql).unwrap();
+    // textual variant still hits the normalized cache entry
+    let second = client.query("SELECT  *   FROM stocks\nWHERE ticker = 'FRT'").unwrap();
+    assert_eq!(first, second);
+    assert!(hits.get() > h0, "second send must be a stmt-cache hit");
+}
+
+#[test]
+fn tag_write_is_visible_to_other_sessions() {
+    let server = start(test_config(), catalog()).unwrap();
+    let mut writer = Client::connect(server.addr()).unwrap();
+    let mut reader = Client::connect(server.addr()).unwrap();
+    let sql = "SELECT ticker FROM stocks WITH QUALITY (share_price@inspection = 'A')";
+
+    // warm the reader's snapshot and statement cache pre-write
+    assert!(!reader.query(sql).unwrap().contains("FRT"));
+    writer
+        .query("TAG stocks SET share_price@inspection = 'A' WHERE ticker = 'FRT'")
+        .unwrap();
+    // the write bumped the published generation: the reader re-snapshots
+    // and its cached plan is invalidated, so the tag is visible
+    let after = reader.query(sql).unwrap();
+    assert!(after.contains("FRT"), "got: {after}");
+}
+
+#[test]
+fn profile_supplies_quality_defaults() {
+    let server = start(test_config(), catalog()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let fund_raising = UserProfile::new("fund_raising", "strict sources").with_standard(
+        QualityStandard::new("share_price", "source", StandardOp::Ne, "manual entry"),
+    );
+    client.hello(Some(&fund_raising)).unwrap();
+
+    // no WITH QUALITY spelled: the profile's standard applies
+    let defaulted = client.query("SELECT ticker FROM stocks").unwrap();
+    assert!(defaulted.contains("FRT") && defaulted.contains("NUT"));
+    assert!(!defaulted.contains("BLT"));
+
+    // explicit WITH QUALITY overrides the ambient default
+    let explicit = client
+        .query("SELECT ticker FROM stocks WITH QUALITY (share_price@source = 'manual entry')")
+        .unwrap();
+    assert!(explicit.contains("BLT") && !explicit.contains("FRT"));
+
+    // rebinding the unconstrained profile restores pass-through
+    client.hello(None).unwrap();
+    let open = client.query("SELECT ticker FROM stocks").unwrap();
+    assert!(open.contains("BLT"));
+}
+
+#[test]
+fn many_clients_on_few_workers() {
+    let server = start(
+        ServerConfig {
+            workers: 2,
+            ..test_config()
+        },
+        catalog(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let expected = render_result(&run(&catalog(), "SELECT * FROM stocks").unwrap());
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..5 {
+                    assert_eq!(c.query("SELECT * FROM stocks").unwrap(), expected);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn out_of_band_registration_reaches_live_sessions() {
+    let server = start(test_config(), catalog()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    assert!(client.query("SELECT * FROM extra").is_err());
+    let schema = Schema::of(&[("x", DataType::Int)]);
+    let rel = TaggedRelation::new(
+        schema,
+        IndicatorDictionary::with_paper_defaults(),
+        vec![vec![QualityCell::bare(7i64)]],
+    )
+    .unwrap();
+    server.catalog().publish(|c| c.register("extra", rel));
+    let out = client.query("SELECT * FROM extra").unwrap();
+    assert!(out.contains('7'), "got: {out}");
+}

@@ -5,8 +5,10 @@
 # Then run the B7 scan-vs-bitmap index series into BENCH_index.json, the
 # B8 WAL/recovery durability series into BENCH_wal.json, the B9
 # vectorized-execution series into BENCH_vector.json, and the B10
-# columnar-vs-row series into BENCH_columnar.json. Finishes with the
-# parallel index-build regression gate over the fresh B9 numbers.
+# columnar-vs-row series into BENCH_columnar.json, and the B11 server
+# loadgen (qps vs clients + stmt-cache cold/hit split) into
+# BENCH_server.json. Finishes with the parallel index-build regression
+# gate over the fresh B9 numbers.
 #
 # Knobs (all optional):
 #   DQ_BENCH_JSON        output file for B1/B2/B6 (default BENCH_tagprop.json)
@@ -14,6 +16,8 @@
 #   DQ_BENCH_WAL_JSON    output file for B8       (default BENCH_wal.json)
 #   DQ_BENCH_VECTOR_JSON output file for B9       (default BENCH_vector.json)
 #   DQ_BENCH_COLUMNAR_JSON output file for B10    (default BENCH_columnar.json)
+#   DQ_BENCH_SERVER_JSON output file for B11      (default BENCH_server.json)
+#   DQ_LOADGEN_MS        B11 measure window per client tier, ms (default DQ_BENCH_MS)
 #   DQ_BENCH_WAL_TIERS  log lengths for B8 recovery (default 1000,10000,50000)
 #   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
 #   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
@@ -68,6 +72,21 @@ DQ_BENCH_COLUMNAR_JSON="${DQ_BENCH_COLUMNAR_JSON:-$PWD/BENCH_columnar.json}"
 DQ_BENCH_JSON="$DQ_BENCH_COLUMNAR_JSON" cargo bench --offline -p dq-bench --bench columnar
 
 echo "wrote $(wc -l < "$DQ_BENCH_COLUMNAR_JSON") records to $DQ_BENCH_COLUMNAR_JSON"
+
+# B11: concurrent query server — qps vs client count over real sockets
+# plus the prepared-statement cache's cold-vs-hit latency split. The
+# ≥100k qps target is a multi-core target: on a single-CPU box the
+# clients, workers, and engine timeshare one core, so the loadgen's
+# numbers there are a floor, not a capability (it prints its own
+# warning, mirroring index_build_gate.sh).
+DQ_BENCH_SERVER_JSON="${DQ_BENCH_SERVER_JSON:-$PWD/BENCH_server.json}"
+if [ "$(nproc 2>/dev/null || echo 1)" -lt 2 ]; then
+    echo "bench_smoke: single CPU detected; B11 qps numbers will be a single-core floor"
+fi
+DQ_BENCH_SERVER_JSON="$DQ_BENCH_SERVER_JSON" DQ_LOADGEN_MS="${DQ_LOADGEN_MS:-$DQ_BENCH_MS}" \
+    cargo run -q --offline --release -p dq-bench --bin loadgen
+
+echo "wrote $(wc -l < "$DQ_BENCH_SERVER_JSON") records to $DQ_BENCH_SERVER_JSON"
 
 # Regression gate: forced-8-thread index build must not be slower than
 # serial at >=100k rows (fails the run; warn-only on single-CPU boxes).

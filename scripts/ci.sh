@@ -62,6 +62,16 @@ cargo run -q --offline --release --example columnar >/dev/null
 # a NaN, negative, or inconsistent value.
 cargo run -q --offline --release --example observability >/dev/null
 
+# Server gate: boot dq-server on an ephemeral port, 4-client burst with
+# byte-identical parity vs embedded serial execution, at least one
+# stmt-cache hit, TAG visibility across sessions, and a validating
+# server.* metrics snapshot.
+cargo run -q --offline --release --example server_roundtrip >/dev/null
+
+# Concurrent-session parity at a higher case count: N phase-shifted
+# clients vs the embedded serial rendering at 1/2/8 worker threads.
+PROPTEST_CASES=128 cargo test -q --offline -p dq-server concurrent_sessions
+
 # Crash-recovery at a higher case count: random op sequences cut at
 # every prefix must recover to exactly the committed state.
 PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
