@@ -181,6 +181,39 @@ fn inject_defaults(
     }
 }
 
+/// A prepared statement paired with the exact catalog snapshot its
+/// generation was validated against.
+///
+/// [`PlanCache::prepare`] used to return the bare plan, leaving the
+/// caller to execute it against whatever catalog it held — a TOCTOU: a
+/// publish landing between the generation check and the execution let
+/// a plan validated on generation N run against generation N+1.
+/// Binding the snapshot (one `Arc` clone) makes the pair atomic:
+/// [`BoundStatement::run`] always executes on the state that validated
+/// the plan, no matter what publishes in between.
+#[derive(Debug)]
+pub struct BoundStatement {
+    stmt: Arc<PreparedStatement>,
+    snapshot: QueryCatalog,
+}
+
+impl BoundStatement {
+    /// Executes against the bound snapshot.
+    pub fn run(&self) -> DbResult<QueryResult> {
+        self.stmt.execute(&self.snapshot)
+    }
+
+    /// The underlying cached plan.
+    pub fn statement(&self) -> &Arc<PreparedStatement> {
+        &self.stmt
+    }
+
+    /// The snapshot the plan was validated against (and will run on).
+    pub fn snapshot(&self) -> &QueryCatalog {
+        &self.snapshot
+    }
+}
+
 /// LRU-ish (FIFO-evicting) prepared-statement cache with generation
 /// invalidation and `server.stmt_cache.*` metrics.
 #[derive(Debug)]
@@ -224,20 +257,28 @@ impl PlanCache {
     }
 
     /// Returns the prepared statement for `sql` under `defaults`,
-    /// planning it if absent or stale. `TAG` statements are refused —
-    /// they mutate the catalog and must go through
-    /// [`crate::run_mut`] on the master copy, never a cached plan.
+    /// planning it if absent or stale, **bound to the snapshot it was
+    /// validated against**. The generation check and the eventual
+    /// execution are two separate moments; binding the snapshot into
+    /// the returned [`BoundStatement`] closes the window where a
+    /// republish lands in between and a plan validated against one
+    /// catalog executes against another. `TAG` statements are refused —
+    /// they mutate the catalog and must go through [`crate::run_mut`]
+    /// (or the MVCC write path), never a cached plan.
     pub fn prepare(
         &mut self,
         catalog: &QueryCatalog,
         sql: &str,
         defaults: &dyn QualityDefaultsProvider,
-    ) -> DbResult<Arc<PreparedStatement>> {
+    ) -> DbResult<BoundStatement> {
         let key = (defaults.cache_key().to_owned(), normalize(sql));
         if let Some(entry) = self.entries.get(&key) {
             if entry.generation == catalog.generation() {
                 dq_obs::counter!("server.stmt_cache.hits").incr();
-                return Ok(Arc::clone(entry));
+                return Ok(BoundStatement {
+                    stmt: Arc::clone(entry),
+                    snapshot: catalog.snapshot(),
+                });
             }
             // Stale plan: the catalog changed under it. Rebuild below.
             dq_obs::counter!("server.stmt_cache.invalidations").incr();
@@ -253,17 +294,21 @@ impl PlanCache {
         }
         self.order.push_back(key.clone());
         self.entries.insert(key, Arc::clone(&prepared));
-        Ok(prepared)
+        Ok(BoundStatement {
+            stmt: prepared,
+            snapshot: catalog.snapshot(),
+        })
     }
 
-    /// Prepare (cached) and execute in one step.
+    /// Prepare (cached) and execute in one step, against the snapshot
+    /// the statement was validated on.
     pub fn execute(
         &mut self,
         catalog: &QueryCatalog,
         sql: &str,
         defaults: &dyn QualityDefaultsProvider,
     ) -> DbResult<QueryResult> {
-        self.prepare(catalog, sql, defaults)?.execute(catalog)
+        self.prepare(catalog, sql, defaults)?.run()
     }
 
     fn remove(&mut self, key: &(String, String)) {
@@ -468,6 +513,31 @@ mod tests {
         cache.execute(&c, "SELECT * FROM t WHERE k = 3", &NoDefaults).unwrap();
         assert_eq!(misses() - m0, 1);
         assert_eq!(hits() - h0, 1);
+    }
+
+    #[test]
+    fn bound_statement_survives_republish_between_prepare_and_execute() {
+        // the stmt-cache TOCTOU: validate on generation N, publish N+1,
+        // then execute. The bound snapshot must pin generation N.
+        let mut c = catalog();
+        let mut cache = PlanCache::new(8);
+        let sql = "SELECT * FROM t";
+        cache.execute(&c, sql, &NoDefaults).unwrap(); // warm: next prepare hits
+        let bound = cache.prepare(&c, sql, &NoDefaults).unwrap();
+        // a publish lands between lookup and execution
+        let schema = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let rel = TaggedRelation::new(
+            schema,
+            IndicatorDictionary::with_paper_defaults(),
+            vec![vec![QualityCell::bare(1i64), QualityCell::bare(2i64)]],
+        )
+        .unwrap();
+        c.register("t", rel);
+        // the validated plan runs on the state that validated it
+        assert_eq!(bound.snapshot().generation() + 1, c.generation());
+        assert_eq!(bound.run().unwrap().relation().len(), 20);
+        // a fresh execute re-validates and sees the new state
+        assert_eq!(cache.execute(&c, sql, &NoDefaults).unwrap().relation().len(), 1);
     }
 
     #[test]

@@ -139,6 +139,19 @@ impl QueryCatalog {
         self.clone()
     }
 
+    /// True iff `table` resolves to the *same* entry (`Arc` identity,
+    /// not value equality) in both catalogs — i.e. neither side has
+    /// re-registered the table since the snapshots diverged. This is
+    /// the conflict check MVCC writers use: a [`TagWrite`] prepared
+    /// against `other` can be installed into `self` verbatim when the
+    /// entries are identical, and must be re-applied otherwise.
+    pub fn same_entry(&self, other: &QueryCatalog, table: &str) -> bool {
+        match (self.tables.get(table), other.tables.get(table)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
     /// Looks up a relation.
     pub fn get(&self, name: &str) -> DbResult<&TaggedRelation> {
         self.tables
@@ -406,48 +419,131 @@ pub fn run_with(catalog: &QueryCatalog, sql: &str, planner: &Planner) -> DbResul
 pub fn run_mut(catalog: &mut QueryCatalog, sql: &str) -> DbResult<QueryResult> {
     let stmt = crate::parser::parse(sql)?;
     match stmt {
-        Statement::Tag {
-            table,
-            target,
-            value,
-            filter,
-        } => {
-            let (column, indicator) = TaggedRelation::split_pseudo(&target)
-                .ok_or_else(|| {
-                    DbError::InvalidExpression(format!(
-                        "TAG target `{target}` must be column@indicator"
-                    ))
-                })?;
-            if indicator.contains('@') {
-                return Err(DbError::InvalidExpression(
-                    "TAG cannot set meta tags directly; tag the indicator value instead".into(),
-                ));
-            }
-            let rel = catalog.get(&table)?.clone();
-            let mask = match &filter {
-                Some(f) => algebra::evaluate_mask(&rel, f)?,
-                None => vec![true; rel.len()],
-            };
-            let values = algebra::evaluate(&rel, &value)?;
-            let mut updated = rel;
-            let mut count = 0usize;
-            for (row, (keep, v)) in mask.into_iter().zip(values).enumerate() {
-                if keep && !v.is_null() {
-                    updated.tag_cell(row, column, tagstore::IndicatorValue::new(indicator, v))?;
-                    count += 1;
-                }
-            }
-            let schema = relstore::Schema::of(&[("cells_tagged", DataType::Int)]);
-            let result = TaggedRelation::new(
-                schema,
-                updated.dictionary().clone(),
-                vec![vec![QualityCell::bare(count as i64)]],
-            )?;
-            catalog.register(table, updated);
-            Ok(QueryResult::Table(result))
-        }
+        Statement::Tag { .. } => prepare_tag(catalog, stmt)?.apply(catalog),
         _ => run(catalog, sql),
     }
+}
+
+/// A TAG statement fully evaluated against a pinned snapshot but not
+/// yet installed: the rebuilt relation, plus the individual cell tags
+/// it applied (the write's *intention log*).
+///
+/// This split is what lets an MVCC writer do all the expensive work —
+/// parse, mask evaluation, value evaluation, copy-on-write tagging —
+/// outside any lock, against the session's pinned snapshot, and then
+/// hold the publisher's mutex only for [`TagWrite::apply`]. When the
+/// live catalog still holds the same table entry the snapshot saw
+/// (checked by `Arc` identity via [`QueryCatalog::same_entry`]), the
+/// prebuilt relation installs verbatim; when another writer got there
+/// first, the recorded tags are re-applied onto the current relation —
+/// snapshot-isolation semantics: the *mask* was evaluated at the
+/// snapshot epoch, the tags land at commit epoch. Row positions are
+/// stable under TAG-only workloads (tags never move rows); rows that
+/// disappeared under an out-of-band re-registration are skipped.
+#[derive(Debug)]
+pub struct TagWrite {
+    table: String,
+    base: QueryCatalog,
+    updated: TaggedRelation,
+    tags: Vec<(usize, String, tagstore::IndicatorValue)>,
+}
+
+impl TagWrite {
+    /// The table this write targets.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The individual cell tags the write applied at its snapshot:
+    /// `(row, column, tag)` — what a durability layer should log.
+    pub fn tags(&self) -> &[(usize, String, tagstore::IndicatorValue)] {
+        &self.tags
+    }
+
+    /// Installs the write into `master`, returning the statement's
+    /// `cells_tagged` result relation. Fast path (no intervening
+    /// publish): one `register` of the prebuilt relation. Conflict path:
+    /// re-applies the recorded tags onto `master`'s current relation
+    /// (building a fresh copy first, so an error leaves `master`
+    /// untouched).
+    pub fn apply(self, master: &mut QueryCatalog) -> DbResult<QueryResult> {
+        let (updated, count) = if master.same_entry(&self.base, &self.table) {
+            (self.updated, self.tags.len())
+        } else {
+            dq_obs::counter!("mvcc.write_conflicts").incr();
+            let mut rel = master.get(&self.table)?.clone();
+            let mut applied = 0usize;
+            for (row, column, tag) in &self.tags {
+                if *row < rel.len() {
+                    rel.tag_cell(*row, column, tag.clone())?;
+                    applied += 1;
+                }
+            }
+            (rel, applied)
+        };
+        let schema = relstore::Schema::of(&[("cells_tagged", DataType::Int)]);
+        let result = TaggedRelation::new(
+            schema,
+            updated.dictionary().clone(),
+            vec![vec![QualityCell::bare(count as i64)]],
+        )?;
+        master.register(self.table, updated);
+        Ok(QueryResult::Table(result))
+    }
+}
+
+/// Evaluates a `TAG` statement against `catalog` (a pinned snapshot)
+/// without mutating anything, returning the [`TagWrite`] to install
+/// later. Errors on any statement that is not a TAG.
+pub fn prepare_write(catalog: &QueryCatalog, sql: &str) -> DbResult<TagWrite> {
+    let stmt = crate::parser::parse(sql)?;
+    if !matches!(stmt, Statement::Tag { .. }) {
+        return Err(DbError::InvalidExpression(
+            "prepare_write only accepts TAG statements".into(),
+        ));
+    }
+    prepare_tag(catalog, stmt)
+}
+
+fn prepare_tag(catalog: &QueryCatalog, stmt: Statement) -> DbResult<TagWrite> {
+    let Statement::Tag {
+        table,
+        target,
+        value,
+        filter,
+    } = stmt
+    else {
+        unreachable!("callers match TAG first")
+    };
+    let (column, indicator) = TaggedRelation::split_pseudo(&target).ok_or_else(|| {
+        DbError::InvalidExpression(format!("TAG target `{target}` must be column@indicator"))
+    })?;
+    if indicator.contains('@') {
+        return Err(DbError::InvalidExpression(
+            "TAG cannot set meta tags directly; tag the indicator value instead".into(),
+        ));
+    }
+    let rel = catalog.get(&table)?.clone();
+    let mask = match &filter {
+        Some(f) => algebra::evaluate_mask(&rel, f)?,
+        None => vec![true; rel.len()],
+    };
+    let values = algebra::evaluate(&rel, &value)?;
+    let mut updated = rel;
+    let mut tags = Vec::new();
+    for (row, (keep, v)) in mask.into_iter().zip(values).enumerate() {
+        if keep && !v.is_null() {
+            let tag = tagstore::IndicatorValue::new(indicator, v);
+            updated.tag_cell(row, column, tag.clone())?;
+            tags.push((row, column.to_owned(), tag));
+        }
+    }
+    Ok(TagWrite {
+        table,
+        base: catalog.snapshot(),
+        updated,
+        tags,
+    })
 }
 
 /// Executes a logical plan — the lean path.
@@ -1434,6 +1530,61 @@ mod tests {
             run(&c, "SELECT * FROM stocks").unwrap().relation().len(),
             4
         );
+    }
+
+    /// A prepared TAG write installs on the fast path (same entry, one
+    /// register) and matches `run_mut` exactly.
+    #[test]
+    fn prepared_write_fast_path_matches_run_mut() {
+        let sql = "TAG stocks SET price@inspection = 'A' WHERE ticker = 'FRT'";
+        let mut via_run_mut = catalog();
+        let expect = run_mut(&mut via_run_mut, sql).unwrap();
+
+        let mut master = catalog();
+        let w = prepare_write(&master.snapshot(), sql).unwrap();
+        assert_eq!(w.table(), "stocks");
+        assert_eq!(w.tags().len(), 1);
+        let got = w.apply(&mut master).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(
+            master.get("stocks").unwrap(),
+            via_run_mut.get("stocks").unwrap()
+        );
+    }
+
+    /// Two writers prepared against the same snapshot: the second one
+    /// conflicts and re-applies its recorded tags onto the first one's
+    /// result — both writes survive.
+    #[test]
+    fn prepared_write_conflict_path_reapplies_tags() {
+        let mut master = catalog();
+        let snap = master.snapshot();
+        let w1 = prepare_write(&snap, "TAG stocks SET price@inspection = 'A' WHERE ticker = 'FRT'")
+            .unwrap();
+        let w2 = prepare_write(&snap, "TAG stocks SET price@inspection = 'B' WHERE ticker = 'NUT'")
+            .unwrap();
+        let conflicts0 = dq_obs::counter!("mvcc.write_conflicts").get();
+        w1.apply(&mut master).unwrap();
+        let r2 = w2.apply(&mut master).unwrap();
+        assert_eq!(
+            dq_obs::counter!("mvcc.write_conflicts").get() - conflicts0,
+            1
+        );
+        assert_eq!(r2.relation().cell(0, "cells_tagged").unwrap().value, relstore::Value::Int(1));
+        let rel = master.get("stocks").unwrap();
+        assert_eq!(
+            rel.cell(0, "price").unwrap().tag_value("inspection"),
+            relstore::Value::text("A")
+        );
+        assert_eq!(
+            rel.cell(1, "price").unwrap().tag_value("inspection"),
+            relstore::Value::text("B")
+        );
+    }
+
+    #[test]
+    fn prepare_write_refuses_reads() {
+        assert!(prepare_write(&catalog(), "SELECT * FROM stocks").is_err());
     }
 
     /// A clone taken before a re-registration is a stable snapshot: it

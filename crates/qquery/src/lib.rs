@@ -38,11 +38,12 @@ pub mod token;
 
 pub use ast::{JoinClause, OrderItem, SelectItem, SelectQuery, Statement};
 pub use cache::{
-    normalize, NoDefaults, PlanCache, PreparedStatement, QualityDefaultsProvider, TableDefaults,
+    normalize, BoundStatement, NoDefaults, PlanCache, PreparedStatement,
+    QualityDefaultsProvider, TableDefaults,
 };
 pub use exec::{
-    default_agg_policies, exec_batch_size, execute, execute_traced, explain, explain_analyze, run,
-    run_mut, run_with, OpTrace, QueryCatalog, QueryResult,
+    default_agg_policies, exec_batch_size, execute, execute_traced, explain, explain_analyze,
+    prepare_write, run, run_mut, run_with, OpTrace, QueryCatalog, QueryResult, TagWrite,
 };
 pub use parser::parse;
 pub use plan::{AccessPathStats, Plan, Planner, SchemaProvider};

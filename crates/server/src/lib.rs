@@ -17,8 +17,12 @@
 //! * **Prepared-statement cache** — parse + plan once per (profile,
 //!   normalized text), re-execute the cached plan; invalidated by the
 //!   catalog generation that every registration bumps.
-//! * **Shared read snapshots** — the catalog is `Arc`-shared
-//!   clone-on-publish; the read hot path takes zero locks.
+//! * **MVCC epoch snapshots** — the catalog is published as immutable
+//!   epoch-stamped snapshots (DESIGN.md §14); readers pin an epoch at
+//!   statement start and take zero locks, writers prepare outside the
+//!   master lock and serialize only apply + WAL commit + publish.
+//!   [`start_durable`] fronts a `dq-storage` WAL so tags survive
+//!   restarts and the epoch line continues across them.
 //!
 //! ```no_run
 //! use dq_query::QueryCatalog;
@@ -40,5 +44,5 @@ mod session;
 
 pub use client::{Client, ClientError};
 pub use protocol::{Request, Response};
-pub use server::{start, ServerConfig, ServerHandle, SharedCatalog};
+pub use server::{start, start_durable, ServerConfig, ServerHandle, SharedCatalog, WriteMode};
 pub use session::{is_write_statement, render_result};

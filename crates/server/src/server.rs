@@ -1,4 +1,4 @@
-//! The accept loop, worker pool, and shared-catalog publication.
+//! The accept loop, worker pool, and MVCC catalog publication.
 //!
 //! Topology: one accept thread hands fresh connections round-robin to
 //! `workers` session threads over channels; each worker multiplexes all
@@ -8,22 +8,43 @@
 //! clients run fine on a 2-worker pool — without an async runtime,
 //! which the offline build cannot pull in.
 //!
-//! Writers (`TAG`) serialize through [`SharedCatalog::publish`]; readers
-//! never take that lock mid-query — they run against their session's
-//! own catalog snapshot and check one published-generation atomic per
-//! request to decide whether to re-snapshot.
+//! Concurrency model (see DESIGN.md §14): the catalog lives in an
+//! epoch-stamped [`EpochCell`]. Readers pin the published snapshot at
+//! statement start — one lock-free atomic load to detect staleness,
+//! one short read-lock `Arc` clone to re-pin — and never observe a
+//! torn write. Writers prepare the whole statement against their own
+//! pinned snapshot *outside* any lock, then serialize only the
+//! apply+publish tail through [`SharedCatalog::commit_write`]. When
+//! the server fronts a [`DurableDb`], the WAL commit happens inside
+//! that same tail and the WAL's epoch counter is the floor for the
+//! published epoch, so a restart resumes the same epoch line.
 
 use crate::session::Session;
-use dq_query::QueryCatalog;
+use dq_query::{QueryCatalog, QueryResult, TagWrite};
+use dq_storage::DurableDb;
+use relstore::DbResult;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use tagstore::{EpochCell, Stamped};
 
 /// How long an idle worker / accept thread sleeps before re-polling.
 const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// How `TAG` statements reach the master catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Prepare the write against the session's pinned snapshot outside
+    /// any lock, then serialize only apply+publish (the default).
+    #[default]
+    Mvcc,
+    /// Run the whole statement under the master mutex — the legacy
+    /// path, kept as the B12 bench baseline.
+    SerializedMaster,
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -34,6 +55,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-session prepared-statement cache capacity.
     pub stmt_cache_capacity: usize,
+    /// How writers reach the master catalog.
+    pub write_mode: WriteMode,
 }
 
 impl Default for ServerConfig {
@@ -45,32 +68,69 @@ impl Default for ServerConfig {
                 .unwrap_or(1)
                 .min(8),
             stmt_cache_capacity: 256,
+            write_mode: WriteMode::default(),
         }
     }
 }
 
-/// The master catalog plus its published generation.
+/// The single mutable state writers serialize on: the master catalog
+/// copy and, for durable servers, the WAL-backed database it mirrors.
+#[derive(Debug)]
+struct WriterState {
+    catalog: QueryCatalog,
+    db: Option<DurableDb>,
+}
+
+/// The master catalog plus its published epoch snapshot.
 ///
-/// `master` is the single mutable copy writers update; `generation`
-/// mirrors `master.generation()` and is the only thing the read hot
-/// path touches (one `Relaxed`-ordering atomic load per request —
-/// snapshot publication happens under the mutex, so a session that
-/// observes a new generation and then locks to re-snapshot always sees
-/// at least that generation's catalog).
+/// `master` is the single mutable copy writers update; `published` is
+/// the immutable epoch-stamped snapshot every reader pins. The read
+/// hot path touches one lock-free atomic ([`published_epoch`]) per
+/// request to decide whether to re-pin; re-pinning is one `Arc` clone
+/// under a short read lock. `generation` mirrors
+/// `master.generation()` for prepared-statement-cache invalidation.
+///
+/// [`published_epoch`]: SharedCatalog::published_epoch
 #[derive(Debug)]
 pub struct SharedCatalog {
-    master: Mutex<QueryCatalog>,
+    master: Mutex<WriterState>,
+    published: EpochCell<QueryCatalog>,
     generation: AtomicU64,
 }
 
 impl SharedCatalog {
-    /// Wraps a catalog for serving.
+    /// Wraps an in-memory catalog for serving.
     pub fn new(catalog: QueryCatalog) -> Self {
         let generation = AtomicU64::new(catalog.generation());
+        let published = EpochCell::new(catalog.snapshot());
         SharedCatalog {
-            master: Mutex::new(catalog),
+            master: Mutex::new(WriterState { catalog, db: None }),
+            published,
             generation,
         }
+    }
+
+    /// Wraps a recovered durable database: the served catalog is built
+    /// from every tagged relation in `db`, and the published epoch
+    /// starts at the WAL's recovered epoch so the snapshot line
+    /// continues across restarts.
+    pub fn with_db(db: DurableDb) -> DbResult<Self> {
+        let mut catalog = QueryCatalog::new();
+        let names: Vec<String> = db.tagged_names().iter().map(|n| n.to_string()).collect();
+        for name in names {
+            let rel = db.tagged(&name)?.relation().clone();
+            catalog.register(name, rel);
+        }
+        let generation = AtomicU64::new(catalog.generation());
+        let published = EpochCell::with_epoch(db.epoch(), catalog.snapshot());
+        Ok(SharedCatalog {
+            master: Mutex::new(WriterState {
+                catalog,
+                db: Some(db),
+            }),
+            published,
+            generation,
+        })
     }
 
     /// The generation of the most recently published catalog.
@@ -78,20 +138,103 @@ impl SharedCatalog {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// A read snapshot of the current catalog (cheap: one `Arc` clone).
-    pub fn snapshot(&self) -> QueryCatalog {
-        self.master.lock().unwrap().snapshot()
+    /// The epoch of the most recently published snapshot (lock-free).
+    pub fn published_epoch(&self) -> u64 {
+        self.published.published_epoch()
     }
 
-    /// Runs a mutation against the master copy and publishes the new
-    /// generation. All writers serialize here; readers keep executing
-    /// against their snapshots throughout.
+    /// Pins the published snapshot: the returned `Arc` keeps that
+    /// epoch's catalog alive for as long as the caller holds it,
+    /// regardless of how many writers publish after.
+    pub fn pin(&self) -> Arc<Stamped<QueryCatalog>> {
+        self.published.pin()
+    }
+
+    /// A read snapshot of the published catalog (cheap: `Arc` clones).
+    pub fn snapshot(&self) -> QueryCatalog {
+        self.pin().value().snapshot()
+    }
+
+    /// The legacy re-snapshot path, kept for
+    /// [`WriteMode::SerializedMaster`]: acquiring the master mutex
+    /// first means a reader arriving mid-`TAG` waits out the whole
+    /// statement — exactly the stall MVCC pinning removes, preserved
+    /// here so the B12 baseline measures what PR-era readers paid.
+    pub fn pin_behind_master(&self) -> Arc<Stamped<QueryCatalog>> {
+        let _master = self.master.lock().unwrap();
+        self.published.pin()
+    }
+
+    /// Runs a mutation against the master copy and publishes a new
+    /// epoch. This is the out-of-band registration door (`publish(|c|
+    /// c.register(..))`) and the `SerializedMaster` write path; `TAG`
+    /// statements in MVCC mode go through [`commit_write`] instead.
+    ///
+    /// Mutations here reach only the in-memory catalog, not the WAL.
+    ///
+    /// [`commit_write`]: SharedCatalog::commit_write
     pub fn publish<R>(&self, mutate: impl FnOnce(&mut QueryCatalog) -> R) -> R {
-        let mut master = self.master.lock().unwrap();
-        let out = mutate(&mut master);
-        self.generation
-            .store(master.generation(), Ordering::Release);
+        let wait = Instant::now();
+        let mut ws = self.master.lock().unwrap();
+        dq_obs::histogram!("mvcc.writer_wait_us").record(wait.elapsed());
+        let out = mutate(&mut ws.catalog);
+        self.publish_locked(&ws);
         out
+    }
+
+    /// Applies a prepared [`TagWrite`] and publishes the result — the
+    /// narrow MVCC writer tail. Everything expensive (parse, mask
+    /// evaluation, tag-column copy-on-write) already happened in
+    /// [`dq_query::prepare_write`] against the writer's pinned
+    /// snapshot; this holds the master lock only for apply + WAL
+    /// commit + publish.
+    pub fn commit_write(&self, write: TagWrite) -> DbResult<QueryResult> {
+        let wait = Instant::now();
+        let mut ws = self.master.lock().unwrap();
+        dq_obs::histogram!("mvcc.writer_wait_us").record(wait.elapsed());
+        let result = match ws.db.take() {
+            Some(mut db) => {
+                // Durable path: stage the catalog apply on a scratch
+                // copy first, then WAL-log the same cell tags, so a
+                // WAL error publishes nothing.
+                let table = write.table().to_owned();
+                let tags: Vec<_> = write.tags().to_vec();
+                let mut next = ws.catalog.clone();
+                let staged = write.apply(&mut next);
+                let logged = staged.and_then(|res| {
+                    let len = db.tagged(&table)?.relation().len();
+                    for (row, column, tag) in tags {
+                        // Rows past the end were skipped by the
+                        // catalog-side conflict re-apply too.
+                        if row < len {
+                            db.tag_cell(&table, row, &column, tag)?;
+                        }
+                    }
+                    db.commit()?;
+                    Ok(res)
+                });
+                ws.db = Some(db);
+                if logged.is_ok() {
+                    ws.catalog = next;
+                }
+                logged
+            }
+            None => write.apply(&mut ws.catalog),
+        };
+        if result.is_ok() {
+            self.publish_locked(&ws);
+        }
+        result
+    }
+
+    /// Publishes the master catalog as a new epoch snapshot. The WAL
+    /// epoch (when present) floors the published epoch so the two
+    /// counters stay on one line across restarts.
+    fn publish_locked(&self, ws: &WriterState) {
+        let floor = ws.db.as_ref().map(|db| db.epoch()).unwrap_or(0);
+        self.published.publish_at(ws.catalog.snapshot(), floor);
+        self.generation
+            .store(ws.catalog.generation(), Ordering::Release);
     }
 }
 
@@ -139,10 +282,22 @@ impl Drop for ServerHandle {
 
 /// Binds and serves `catalog` until the handle is shut down.
 pub fn start(config: ServerConfig, catalog: QueryCatalog) -> std::io::Result<ServerHandle> {
+    start_shared(config, Arc::new(SharedCatalog::new(catalog)))
+}
+
+/// Binds and serves a recovered durable database: `TAG` statements
+/// reach the WAL (group-committed per statement) and the published
+/// epoch resumes from the recovered one.
+pub fn start_durable(config: ServerConfig, db: DurableDb) -> std::io::Result<ServerHandle> {
+    let shared = SharedCatalog::with_db(db)
+        .map_err(|e| std::io::Error::other(format!("durable catalog: {e}")))?;
+    start_shared(config, Arc::new(shared))
+}
+
+fn start_shared(config: ServerConfig, shared: Arc<SharedCatalog>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let shared = Arc::new(SharedCatalog::new(catalog));
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers = config.workers.max(1);
     let mut threads = Vec::with_capacity(workers + 1);
@@ -154,10 +309,11 @@ pub fn start(config: ServerConfig, catalog: QueryCatalog) -> std::io::Result<Ser
         let shared = Arc::clone(&shared);
         let shutdown = Arc::clone(&shutdown);
         let capacity = config.stmt_cache_capacity;
+        let write_mode = config.write_mode;
         threads.push(
             std::thread::Builder::new()
                 .name(format!("dq-server-worker-{i}"))
-                .spawn(move || worker_loop(rx, shared, shutdown, capacity))?,
+                .spawn(move || worker_loop(rx, shared, shutdown, capacity, write_mode))?,
         );
     }
 
@@ -202,11 +358,12 @@ fn worker_loop(
     shared: Arc<SharedCatalog>,
     shutdown: Arc<AtomicBool>,
     stmt_cache_capacity: usize,
+    write_mode: WriteMode,
 ) {
     let mut sessions: Vec<Session> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         while let Ok(stream) = incoming.try_recv() {
-            match Session::new(stream, &shared, stmt_cache_capacity) {
+            match Session::new(stream, &shared, stmt_cache_capacity, write_mode) {
                 Ok(s) => sessions.push(s),
                 Err(_) => dq_obs::counter!("server.accept_errors").incr(),
             }

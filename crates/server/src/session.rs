@@ -1,22 +1,25 @@
 //! Per-connection session state and the nonblocking request pump.
 //!
-//! Each session owns a *read snapshot* of the catalog (a cheap
-//! [`QueryCatalog`] clone — one `Arc`), its own prepared-statement
-//! cache, and the quality profile bound by the client's `Hello`. The
-//! hot path for a request is: pop frame → cache-hit plan → execute
-//! against the snapshot — no lock is taken anywhere; the only shared
-//! access is one atomic load of the published catalog generation to
-//! decide whether the snapshot is current. Sessions re-snapshot (one
-//! short mutex acquisition) only when a writer has published a new
-//! generation.
+//! Each session *pins* an epoch-stamped catalog snapshot (an `Arc`
+//! into the [`EpochCell`][tagstore::EpochCell]), owns its own
+//! prepared-statement cache, and holds the quality profile bound by
+//! the client's `Hello`. The hot path for a request is: pop frame →
+//! cache-hit plan → execute against the pinned snapshot — no lock is
+//! taken anywhere; the only shared access is one lock-free atomic
+//! load of the published epoch to decide whether the pin is current.
+//! Sessions re-pin (one `Arc` clone under a short read lock) only
+//! when a writer has published a new epoch, recording how many epochs
+//! behind they were as `mvcc.snapshot_lag`.
 
 use crate::protocol::{self, Request, Response};
-use crate::server::SharedCatalog;
+use crate::server::{SharedCatalog, WriteMode};
 use dq_core::profiles::UserProfile;
 use dq_query::{PlanCache, QualityDefaultsProvider, QueryCatalog, QueryResult, SchemaProvider};
 use relstore::Expr;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
+use tagstore::Stamped;
 
 /// Renders a [`QueryResult`] to the string the protocol ships — the
 /// same deterministic rendering an embedded caller gets from
@@ -71,9 +74,11 @@ pub(crate) struct Session {
     write_buf: Vec<u8>,
     /// Bytes of `write_buf` already flushed to the socket.
     written: usize,
-    catalog: QueryCatalog,
+    /// The pinned epoch snapshot this session reads from.
+    pin: Arc<Stamped<QueryCatalog>>,
     cache: PlanCache,
     defaults: SessionDefaults,
+    write_mode: WriteMode,
     /// Set on EOF or protocol error; the worker drops the session.
     pub(crate) closed: bool,
 }
@@ -83,6 +88,7 @@ impl Session {
         stream: TcpStream,
         shared: &SharedCatalog,
         stmt_cache_capacity: usize,
+        write_mode: WriteMode,
     ) -> std::io::Result<Session> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true).ok();
@@ -92,11 +98,30 @@ impl Session {
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             written: 0,
-            catalog: shared.snapshot(),
+            pin: shared.pin(),
             cache: PlanCache::new(stmt_cache_capacity),
             defaults: SessionDefaults::default(),
+            write_mode,
             closed: false,
         })
+    }
+
+    /// Re-pins the published snapshot when a writer has moved the
+    /// epoch since this session last looked (one lock-free atomic
+    /// load on the already-current path).
+    fn refresh_pin(&mut self, shared: &SharedCatalog) {
+        let published = shared.published_epoch();
+        if self.pin.epoch() != published {
+            let fresh = match self.write_mode {
+                WriteMode::Mvcc => shared.pin(),
+                // the legacy path re-snapshots behind the master
+                // mutex, waiting out any in-flight TAG statement
+                WriteMode::SerializedMaster => shared.pin_behind_master(),
+            };
+            dq_obs::histogram!("mvcc.snapshot_lag")
+                .record_us(fresh.epoch().saturating_sub(self.pin.epoch()));
+            self.pin = fresh;
+        }
     }
 
     /// One multiplexing step: flush pending output, read what's
@@ -182,10 +207,23 @@ impl Session {
 
     fn run_query(&mut self, sql: &str, shared: &SharedCatalog) -> Response {
         if is_write_statement(sql) {
-            // Writes serialize on the master copy and publish a new
-            // generation for every session to pick up.
-            let result = shared.publish(|catalog| dq_query::run_mut(catalog, sql));
-            self.catalog = shared.snapshot();
+            let result = match self.write_mode {
+                WriteMode::Mvcc => {
+                    // Prepare (parse, mask evaluation, copy-on-write
+                    // tag columns) against this session's pin outside
+                    // any lock; only apply+WAL+publish serialize.
+                    self.refresh_pin(shared);
+                    dq_query::prepare_write(self.pin.value(), sql)
+                        .and_then(|w| shared.commit_write(w))
+                }
+                WriteMode::SerializedMaster => {
+                    // Legacy baseline: the whole statement runs under
+                    // the master mutex.
+                    shared.publish(|catalog| dq_query::run_mut(catalog, sql))
+                }
+            };
+            // Read-your-writes: pick up the epoch just published.
+            self.refresh_pin(shared);
             return match result {
                 Ok(res) => Response::Ok {
                     body: render_result(&res),
@@ -195,12 +233,10 @@ impl Session {
                 },
             };
         }
-        // Zero-lock hot path: one atomic load; re-snapshot only when a
-        // writer moved the generation since this session last looked.
-        if self.catalog.generation() != shared.published_generation() {
-            self.catalog = shared.snapshot();
-        }
-        match self.cache.execute(&self.catalog, sql, &self.defaults) {
+        // Zero-lock hot path: one atomic load; re-pin only when a
+        // writer moved the epoch since this session last looked.
+        self.refresh_pin(shared);
+        match self.cache.execute(self.pin.value(), sql, &self.defaults) {
             Ok(res) => Response::Ok {
                 body: render_result(&res),
             },

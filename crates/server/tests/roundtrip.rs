@@ -2,7 +2,7 @@
 
 use dq_core::profiles::{QualityStandard, StandardOp, UserProfile};
 use dq_query::{run, QueryCatalog};
-use dq_server::{render_result, start, Client, ClientError, ServerConfig};
+use dq_server::{render_result, start, Client, ClientError, ServerConfig, WriteMode};
 use relstore::{DataType, Date, Schema, Value};
 use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
 
@@ -41,6 +41,7 @@ fn test_config() -> ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         stmt_cache_capacity: 64,
+        write_mode: WriteMode::default(),
     }
 }
 

@@ -9,11 +9,15 @@
 //!
 //! ## Atomicity
 //!
-//! The snapshot is written to a `.tmp` file (fully fsynced) and then
-//! renamed into place, so a crash mid-checkpoint leaves at worst a stale
-//! `.tmp` plus the previous checkpoint. The file carries a magic header
-//! and a trailing CRC32 over everything before it; [`load_latest`] falls
-//! back to the next-older checkpoint when the newest fails either check.
+//! The snapshot is written to a `.tmp` file (fully fsynced), renamed
+//! into place, and then the *directory* is fsynced — without that last
+//! step the rename itself may not survive a crash (the published name
+//! could revert to the `.tmp` name), which matters because callers
+//! prune the WAL immediately after publishing. A crash mid-checkpoint
+//! leaves at worst a stale `.tmp` plus the previous checkpoint. The
+//! file carries a magic header and a trailing CRC32 over everything
+//! before it; [`load_latest`] falls back to the next-older checkpoint
+//! when the newest fails either check.
 
 use crate::codec::{Decoder, Encoder};
 use crate::crc::crc32;
@@ -22,8 +26,9 @@ use dq_admin::AuditEvent;
 use relstore::{DbError, DbResult, Row, Schema};
 use tagstore::{IndicatorDef, IndicatorValue, TaggedRow};
 
-/// First bytes of every checkpoint file (version-bearing).
-pub const MAGIC: &[u8; 8] = b"DQCKPT1\n";
+/// First bytes of every checkpoint file (version-bearing; v2 added the
+/// MVCC epoch counter).
+pub const MAGIC: &[u8; 8] = b"DQCKPT2\n";
 /// File-name prefix of published checkpoints.
 pub const CKPT_PREFIX: &str = "ckpt-";
 /// File-name suffix of published checkpoints.
@@ -49,6 +54,9 @@ pub struct TaggedSnapshot {
 pub struct CheckpointData {
     /// LSN of the last WAL record reflected in this snapshot.
     pub last_lsn: u64,
+    /// MVCC epoch of the last commit reflected in this snapshot;
+    /// recovery resumes the epoch counter from here.
+    pub epoch: u64,
     /// Plain tables: `(name, schema, rows)`, sorted by name.
     pub tables: Vec<(String, Schema, Vec<Row>)>,
     /// Tagged relations, sorted by name.
@@ -70,6 +78,7 @@ fn is_checkpoint(name: &str) -> bool {
 fn encode(data: &CheckpointData) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_u64(data.last_lsn);
+    enc.put_u64(data.epoch);
     enc.put_u32(data.tables.len() as u32);
     for (name, schema, rows) in &data.tables {
         enc.put_str(name);
@@ -107,6 +116,7 @@ fn encode(data: &CheckpointData) -> Vec<u8> {
 fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
     let mut dec = Decoder::new(payload);
     let last_lsn = dec.get_u64()?;
+    let epoch = dec.get_u64()?;
     let ntables = dec.get_u32()? as usize;
     let mut tables = Vec::with_capacity(ntables.min(1024));
     for _ in 0..ntables {
@@ -158,6 +168,7 @@ fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
     }
     Ok(CheckpointData {
         last_lsn,
+        epoch,
         tables,
         tagged,
         audit_next_seq,
@@ -165,8 +176,8 @@ fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
     })
 }
 
-/// Writes a checkpoint atomically (tmp + fsync + rename). Returns the
-/// published file name.
+/// Writes a checkpoint atomically (tmp + fsync + rename + directory
+/// fsync). Returns the published file name.
 pub fn write(fs: &dyn Fs, data: &CheckpointData) -> DbResult<String> {
     let _t = dq_obs::histogram!("checkpoint.write_us").start();
     let payload = encode(data);
@@ -180,6 +191,10 @@ pub fn write(fs: &dyn Fs, data: &CheckpointData) -> DbResult<String> {
     let tmp = format!("{name}.tmp");
     fs.write_file(&tmp, &bytes)?;
     fs.rename(&tmp, &name)?;
+    // the rename is not durable until the directory is: without this, a
+    // crash after the caller prunes the WAL could leave neither the
+    // checkpoint (dirent reverted to .tmp) nor the log
+    fs.sync_dir()?;
     dq_obs::counter!("checkpoint.write").incr();
     dq_obs::counter!("checkpoint.bytes").add(bytes.len() as u64);
     Ok(name)
@@ -252,6 +267,7 @@ mod tests {
     fn sample() -> CheckpointData {
         CheckpointData {
             last_lsn: 42,
+            epoch: 7,
             tables: vec![(
                 "company".into(),
                 Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
@@ -289,6 +305,20 @@ mod tests {
         let data = sample();
         let name = write(&fs, &data).unwrap();
         assert!(fs.exists(&name) && !fs.exists(&format!("{name}.tmp")));
+        let (loaded_name, loaded) = load_latest(&fs).unwrap().unwrap();
+        assert_eq!(loaded_name, name);
+        assert_eq!(loaded, data);
+    }
+
+    #[test]
+    fn published_checkpoint_survives_crash() {
+        // write() must dir-fsync after the rename — otherwise the crash
+        // reverts the dirent to `.tmp` and the checkpoint is invisible
+        let fs = MemFs::new();
+        let data = sample();
+        let name = write(&fs, &data).unwrap();
+        assert_eq!(fs.dir_fsync_count(), 1);
+        fs.crash();
         let (loaded_name, loaded) = load_latest(&fs).unwrap().unwrap();
         assert_eq!(loaded_name, name);
         assert_eq!(loaded, data);

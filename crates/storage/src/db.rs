@@ -56,6 +56,9 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Quality bitmap indexes rebuilt (one per tagged relation).
     pub indexes_rebuilt: usize,
+    /// MVCC epoch of the last committed record (checkpoint or WAL) —
+    /// the epoch counter the recovered database resumes from.
+    pub epoch: u64,
 }
 
 /// A durable quality database: tables + tagged relations + audit trail,
@@ -64,6 +67,9 @@ pub struct DurableDb {
     fs: Arc<dyn Fs>,
     wal: Wal,
     group_commit: bool,
+    /// Committed MVCC epoch: records buffered toward the next commit are
+    /// stamped `epoch + 1`; a successful commit advances this.
+    epoch: u64,
     db: Database,
     tagged: BTreeMap<String, IndexedTaggedRelation>,
     audit: AuditTrail,
@@ -201,11 +207,12 @@ impl DurableDb {
             None => (None, CheckpointData::default()),
         };
         let checkpoint_lsn = ckpt.last_lsn;
+        let checkpoint_epoch = ckpt.epoch;
         let mut state = Recovering::from_checkpoint(ckpt)?;
 
         let scan = wal::replay(fs.as_ref())?;
         let mut replayed = 0u64;
-        for (lsn, rec) in scan.records {
+        for (lsn, _epoch, rec) in scan.records {
             if lsn <= checkpoint_lsn {
                 continue; // already inside the checkpoint
             }
@@ -229,6 +236,9 @@ impl DurableDb {
         };
 
         let next_lsn = scan.next_lsn.max(checkpoint_lsn + 1);
+        // the committed epoch is whichever authority saw it last: the
+        // checkpoint (WAL pruned since) or the replayed log tail
+        let epoch = checkpoint_epoch.max(scan.last_epoch);
         let wal = Wal::resume(Arc::clone(&fs), opts.wal.clone(), next_lsn, scan.tail);
         let report = RecoveryReport {
             checkpoint: ckpt_name,
@@ -236,12 +246,14 @@ impl DurableDb {
             replayed_records: replayed,
             truncated_bytes: scan.truncated_bytes,
             indexes_rebuilt,
+            epoch,
         };
         Ok((
             DurableDb {
                 fs,
                 wal,
                 group_commit: opts.group_commit,
+                epoch,
                 db: state.db,
                 tagged,
                 audit: state.audit,
@@ -259,19 +271,28 @@ impl DurableDb {
         DurableDb::open(Arc::new(fs), opts)
     }
 
-    /// Appends to the WAL; under autocommit, also makes it durable.
+    /// Appends to the WAL, stamped with the epoch the enclosing commit
+    /// will publish (`epoch + 1`); under autocommit, also makes it
+    /// durable (and advances the epoch).
     fn log(&mut self, rec: WalRecord) -> DbResult<()> {
-        self.wal.append(&rec);
+        self.wal.append(&rec, self.epoch + 1);
         if !self.group_commit {
-            self.wal.commit()?;
+            self.commit()?;
         }
         Ok(())
     }
 
-    /// Flushes buffered WAL frames with one fsync (the group commit).
-    /// A no-op under autocommit or with nothing pending.
+    /// Flushes buffered WAL frames with one fsync (the group commit)
+    /// and advances the committed MVCC epoch if anything was pending.
+    /// A no-op with nothing pending.
     pub fn commit(&mut self) -> DbResult<()> {
-        self.wal.commit()
+        let pending = self.wal.pending_records();
+        self.wal.commit()?;
+        if pending > 0 {
+            self.epoch += 1;
+            dq_obs::counter!("mvcc.epochs_published").incr();
+        }
+        Ok(())
     }
 
     // ---- plain tables ---------------------------------------------------
@@ -425,7 +446,7 @@ impl DurableDb {
     /// checkpoint file name. Pending group-commit frames are flushed
     /// first so the snapshot never claims an LSN it doesn't contain.
     pub fn checkpoint(&mut self) -> DbResult<String> {
-        self.wal.commit()?;
+        self.commit()?;
         let data = self.snapshot_data();
         let name = checkpoint::write(self.fs.as_ref(), &data)?;
         checkpoint::prune(self.fs.as_ref(), &name)?;
@@ -460,6 +481,7 @@ impl DurableDb {
             .collect();
         CheckpointData {
             last_lsn: self.wal.last_lsn(),
+            epoch: self.epoch,
             tables,
             tagged,
             audit_next_seq: self.audit.events().last().map_or(0, |e| e.seq + 1),
@@ -499,6 +521,12 @@ impl DurableDb {
     /// LSN of the last appended record.
     pub fn last_lsn(&self) -> u64 {
         self.wal.last_lsn()
+    }
+
+    /// The committed MVCC epoch: records buffered toward the next
+    /// commit will become visible at `epoch() + 1`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// WAL records buffered but not yet committed (group-commit mode).
@@ -572,6 +600,9 @@ mod tests {
 
         let (db, report) = open(&fs, false);
         assert_eq!(report.replayed_records, 6);
+        // autocommit: one epoch per record, restored from the log
+        assert_eq!(report.epoch, 6);
+        assert_eq!(db.epoch(), 6);
         assert_eq!(db.table("company").unwrap().len(), 2);
         let stock = db.tagged("stock").unwrap();
         assert_eq!(stock.len(), 1);
@@ -593,14 +624,17 @@ mod tests {
         let (mut db, _) = open(&fs, true);
         seed(&mut db);
         db.commit().unwrap();
+        // one group commit covering the whole seed: one epoch
+        assert_eq!(db.epoch(), 1);
         db.insert("company", vec![Value::text("BLT"), Value::Float(1.0)])
             .unwrap();
         assert_eq!(db.pending_records(), 1);
         // crash before commit: the last insert must vanish
         drop(db);
         fs.crash();
-        let (db, _) = open(&fs, true);
+        let (db, report) = open(&fs, true);
         assert_eq!(db.table("company").unwrap().len(), 2);
+        assert_eq!(report.epoch, 1);
     }
 
     #[test]
@@ -627,6 +661,9 @@ mod tests {
         assert!(report.checkpoint.is_some());
         assert_eq!(report.checkpoint_lsn, 6);
         assert_eq!(report.replayed_records, 3);
+        // 6 epochs inside the checkpoint + 3 replayed from the tail
+        assert_eq!(report.epoch, 9);
+        assert_eq!(db.epoch(), 9);
         let company = db.table("company").unwrap();
         assert_eq!(company.len(), 1);
         assert_eq!(company.rows()[0][1], Value::Float(11.0));
@@ -661,6 +698,8 @@ mod tests {
         assert_eq!(db.table("company").unwrap().len(), 3);
         // LSNs continue past the checkpoint after a pruned-log reopen
         assert_eq!(db.last_lsn(), report.checkpoint_lsn);
+        // with the WAL pruned, the checkpoint is the epoch authority
+        assert_eq!(db.epoch(), 7);
     }
 
     #[test]

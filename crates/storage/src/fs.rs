@@ -9,8 +9,17 @@
 //! process (or power) death.
 //!
 //! Durability model: `append` may be buffered by the OS; only `sync`
-//! makes appended bytes crash-durable. `write_file` + `rename` is the
-//! atomic-publish path used for checkpoints.
+//! makes appended bytes crash-durable. `write_file` + `rename` +
+//! `sync_dir` is the atomic-publish path used for checkpoints.
+//!
+//! Directory entries have their own durability: fsyncing a *file* makes
+//! its bytes — and, as a modelling simplification, its directory entry
+//! under the name it was synced as — durable, but a bare `rename` is
+//! **not** durable until [`Fs::sync_dir`] persists the directory. A
+//! crash between `rename` and `sync_dir` may therefore resurface the
+//! file under its old (pre-rename) name, which is exactly the torn
+//! checkpoint-publish state recovery has to tolerate. `remove` is
+//! modelled as immediately durable (deleted files never resurrect).
 
 use relstore::{DbError, DbResult};
 use std::collections::BTreeMap;
@@ -37,7 +46,12 @@ pub trait Fs: Send + Sync {
     fn write_file(&self, name: &str, bytes: &[u8]) -> DbResult<()>;
 
     /// Atomically renames `from` to `to` (replacing `to` if it exists).
+    /// The new name is not crash-durable until [`Fs::sync_dir`].
     fn rename(&self, from: &str, to: &str) -> DbResult<()>;
+
+    /// Forces the directory itself (the name → file mapping, including
+    /// renames) to durable storage.
+    fn sync_dir(&self) -> DbResult<()>;
 
     /// Reads the entire contents of `name`.
     fn read(&self, name: &str) -> DbResult<Vec<u8>>;
@@ -104,6 +118,11 @@ impl Fs for StdFs {
         std::fs::rename(self.path(from), self.path(to)).map_err(|e| io_err("rename", e))
     }
 
+    fn sync_dir(&self) -> DbResult<()> {
+        let d = std::fs::File::open(&self.root).map_err(|e| io_err("open dir for sync", e))?;
+        d.sync_all().map_err(|e| io_err("fsync dir", e))
+    }
+
     fn read(&self, name: &str) -> DbResult<Vec<u8>> {
         std::fs::read(self.path(name)).map_err(|e| io_err("read", e))
     }
@@ -137,12 +156,15 @@ impl Fs for StdFs {
     }
 }
 
-/// One in-memory file: its full byte content plus how much of it has
-/// been fsynced (and therefore survives [`MemFs::crash`]).
+/// One in-memory file: its full byte content, how much of it has been
+/// fsynced, and the name under which its *directory entry* is durable
+/// (`None` until the first successful file fsync or a `sync_dir`; left
+/// at the old name across a `rename` until the next directory sync).
 #[derive(Debug, Clone, Default)]
 struct MemFile {
     data: Vec<u8>,
     synced_len: usize,
+    durable_name: Option<String>,
 }
 
 #[derive(Debug, Default)]
@@ -155,6 +177,7 @@ struct MemState {
     /// injector (a disk that lies about flushing its cache).
     drop_syncs: bool,
     fsyncs: u64,
+    dir_fsyncs: u64,
 }
 
 /// In-memory [`Fs`] with fault injection. Cloning shares the underlying
@@ -192,18 +215,32 @@ impl MemFs {
     }
 
     /// Simulates process/power death: every byte not yet fsynced is
-    /// discarded. Files never synced disappear entirely.
+    /// discarded, files whose directory entry was never made durable
+    /// disappear entirely, and files renamed without a subsequent
+    /// [`Fs::sync_dir`] reappear under the name their entry is durable
+    /// as (usually the pre-rename name).
     pub fn crash(&self) {
         let mut st = self.lock();
-        st.files.retain(|_, f| {
-            f.data.truncate(f.synced_len);
-            f.synced_len > 0 || !f.data.is_empty()
-        });
+        let survivors: BTreeMap<String, MemFile> = std::mem::take(&mut st.files)
+            .into_values()
+            .filter_map(|mut f| {
+                let name = f.durable_name.clone()?;
+                f.data.truncate(f.synced_len);
+                Some((name, f))
+            })
+            .collect();
+        st.files = survivors;
     }
 
     /// Number of fsyncs observed (group-commit tests assert on this).
     pub fn fsync_count(&self) -> u64 {
         self.lock().fsyncs
+    }
+
+    /// Number of directory fsyncs observed (checkpoint publish asserts
+    /// on this).
+    pub fn dir_fsync_count(&self) -> u64 {
+        self.lock().dir_fsyncs
     }
 
     /// Total durable (fsynced) bytes of `name`; 0 when absent.
@@ -217,16 +254,17 @@ impl MemFs {
         let st = self.lock();
         let files = st
             .files
-            .iter()
-            .filter(|(_, f)| f.synced_len > 0)
-            .map(|(n, f)| {
-                (
-                    n.clone(),
+            .values()
+            .filter_map(|f| {
+                let name = f.durable_name.clone()?;
+                Some((
+                    name.clone(),
                     MemFile {
                         data: f.data[..f.synced_len].to_vec(),
                         synced_len: f.synced_len,
+                        durable_name: Some(name),
                     },
-                )
+                ))
             })
             .collect();
         MemFs {
@@ -265,6 +303,8 @@ impl Fs for MemFs {
         match st.files.get_mut(name) {
             Some(f) => {
                 f.synced_len = f.data.len();
+                // file fsync also persists the entry under this name
+                f.durable_name = Some(name.to_owned());
                 Ok(())
             }
             None => Err(DbError::Storage(format!("sync: no such file `{name}`"))),
@@ -284,6 +324,9 @@ impl Fs for MemFs {
                     MemFile {
                         data: keep,
                         synced_len: kept,
+                        // the write failed before the fsync: neither the
+                        // bytes nor the entry ever became durable
+                        durable_name: None,
                     },
                 );
                 return Err(DbError::Storage("injected short checkpoint write".into()));
@@ -295,6 +338,7 @@ impl Fs for MemFs {
             MemFile {
                 data: bytes.to_vec(),
                 synced_len: bytes.len(),
+                durable_name: Some(name.to_owned()),
             },
         );
         Ok(())
@@ -302,11 +346,32 @@ impl Fs for MemFs {
 
     fn rename(&self, from: &str, to: &str) -> DbResult<()> {
         let mut st = self.lock();
+        // durable_name deliberately NOT updated: the rename lives only in
+        // the in-memory directory until `sync_dir`
         let f = st
             .files
             .remove(from)
             .ok_or_else(|| DbError::Storage(format!("rename: no such file `{from}`")))?;
         st.files.insert(to.to_owned(), f);
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> DbResult<()> {
+        let mut st = self.lock();
+        st.dir_fsyncs += 1;
+        if st.drop_syncs {
+            return Ok(()); // the lying disk drops directory syncs too
+        }
+        let names: Vec<String> = st.files.keys().cloned().collect();
+        for name in names {
+            let f = st.files.get_mut(&name).expect("just listed");
+            // entries of files that had some durable presence become
+            // durable under their *current* name; never-synced files
+            // stay volatile (their data blocks were never flushed)
+            if f.durable_name.is_some() {
+                f.durable_name = Some(name);
+            }
+        }
         Ok(())
     }
 
@@ -409,6 +474,51 @@ mod tests {
     }
 
     #[test]
+    fn rename_without_dir_sync_resurfaces_the_old_name_on_crash() {
+        let fs = MemFs::new();
+        fs.write_file("c.tmp", b"ckpt").unwrap(); // synced under "c.tmp"
+        fs.rename("c.tmp", "c.snap").unwrap();
+        assert!(fs.exists("c.snap") && !fs.exists("c.tmp"));
+        fs.crash();
+        // the rename was never made durable: the entry comes back tmp
+        assert!(fs.exists("c.tmp") && !fs.exists("c.snap"));
+        assert_eq!(fs.read("c.tmp").unwrap(), b"ckpt");
+    }
+
+    #[test]
+    fn rename_plus_dir_sync_survives_crash() {
+        let fs = MemFs::new();
+        fs.write_file("c.tmp", b"ckpt").unwrap();
+        fs.rename("c.tmp", "c.snap").unwrap();
+        fs.sync_dir().unwrap();
+        assert_eq!(fs.dir_fsync_count(), 1);
+        fs.crash();
+        assert!(fs.exists("c.snap") && !fs.exists("c.tmp"));
+        assert_eq!(fs.read("c.snap").unwrap(), b"ckpt");
+    }
+
+    #[test]
+    fn dir_sync_does_not_rescue_unsynced_data() {
+        let fs = MemFs::new();
+        fs.append("w.log", b"volatile").unwrap();
+        fs.sync_dir().unwrap();
+        fs.crash();
+        // the entry was volatile too: its data blocks were never synced
+        assert!(!fs.exists("w.log"));
+    }
+
+    #[test]
+    fn lying_disk_drops_dir_syncs_too() {
+        let fs = MemFs::new();
+        fs.write_file("c.tmp", b"ckpt").unwrap();
+        fs.set_drop_syncs(true);
+        fs.rename("c.tmp", "c.snap").unwrap();
+        fs.sync_dir().unwrap(); // lies
+        fs.crash();
+        assert!(fs.exists("c.tmp") && !fs.exists("c.snap"));
+    }
+
+    #[test]
     fn stdfs_roundtrip_in_tempdir() {
         let dir = std::env::temp_dir().join(format!("dq_storage_fs_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -420,6 +530,7 @@ mod tests {
         assert_eq!(fs.read("w.log").unwrap(), b"he");
         fs.write_file("c.tmp", b"ckpt").unwrap();
         fs.rename("c.tmp", "c.snap").unwrap();
+        fs.sync_dir().unwrap();
         assert!(fs.exists("c.snap") && !fs.exists("c.tmp"));
         assert_eq!(fs.list().unwrap(), vec!["c.snap".to_string(), "w.log".to_string()]);
         fs.remove("c.snap").unwrap();

@@ -281,6 +281,10 @@ mod proptests {
 
             let k = frames_within(&wal_bytes, cut);
             prop_assert_eq!(report.replayed_records, k as u64);
+            // autocommit stamps one epoch per record: the recovered
+            // epoch counter equals the surviving record count
+            prop_assert_eq!(report.epoch, k as u64);
+            prop_assert_eq!(db.epoch(), k as u64);
             let expect = &snapshots[k];
             prop_assert_eq!(
                 if k >= 1 { db.table("t").unwrap().rows() } else { &[][..] },

@@ -4,8 +4,15 @@
 //!
 //! ```text
 //! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
-//! payload = [lsn: u64 LE] [WalRecord bytes]
+//! payload = [lsn: u64 LE] [epoch: u64 LE] [WalRecord bytes]
 //! ```
+//!
+//! The *epoch* is the MVCC visibility stamp: every record carries the
+//! epoch at which its enclosing commit becomes visible, so recovery can
+//! restore not just the data but the epoch counter readers pin against.
+//! Epochs are non-decreasing along the log (several records in one
+//! group commit share a stamp); a decreasing stamp is treated as a torn
+//! tail, exactly like a non-monotone LSN.
 //!
 //! Frames are written strictly append-only into numbered *segments*
 //! (`wal-0000000001.log`, ...). A segment never splits a frame; rotation
@@ -87,12 +94,16 @@ pub fn list_segments(fs: &dyn Fs) -> DbResult<Vec<String>> {
 /// What a [`replay`] scan found.
 #[derive(Debug)]
 pub struct ReplayOutcome {
-    /// Every intact committed record, `(lsn, record)`, in log order.
-    pub records: Vec<(u64, WalRecord)>,
+    /// Every intact committed record, `(lsn, epoch, record)`, in log
+    /// order.
+    pub records: Vec<(u64, u64, WalRecord)>,
     /// Bytes chopped off a torn tail (0 on a clean log).
     pub truncated_bytes: u64,
     /// The LSN the next append should carry.
     pub next_lsn: u64,
+    /// The highest epoch stamp seen (0 on an empty log) — the committed
+    /// epoch the recovered catalog must resume publishing from.
+    pub last_epoch: u64,
     /// Segment to resume appending into: `(name, durable length)`.
     pub tail: Option<(String, usize)>,
 }
@@ -101,9 +112,10 @@ pub struct ReplayOutcome {
 /// deleting any segments after it. Read-only apart from that repair.
 pub fn replay(fs: &dyn Fs) -> DbResult<ReplayOutcome> {
     let segments = list_segments(fs)?;
-    let mut records = Vec::new();
+    let mut records: Vec<(u64, u64, WalRecord)> = Vec::new();
     let mut truncated_bytes = 0u64;
     let mut next_lsn = 1u64;
+    let mut last_epoch = 0u64;
     let mut tail = None;
     let mut torn_at: Option<usize> = None; // index into `segments`
 
@@ -141,12 +153,18 @@ pub fn replay(fs: &dyn Fs) -> DbResult<ReplayOutcome> {
                 break 'segments;
             }
             let mut dec = Decoder::new(payload);
-            let (lsn, record) = match dec.get_u64().and_then(|lsn| {
-                WalRecord::decode(&mut dec).map(|r| (lsn, r))
+            let (lsn, epoch, record) = match dec.get_u64().and_then(|lsn| {
+                let epoch = dec.get_u64()?;
+                WalRecord::decode(&mut dec).map(|r| (lsn, epoch, r))
             }) {
-                Ok(ok) if ok.0 == next_lsn || records.is_empty() => ok,
-                // decodable but out-of-order LSN, or undecodable payload
-                // under a valid CRC (format drift): stop trusting the log
+                Ok(ok)
+                    if (ok.0 == next_lsn || records.is_empty()) && ok.1 >= last_epoch =>
+                {
+                    ok
+                }
+                // decodable but out-of-order LSN/epoch, or undecodable
+                // payload under a valid CRC (format drift): stop
+                // trusting the log
                 Ok(_) | Err(_) => {
                     truncated_bytes += tear("undecodable or non-monotone record")?;
                     torn_at = Some(si);
@@ -154,7 +172,8 @@ pub fn replay(fs: &dyn Fs) -> DbResult<ReplayOutcome> {
                 }
             };
             next_lsn = lsn + 1;
-            records.push((lsn, record));
+            last_epoch = epoch;
+            records.push((lsn, epoch, record));
             off += FRAME_HEADER + len as usize;
         }
         tail = Some((seg.clone(), fs.read(seg)?.len()));
@@ -171,6 +190,7 @@ pub fn replay(fs: &dyn Fs) -> DbResult<ReplayOutcome> {
         records,
         truncated_bytes,
         next_lsn,
+        last_epoch,
         tail,
     })
 }
@@ -237,13 +257,15 @@ impl Wal {
         self.pending_records
     }
 
-    /// Encodes and buffers one record, assigning its LSN. Nothing is
-    /// durable until [`Wal::commit`].
-    pub fn append(&mut self, record: &WalRecord) -> u64 {
+    /// Encodes and buffers one record, assigning its LSN and stamping
+    /// it with `epoch` — the MVCC epoch at which the enclosing commit
+    /// becomes visible. Nothing is durable until [`Wal::commit`].
+    pub fn append(&mut self, record: &WalRecord, epoch: u64) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let mut enc = Encoder::new();
         enc.put_u64(lsn);
+        enc.put_u64(epoch);
         record.encode(&mut enc);
         let payload = enc.into_bytes();
         self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -334,18 +356,23 @@ mod tests {
         let fs = MemFs::new();
         let mut wal = open(&fs);
         for i in 0..5 {
-            wal.append(&rec(i));
+            wal.append(&rec(i), (i + 1) as u64);
         }
         wal.commit().unwrap();
         let out = replay(&fs).unwrap();
         assert_eq!(out.records.len(), 5);
         assert_eq!(out.truncated_bytes, 0);
         assert_eq!(out.next_lsn, 6);
+        assert_eq!(out.last_epoch, 5);
         assert_eq!(
-            out.records.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            out.records.iter().map(|(l, _, _)| *l).collect::<Vec<_>>(),
             vec![1, 2, 3, 4, 5]
         );
-        assert_eq!(out.records[3].1, rec(3));
+        assert_eq!(
+            out.records.iter().map(|(_, e, _)| *e).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        assert_eq!(out.records[3].2, rec(3));
     }
 
     #[test]
@@ -353,21 +380,25 @@ mod tests {
         let fs = MemFs::new();
         let mut wal = open(&fs);
         for i in 0..100 {
-            wal.append(&rec(i));
+            wal.append(&rec(i), 1);
         }
         assert_eq!(wal.pending_records(), 100);
         wal.commit().unwrap();
         assert_eq!(fs.fsync_count(), 1);
-        assert_eq!(replay(&fs).unwrap().records.len(), 100);
+        let out = replay(&fs).unwrap();
+        assert_eq!(out.records.len(), 100);
+        // one group commit: every record shares the epoch stamp
+        assert!(out.records.iter().all(|(_, e, _)| *e == 1));
+        assert_eq!(out.last_epoch, 1);
     }
 
     #[test]
     fn uncommitted_appends_die_in_a_crash() {
         let fs = MemFs::new();
         let mut wal = open(&fs);
-        wal.append(&rec(1));
+        wal.append(&rec(1), 1);
         wal.commit().unwrap();
-        wal.append(&rec(2)); // never committed
+        wal.append(&rec(2), 2); // never committed
         fs.crash();
         let out = replay(&fs).unwrap();
         assert_eq!(out.records.len(), 1);
@@ -380,7 +411,7 @@ mod tests {
         let fs = MemFs::new();
         let mut wal = open(&fs);
         for i in 0..3 {
-            wal.append(&rec(i));
+            wal.append(&rec(i), i as u64 + 1);
             wal.commit().unwrap();
         }
         let full = fs.read(&segment_name(1)).unwrap();
@@ -412,7 +443,7 @@ mod tests {
         let fs = MemFs::new();
         let mut wal = open(&fs);
         for i in 0..4 {
-            wal.append(&rec(i));
+            wal.append(&rec(i), 1);
         }
         wal.commit().unwrap();
         let mut bytes = fs.read(&segment_name(1)).unwrap();
@@ -440,7 +471,7 @@ mod tests {
             out.tail,
         );
         for i in 0..20 {
-            wal.append(&rec(i));
+            wal.append(&rec(i), i as u64 + 1);
             wal.commit().unwrap();
         }
         let segs = list_segments(&fs).unwrap();
@@ -448,10 +479,11 @@ mod tests {
         // replay crosses segment boundaries in order
         let out = replay(&fs).unwrap();
         assert_eq!(out.records.len(), 20);
-        assert_eq!(out.records.last().unwrap().1, rec(19));
+        assert_eq!(out.records.last().unwrap().2, rec(19));
+        assert_eq!(out.last_epoch, 20);
         // prune keeps only the current segment
         wal.rotate().unwrap();
-        wal.append(&rec(99));
+        wal.append(&rec(99), 21);
         wal.commit().unwrap();
         wal.prune_before_current().unwrap();
         assert_eq!(list_segments(&fs).unwrap().len(), 1);
@@ -459,14 +491,30 @@ mod tests {
     }
 
     #[test]
+    fn decreasing_epoch_stamp_is_a_tear() {
+        // a record stamped with a *lower* epoch than its predecessor can
+        // only come from corruption or format drift; replay must stop
+        // trusting the log there, exactly like a non-monotone LSN
+        let fs = MemFs::new();
+        let mut wal = open(&fs);
+        wal.append(&rec(1), 5);
+        wal.append(&rec(2), 3); // epoch went backwards
+        wal.commit().unwrap();
+        let out = replay(&fs).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.last_epoch, 5);
+        assert!(out.truncated_bytes > 0);
+    }
+
+    #[test]
     fn short_write_reports_error_and_recovery_repairs() {
         let fs = MemFs::new();
         let mut wal = open(&fs);
-        wal.append(&rec(1));
+        wal.append(&rec(1), 1);
         wal.commit().unwrap();
         let durable = fs.read(&segment_name(1)).unwrap().len();
         fs.set_write_budget(5); // next commit tears mid-frame
-        wal.append(&rec(2));
+        wal.append(&rec(2), 2);
         assert!(wal.commit().is_err());
         fs.clear_write_budget();
         let out = replay(&fs).unwrap();

@@ -32,6 +32,7 @@ pub mod algebra;
 pub mod bitmap;
 pub mod cell;
 pub mod columnar;
+pub mod epoch;
 pub mod indicator;
 pub mod relation;
 pub mod store;
@@ -50,6 +51,7 @@ pub use vector::{
     BatchStats, DEFAULT_BATCH_SIZE,
 };
 pub use cell::QualityCell;
+pub use epoch::{EpochCell, Stamped};
 pub use indicator::{IndicatorDef, IndicatorDictionary, IndicatorValue};
 pub use symbol::Symbol;
 pub use relation::{TaggedRelation, TaggedRow, TAG_SEP};

@@ -5,10 +5,12 @@
 # Then run the B7 scan-vs-bitmap index series into BENCH_index.json, the
 # B8 WAL/recovery durability series into BENCH_wal.json, the B9
 # vectorized-execution series into BENCH_vector.json, and the B10
-# columnar-vs-row series into BENCH_columnar.json, and the B11 server
+# columnar-vs-row series into BENCH_columnar.json, the B11 server
 # loadgen (qps vs clients + stmt-cache cold/hit split) into
-# BENCH_server.json. Finishes with the parallel index-build regression
-# gate over the fresh B9 numbers.
+# BENCH_server.json, and the B12 MVCC reader-throughput burst
+# (serialized-master vs epoch-snapshot writers) into BENCH_mvcc.json.
+# Finishes with the parallel index-build regression gate over the fresh
+# B9 numbers.
 #
 # Knobs (all optional):
 #   DQ_BENCH_JSON        output file for B1/B2/B6 (default BENCH_tagprop.json)
@@ -17,7 +19,9 @@
 #   DQ_BENCH_VECTOR_JSON output file for B9       (default BENCH_vector.json)
 #   DQ_BENCH_COLUMNAR_JSON output file for B10    (default BENCH_columnar.json)
 #   DQ_BENCH_SERVER_JSON output file for B11      (default BENCH_server.json)
+#   DQ_BENCH_MVCC_JSON   output file for B12      (default BENCH_mvcc.json)
 #   DQ_LOADGEN_MS        B11 measure window per client tier, ms (default DQ_BENCH_MS)
+#   DQ_MVCC_MS           B12 measure window per tier, ms (default DQ_BENCH_MS)
 #   DQ_BENCH_WAL_TIERS  log lengths for B8 recovery (default 1000,10000,50000)
 #   DQ_BENCH_MS         measure budget per bench, ms   (default 200)
 #   DQ_BENCH_WARMUP_MS  warmup per bench, ms           (default 50)
@@ -88,6 +92,20 @@ DQ_BENCH_SERVER_JSON="$DQ_BENCH_SERVER_JSON" DQ_LOADGEN_MS="${DQ_LOADGEN_MS:-$DQ
 
 echo "wrote $(wc -l < "$DQ_BENCH_SERVER_JSON") records to $DQ_BENCH_SERVER_JSON"
 
+# B12: MVCC reader throughput under a sustained TAG-write burst — 1
+# writer + 4/16 readers, serialized-master baseline vs epoch-snapshot
+# MVCC. The bench itself is the parity gate: reader queries are checked
+# against embedded serial rendering before timing, and the quiesced
+# post-burst state must be byte-identical to an embedded replay (both
+# fatal). The ≥2x reader-qps bar fails the run on multi-core and warns
+# on a single CPU, like B10/B11.
+DQ_BENCH_MVCC_JSON="${DQ_BENCH_MVCC_JSON:-$PWD/BENCH_mvcc.json}"
+DQ_BENCH_MVCC_JSON="$DQ_BENCH_MVCC_JSON" DQ_MVCC_MS="${DQ_MVCC_MS:-$DQ_BENCH_MS}" \
+    cargo run -q --offline --release -p dq-bench --bin mvcc_burst
+
+echo "wrote $(wc -l < "$DQ_BENCH_MVCC_JSON") records to $DQ_BENCH_MVCC_JSON"
+
 # Regression gate: forced-8-thread index build must not be slower than
-# serial at >=100k rows (fails the run; warn-only on single-CPU boxes).
+# serial at >=100k rows (fails the run; warn-only on single-CPU boxes;
+# always fails if the bench json is missing or empty).
 scripts/index_build_gate.sh "$DQ_BENCH_VECTOR_JSON"

@@ -72,6 +72,20 @@ cargo run -q --offline --release --example server_roundtrip >/dev/null
 # clients vs the embedded serial rendering at 1/2/8 worker threads.
 PROPTEST_CASES=128 cargo test -q --offline -p dq-server concurrent_sessions
 
+# MVCC live-prefix property at a higher case count: every read during a
+# random TAG burst renders some committed epoch prefix (no torn tags),
+# and each reader only moves forward, at 1/2/8 worker threads.
+PROPTEST_CASES=128 cargo test -q --offline -p dq-server readers_observe
+
+# B12 parity + quiesce gate at a tiny window: the bench asserts reader
+# queries match the embedded serial rendering before timing and that
+# the quiesced post-burst state is byte-identical to an embedded replay
+# (both fatal). The 2x speedup bar is multi-core-only; on one CPU the
+# bench warns instead.
+DQ_MVCC_MS=100 DQ_MVCC_ROWS=64 DQ_MVCC_READERS=4 \
+    DQ_BENCH_MVCC_JSON=/tmp/ci_bench_mvcc.json \
+    cargo run -q --offline --release -p dq-bench --bin mvcc_burst >/dev/null
+
 # Crash-recovery at a higher case count: random op sequences cut at
 # every prefix must recover to exactly the committed state.
 PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
@@ -80,4 +94,4 @@ PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
 # a pending group commit, recover, and check lineage + metrics survive.
 cargo run -q --offline --release --example crash_recovery >/dev/null
 
-echo "ci: build + test + clippy + index parity + vector parity + columnar parity + observability + recovery all green"
+echo "ci: build + test + clippy + index parity + vector parity + columnar parity + observability + mvcc + recovery all green"

@@ -19,6 +19,9 @@
 #     build here would gate on hardware, not on the code)
 #   * --warn-only                                         -> warn only
 #     (CI smoke runs use tiny time budgets where mean_ns is noisy)
+#   * bench json missing or empty                         -> FAIL (exit 1)
+#     (always, even under --warn-only: a gate that silently passes when
+#     its input never got written is not a gate)
 #
 # Usage: index_build_gate.sh [--warn-only] [BENCH_vector.json]
 set -euo pipefail
@@ -31,8 +34,8 @@ fi
 json="${1:-BENCH_vector.json}"
 
 if [ ! -s "$json" ]; then
-    echo "index_build_gate: $json missing or empty, nothing to check" >&2
-    exit 0
+    echo "index_build_gate: FAIL: $json missing or empty — the bench never ran or wrote nothing" >&2
+    exit 1
 fi
 
 cpus="$(nproc 2>/dev/null || echo 1)"
@@ -52,8 +55,8 @@ pairs="$(grep '"id":"B9/index_build/' "$json" |
     sort -n)"
 
 if [ -z "$pairs" ]; then
-    echo "index_build_gate: no B9/index_build serial/threads8 pairs in $json" >&2
-    exit 0
+    echo "index_build_gate: FAIL: no B9/index_build serial/threads8 pairs in $json" >&2
+    exit 1
 fi
 
 status=0
