@@ -1,0 +1,271 @@
+//! B13 — paged storage under a budget-capped buffer pool.
+//!
+//! Loads N trading rows (streamed, never materialized) into a paged
+//! relation on a real temp directory, checkpoints, then measures:
+//!
+//! * `B13/load/<tier>` — streamed load throughput through the WAL and
+//!   the pool (group commit every 10k rows).
+//! * `B13/pool_read/<tier>/budget<pct>` — random point-read qps with
+//!   the pool capped at `<pct>`% of the relation's pages, plus the
+//!   pool hit rate and eviction count over the window. The 25% tier is
+//!   the larger-than-RAM configuration the subsystem exists for.
+//! * `B13/checkpoint/<tier>/dirty<pct>` — dirty-page checkpoint cost
+//!   after tagging ~`<pct>`% of rows: wall time and pages flushed.
+//!   Flushed pages are bounded by the dirty set (and the pool budget),
+//!   never the database size — that is the O(dirty) claim the gate
+//!   script checks.
+//!
+//! Correctness gate (fatal): before timing, a sampled read-back of the
+//! loaded relation is compared against a fresh replay of the same
+//! `trade_stream`; any divergence aborts the bench.
+//!
+//! Knobs: `DQ_BENCH_POOL_JSON` (output, default BENCH_pool.json),
+//! `DQ_POOL_TIERS` (row counts, default `1000000`; pass
+//! `1000000,10000000` for the full ladder), `DQ_POOL_BUDGETS`
+//! (pool percentages, default `5,25,100`), `DQ_POOL_DIRTY`
+//! (dirty-fraction percentages, default `1,10`), `DQ_POOL_MS`
+//! (read window per budget tier, default 300).
+
+use dq_storage::{DurableDb, DurableOptions, MIN_FRAMES};
+use dq_workloads::{trade_schema, trade_stream, trading_dictionary, TradingGenConfig};
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const PAGE_SIZE: usize = 16 * 1024;
+const RELATION: &str = "trades";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &str) -> Vec<usize> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+struct Series {
+    id: String,
+    fields: Vec<(String, f64)>,
+}
+
+fn counter(name: &str) -> u64 {
+    dq_obs::registry().counter(name).get()
+}
+
+/// Deterministic position sequence for the read phase.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % bound.max(1)
+    }
+}
+
+fn opts(pool_pages: usize) -> DurableOptions {
+    DurableOptions {
+        group_commit: true,
+        page_size: PAGE_SIZE,
+        pool_pages,
+        ..Default::default()
+    }
+}
+
+fn open(dir: &Path, pool_pages: usize) -> DurableDb {
+    DurableDb::open_dir(dir, opts(pool_pages))
+        .expect("open paged db")
+        .0
+}
+
+fn main() {
+    let out_path = std::env::var("DQ_BENCH_POOL_JSON")
+        .unwrap_or_else(|_| "BENCH_pool.json".to_owned());
+    let tiers = env_list("DQ_POOL_TIERS", "1000000");
+    let budgets = env_list("DQ_POOL_BUDGETS", "5,25,100");
+    let dirty_pcts = env_list("DQ_POOL_DIRTY", "1,10");
+    let window_ms = env_usize("DQ_POOL_MS", 300) as u128;
+    let mut series: Vec<Series> = Vec::new();
+
+    for &rows in &tiers {
+        let dir = std::env::temp_dir().join(format!("dq-pool-bench-{}-{rows}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        let cfg = TradingGenConfig {
+            trades: rows,
+            ..Default::default()
+        };
+
+        // ---- load (streamed; generous pool so load isn't the experiment)
+        let mut db = open(&dir, 4096);
+        db.create_paged(RELATION, trade_schema(), trading_dictionary())
+            .expect("create");
+        let t0 = Instant::now();
+        for (i, row) in trade_stream(&cfg).enumerate() {
+            db.paged_push(RELATION, row).expect("push");
+            if i % 10_000 == 9_999 {
+                db.commit().expect("commit");
+            }
+        }
+        db.commit().expect("commit");
+        let load_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let full_flushed = {
+            let before = counter("storage.checkpoint.pages_flushed");
+            db.checkpoint().expect("checkpoint");
+            counter("storage.checkpoint.pages_flushed") - before
+        };
+        let ckpt_full_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (heap_pages, dir_pages) = db.paged_pages(RELATION).expect("pages");
+        let total_pages = (heap_pages + dir_pages) as usize;
+
+        // ---- parity gate before timing anything: sampled read-back vs
+        // a fresh replay of the identical stream
+        let stride = (rows / 499).max(1);
+        let sample: Vec<(usize, _)> = trade_stream(&cfg)
+            .enumerate()
+            .step_by(stride)
+            .collect();
+        for (pos, want) in &sample {
+            let got = db.paged_row(RELATION, *pos as u64).expect("read");
+            if got != *want {
+                eprintln!("pool_bench: FAIL: row {pos} diverged from the generator replay");
+                std::process::exit(1);
+            }
+        }
+        drop(db);
+        println!(
+            "pool_bench: tier {rows}: loaded in {load_s:.2}s \
+             ({:.0} rows/s), {total_pages} pages, full checkpoint {ckpt_full_ms:.1}ms \
+             ({full_flushed} pages flushed)",
+            rows as f64 / load_s
+        );
+        series.push(Series {
+            id: format!("B13/load/{rows}"),
+            fields: vec![
+                ("rows_per_s".into(), rows as f64 / load_s),
+                ("pages".into(), total_pages as f64),
+                ("ckpt_full_ms".into(), ckpt_full_ms),
+                ("ckpt_full_pages".into(), full_flushed as f64),
+            ],
+        });
+
+        // ---- read qps + hit rate per pool budget
+        for &pct in &budgets {
+            let pool_pages = (total_pages * pct / 100).max(MIN_FRAMES);
+            let mut db = open(&dir, pool_pages);
+            let mut lcg = Lcg(0x5eed ^ rows as u64);
+            // warm: when the pool holds every page, a strided sweep
+            // touching each page once (random warm only covers ~63% of
+            // the frames — coupon collector — and the window would
+            // measure cold fill, not steady state); otherwise one pass
+            // of random reads up to the pool size
+            if pool_pages >= total_pages {
+                let rows_per_page = (rows / total_pages.max(1)).max(1);
+                for i in (0..rows).step_by(rows_per_page) {
+                    db.paged_row(RELATION, i as u64).expect("warm read");
+                }
+            } else {
+                for _ in 0..pool_pages.min(rows) {
+                    let p = lcg.next(rows as u64);
+                    db.paged_row(RELATION, p).expect("warm read");
+                }
+            }
+            let (h0, m0, e0) = (
+                counter("storage.pool.hits"),
+                counter("storage.pool.misses"),
+                counter("storage.pool.evictions"),
+            );
+            let t0 = Instant::now();
+            let mut reads = 0u64;
+            while t0.elapsed().as_millis() < window_ms {
+                for _ in 0..256 {
+                    let p = lcg.next(rows as u64);
+                    db.paged_row(RELATION, p).expect("read");
+                    reads += 1;
+                }
+            }
+            let qps = reads as f64 / t0.elapsed().as_secs_f64();
+            let hits = (counter("storage.pool.hits") - h0) as f64;
+            let misses = (counter("storage.pool.misses") - m0) as f64;
+            let evictions = (counter("storage.pool.evictions") - e0) as f64;
+            let hit_rate = hits / (hits + misses).max(1.0);
+            println!(
+                "pool_bench: tier {rows} budget {pct}% ({pool_pages} frames): \
+                 {qps:.0} reads/s, hit rate {hit_rate:.3}, {evictions} evictions"
+            );
+            series.push(Series {
+                id: format!("B13/pool_read/{rows}/budget{pct}"),
+                fields: vec![
+                    ("qps".into(), qps),
+                    ("hit_rate".into(), hit_rate),
+                    ("evictions".into(), evictions),
+                    ("pool_pages".into(), pool_pages as f64),
+                    ("total_pages".into(), total_pages as f64),
+                ],
+            });
+        }
+
+        // ---- checkpoint cost vs dirty fraction, under the 25% pool
+        let pool_pages = (total_pages / 4).max(MIN_FRAMES);
+        for &pct in &dirty_pcts {
+            let mut db = open(&dir, pool_pages);
+            let touched = (rows * pct / 100).max(1);
+            let stride = (rows / touched).max(1);
+            for i in (0..rows).step_by(stride) {
+                db.paged_tag_cell(
+                    RELATION,
+                    i as u64,
+                    "quantity",
+                    tagstore::IndicatorValue::new("inspection", "resampled"),
+                )
+                .expect("tag");
+            }
+            db.commit().expect("commit");
+            let before = counter("storage.checkpoint.pages_flushed");
+            let t0 = Instant::now();
+            db.checkpoint().expect("checkpoint");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let flushed = counter("storage.checkpoint.pages_flushed") - before;
+            println!(
+                "pool_bench: tier {rows} dirty {pct}%: checkpoint {ms:.1}ms, \
+                 {flushed} of {total_pages} pages flushed"
+            );
+            series.push(Series {
+                id: format!("B13/checkpoint/{rows}/dirty{pct}"),
+                fields: vec![
+                    ("ms".into(), ms),
+                    ("pages_flushed".into(), flushed as f64),
+                    ("pages_total".into(), total_pages as f64),
+                    ("pool_pages".into(), pool_pages as f64),
+                ],
+            });
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- write JSON lines (one object per series, mvcc_burst idiom)
+    let mut file = std::fs::File::create(&out_path).expect("open output");
+    for s in &series {
+        let mut line = format!("{{\"id\":\"{}\"", s.id);
+        for (k, v) in &s.fields {
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                line.push_str(&format!(",\"{k}\":{}", *v as i64));
+            } else if v.abs() < 10.0 {
+                line.push_str(&format!(",\"{k}\":{v:.4}"));
+            } else {
+                line.push_str(&format!(",\"{k}\":{v:.2}"));
+            }
+        }
+        line.push('}');
+        writeln!(file, "{line}").expect("write");
+    }
+    println!("pool_bench: wrote {} records to {out_path}", series.len());
+}

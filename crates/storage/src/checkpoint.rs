@@ -27,8 +27,8 @@ use relstore::{DbError, DbResult, Row, Schema};
 use tagstore::{IndicatorDef, IndicatorValue, TaggedRow};
 
 /// First bytes of every checkpoint file (version-bearing; v2 added the
-/// MVCC epoch counter).
-pub const MAGIC: &[u8; 8] = b"DQCKPT2\n";
+/// MVCC epoch counter, v3 the paged-relation manifests).
+pub const MAGIC: &[u8; 8] = b"DQCKPT3\n";
 /// File-name prefix of published checkpoints.
 pub const CKPT_PREFIX: &str = "ckpt-";
 /// File-name suffix of published checkpoints.
@@ -49,6 +49,30 @@ pub struct TaggedSnapshot {
     pub rows: Vec<TaggedRow>,
 }
 
+/// Manifest of one *paged* relation: identity plus the logical→physical
+/// page maps of its heap and directory files. Unlike [`TaggedSnapshot`]
+/// this holds no row data — the rows live in the paged files, whose
+/// manifest-referenced slots are shadow-protected (never overwritten
+/// until the next checkpoint publishes), so the manifest alone pins an
+/// exact byte-level image of the relation at checkpoint time. Its size
+/// is proportional to the page count (4 bytes per page), which is what
+/// makes checkpoints O(dirty) instead of O(db).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagedSnapshot {
+    /// Relation name.
+    pub name: String,
+    /// Application schema.
+    pub schema: Schema,
+    /// Declared indicators (the dictionary, flattened in sorted order).
+    pub dict: Vec<IndicatorDef>,
+    /// Row count at checkpoint time.
+    pub rows: u64,
+    /// Heap file logical→physical page map.
+    pub heap_map: Vec<u32>,
+    /// Directory file logical→physical page map.
+    pub dir_map: Vec<u32>,
+}
+
 /// Everything a checkpoint captures.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckpointData {
@@ -61,6 +85,8 @@ pub struct CheckpointData {
     pub tables: Vec<(String, Schema, Vec<Row>)>,
     /// Tagged relations, sorted by name.
     pub tagged: Vec<TaggedSnapshot>,
+    /// Paged relations (manifests only — no row data), sorted by name.
+    pub paged: Vec<PagedSnapshot>,
     /// The audit trail's next sequence number.
     pub audit_next_seq: u64,
     /// The audit trail's events, in order.
@@ -103,6 +129,24 @@ fn encode(data: &CheckpointData) -> Vec<u8> {
         enc.put_u32(t.rows.len() as u32);
         for r in &t.rows {
             enc.put_tagged_row(r);
+        }
+    }
+    enc.put_u32(data.paged.len() as u32);
+    for p in &data.paged {
+        enc.put_str(&p.name);
+        enc.put_schema(&p.schema);
+        enc.put_u32(p.dict.len() as u32);
+        for d in &p.dict {
+            enc.put_indicator_def(d);
+        }
+        enc.put_u64(p.rows);
+        enc.put_u32(p.heap_map.len() as u32);
+        for &m in &p.heap_map {
+            enc.put_u32(m);
+        }
+        enc.put_u32(p.dir_map.len() as u32);
+        for &m in &p.dir_map {
+            enc.put_u32(m);
         }
     }
     enc.put_u64(data.audit_next_seq);
@@ -157,6 +201,36 @@ fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
             rows,
         });
     }
+    let npaged = dec.get_u32()? as usize;
+    let mut paged = Vec::with_capacity(npaged.min(1024));
+    for _ in 0..npaged {
+        let name = dec.get_str()?;
+        let schema = dec.get_schema()?;
+        let ndict = dec.get_u32()? as usize;
+        let mut dict = Vec::with_capacity(ndict.min(1024));
+        for _ in 0..ndict {
+            dict.push(dec.get_indicator_def()?);
+        }
+        let rows = dec.get_u64()?;
+        let nheap = dec.get_u32()? as usize;
+        let mut heap_map = Vec::with_capacity(nheap.min(1 << 20));
+        for _ in 0..nheap {
+            heap_map.push(dec.get_u32()?);
+        }
+        let ndir = dec.get_u32()? as usize;
+        let mut dir_map = Vec::with_capacity(ndir.min(1 << 20));
+        for _ in 0..ndir {
+            dir_map.push(dec.get_u32()?);
+        }
+        paged.push(PagedSnapshot {
+            name,
+            schema,
+            dict,
+            rows,
+            heap_map,
+            dir_map,
+        });
+    }
     let audit_next_seq = dec.get_u64()?;
     let nevents = dec.get_u32()? as usize;
     let mut audit_events = Vec::with_capacity(nevents.min(1024));
@@ -171,6 +245,7 @@ fn decode(payload: &[u8]) -> DbResult<CheckpointData> {
         epoch,
         tables,
         tagged,
+        paged,
         audit_next_seq,
         audit_events,
     })
@@ -244,14 +319,21 @@ pub fn load_latest(fs: &dyn Fs) -> DbResult<Option<(String, CheckpointData)>> {
 }
 
 /// Deletes published checkpoints older than `keep`, plus any orphaned
-/// `.tmp` files from interrupted checkpoint writes.
+/// `.tmp` files from interrupted checkpoint writes, then fsyncs the
+/// directory so the unlinks stick — a crash must not resurrect a stale
+/// checkpoint a future recovery could mistake for live state.
 pub fn prune(fs: &dyn Fs, keep: &str) -> DbResult<()> {
+    let mut removed = false;
     for name in fs.list()? {
         let stale_ckpt = is_checkpoint(&name) && name.as_str() < keep;
         let orphan_tmp = name.starts_with(CKPT_PREFIX) && name.ends_with(".tmp");
         if stale_ckpt || orphan_tmp {
             fs.remove(&name)?;
+            removed = true;
         }
+    }
+    if removed {
+        fs.sync_dir()?;
     }
     Ok(())
 }
@@ -284,6 +366,14 @@ mod tests {
                 rows: vec![vec![
                     QualityCell::bare("Fruit Co").with_tag(IndicatorValue::new("source", "Nexis")),
                 ]],
+            }],
+            paged: vec![PagedSnapshot {
+                name: "trades".into(),
+                schema: Schema::of(&[("qty", DataType::Int)]),
+                dict: vec![IndicatorDef::new("source", DataType::Text, "origin")],
+                rows: 12345,
+                heap_map: vec![0, 2, 5, u32::MAX],
+                dir_map: vec![1],
             }],
             audit_next_seq: 2,
             audit_events: vec![AuditEvent {
@@ -377,6 +467,26 @@ mod tests {
         }
         prune(&fs, &file_name(15)).unwrap();
         assert_eq!(list(&fs).unwrap(), vec![file_name(15)]);
+    }
+
+    #[test]
+    fn pruned_checkpoints_stay_gone_after_crash() {
+        // prune must fsync the directory: the unlink of a stale
+        // checkpoint is volatile until then, and a resurrected old
+        // checkpoint is exactly the kind of zombie load_latest's
+        // newest-wins ordering papers over only until it's also corrupt
+        let fs = MemFs::new();
+        for lsn in [5, 15] {
+            let mut d = sample();
+            d.last_lsn = lsn;
+            write(&fs, &d).unwrap();
+        }
+        let before = fs.dir_fsync_count();
+        prune(&fs, &file_name(15)).unwrap();
+        assert!(fs.dir_fsync_count() > before, "prune must sync_dir");
+        fs.crash();
+        assert_eq!(list(&fs).unwrap(), vec![file_name(15)]);
+        assert_eq!(load_latest(&fs).unwrap().unwrap().1.last_lsn, 15);
     }
 
     #[test]

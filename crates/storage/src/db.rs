@@ -19,8 +19,10 @@
 //!
 //! [`QualityIndex::build`]: tagstore::QualityIndex::build
 
+use crate::buffer_pool::{BufferPool, LogGate, NoGate};
 use crate::checkpoint::{self, CheckpointData, TaggedSnapshot};
 use crate::fs::Fs;
+use crate::paged::PagedRelation;
 use crate::record::WalRecord;
 use crate::wal::{self, Wal, WalOptions};
 use dq_admin::{AuditAction, AuditTrail};
@@ -33,7 +35,7 @@ use tagstore::{
 };
 
 /// Tuning knobs for a durable database.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DurableOptions {
     /// WAL segment sizing.
     pub wal: WalOptions,
@@ -41,6 +43,56 @@ pub struct DurableOptions {
     /// an explicit [`DurableDb::commit`] (one fsync covers the whole
     /// group). When false, every mutation commits immediately.
     pub group_commit: bool,
+    /// Page size for paged relations (bytes; max 65536).
+    pub page_size: usize,
+    /// Buffer-pool budget in frames (clamped up to
+    /// [`crate::buffer_pool::MIN_FRAMES`]) — total paged memory is
+    /// `pool_pages × page_size` regardless of how large the paged
+    /// relations grow.
+    pub pool_pages: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            wal: WalOptions::default(),
+            group_commit: false,
+            page_size: 16 * 1024,
+            pool_pages: 256, // 4 MiB of paged memory by default
+        }
+    }
+}
+
+/// The write-ahead gate the buffer pool flushes behind: commits the WAL
+/// (advancing the MVCC epoch exactly like [`DurableDb::commit`]) until
+/// the page's LSN is durable. Borrows only the WAL and the epoch
+/// counter, so paged relations and the pool stay independently
+/// borrowable during an operation.
+struct DbGate<'a> {
+    wal: &'a mut Wal,
+    epoch: &'a mut u64,
+}
+
+impl LogGate for DbGate<'_> {
+    fn ensure_durable(&mut self, lsn: u64) -> DbResult<()> {
+        if self.wal.durable_lsn() >= lsn {
+            return Ok(());
+        }
+        let pending = self.wal.pending_records();
+        self.wal.commit()?;
+        if pending > 0 {
+            // a forced early group commit still publishes its epoch —
+            // same accounting as DurableDb::commit
+            *self.epoch += 1;
+            dq_obs::counter!("mvcc.epochs_published").incr();
+        }
+        if self.wal.durable_lsn() < lsn {
+            return Err(DbError::Storage(format!(
+                "write-ahead gate: lsn {lsn} still not durable after commit"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// What [`DurableDb::open`] did to get the database back.
@@ -73,6 +125,8 @@ pub struct DurableDb {
     db: Database,
     tagged: BTreeMap<String, IndexedTaggedRelation>,
     audit: AuditTrail,
+    pool: BufferPool,
+    paged: BTreeMap<String, PagedRelation>,
 }
 
 impl std::fmt::Debug for DurableDb {
@@ -80,6 +134,7 @@ impl std::fmt::Debug for DurableDb {
         f.debug_struct("DurableDb")
             .field("tables", &self.db.table_names())
             .field("tagged", &self.tagged.keys().collect::<Vec<_>>())
+            .field("paged", &self.paged.keys().collect::<Vec<_>>())
             .field("audit_events", &self.audit.len())
             .field("wal", &self.wal)
             .finish()
@@ -104,13 +159,20 @@ fn build_dict(defs: &[IndicatorDef]) -> DbResult<IndicatorDictionary> {
 /// Mutable state recovery applies records onto: tagged relations stay
 /// *unindexed* until the very end.
 struct Recovering {
+    fs: Arc<dyn Fs>,
     db: Database,
     tagged: BTreeMap<String, TaggedRelation>,
     audit: AuditTrail,
+    pool: BufferPool,
+    paged: BTreeMap<String, PagedRelation>,
 }
 
 impl Recovering {
-    fn from_checkpoint(data: CheckpointData) -> DbResult<Self> {
+    fn from_checkpoint(
+        fs: Arc<dyn Fs>,
+        opts: &DurableOptions,
+        data: CheckpointData,
+    ) -> DbResult<Self> {
         let mut db = Database::new();
         for (name, schema, rows) in data.tables {
             db.create_table(&name, schema)?;
@@ -131,11 +193,25 @@ impl Recovering {
             }
             tagged.insert(name, rel);
         }
+        let mut pool = BufferPool::new(opts.page_size, opts.pool_pages);
+        let mut paged = BTreeMap::new();
+        for snap in &data.paged {
+            let rel =
+                PagedRelation::restore(&mut pool, Arc::clone(&fs), snap, build_dict(&snap.dict)?);
+            paged.insert(snap.name.clone(), rel);
+        }
         let mut audit = AuditTrail::new();
         for e in data.audit_events {
             audit.replay(e);
         }
-        Ok(Recovering { db, tagged, audit })
+        Ok(Recovering {
+            fs,
+            db,
+            tagged,
+            audit,
+            pool,
+            paged,
+        })
     }
 
     fn tagged_mut(&mut self, name: &str) -> DbResult<&mut TaggedRelation> {
@@ -145,8 +221,10 @@ impl Recovering {
     }
 
     /// Redo of one committed record — the recovery twin of the logged
-    /// mutation methods on [`DurableDb`].
-    fn apply(&mut self, rec: WalRecord) -> DbResult<()> {
+    /// mutation methods on [`DurableDb`]. Paged mutations reuse the
+    /// record's original `lsn` for page stamps, so rebuilt pages carry
+    /// the same recovery positions as the originals.
+    fn apply(&mut self, lsn: u64, rec: WalRecord) -> DbResult<()> {
         match rec {
             WalRecord::CreateTable { table, schema } => {
                 self.db.create_table(&table, schema)?;
@@ -187,6 +265,45 @@ impl Recovering {
             WalRecord::Audit { event } => {
                 self.audit.replay(event);
             }
+            WalRecord::PagedCreate { name, schema, dict } => {
+                if self.paged.contains_key(&name) {
+                    return Err(DbError::DuplicateTable(name));
+                }
+                let rel = PagedRelation::create(
+                    &mut self.pool,
+                    Arc::clone(&self.fs),
+                    &name,
+                    schema,
+                    build_dict(&dict)?,
+                );
+                self.paged.insert(name, rel);
+            }
+            WalRecord::PagedPush { name, row } => {
+                let rel = self
+                    .paged
+                    .get_mut(&name)
+                    .ok_or(DbError::UnknownTable(name))?;
+                rel.push(&mut self.pool, &mut NoGate, lsn, &row)?;
+            }
+            WalRecord::PagedTagCell {
+                name,
+                row,
+                column,
+                tag,
+            } => {
+                let rel = self
+                    .paged
+                    .get_mut(&name)
+                    .ok_or(DbError::UnknownTable(name))?;
+                rel.tag_cell(&mut self.pool, &mut NoGate, lsn, row, &column, tag)?;
+            }
+            WalRecord::PagedRemove { name, row } => {
+                let rel = self
+                    .paged
+                    .get_mut(&name)
+                    .ok_or(DbError::UnknownTable(name))?;
+                rel.swap_remove(&mut self.pool, &mut NoGate, lsn, row)?;
+            }
         }
         Ok(())
     }
@@ -208,7 +325,7 @@ impl DurableDb {
         };
         let checkpoint_lsn = ckpt.last_lsn;
         let checkpoint_epoch = ckpt.epoch;
-        let mut state = Recovering::from_checkpoint(ckpt)?;
+        let mut state = Recovering::from_checkpoint(Arc::clone(&fs), &opts, ckpt)?;
 
         let scan = wal::replay(fs.as_ref())?;
         let mut replayed = 0u64;
@@ -216,7 +333,7 @@ impl DurableDb {
             if lsn <= checkpoint_lsn {
                 continue; // already inside the checkpoint
             }
-            state.apply(rec).map_err(|e| {
+            state.apply(lsn, rec).map_err(|e| {
                 DbError::Storage(format!("recovery: redo of WAL record lsn={lsn} failed: {e}"))
             })?;
             replayed += 1;
@@ -257,6 +374,8 @@ impl DurableDb {
                 db: state.db,
                 tagged,
                 audit: state.audit,
+                pool: state.pool,
+                paged: state.paged,
             },
             report,
         ))
@@ -411,6 +530,211 @@ impl DurableDb {
         Ok(removed)
     }
 
+    // ---- paged relations ------------------------------------------------
+    //
+    // Paged mutations are **log-then-apply** (the reverse of the in-memory
+    // tables): validation runs first against the schema/dictionary, the
+    // WAL record is appended, and only then is the page mutation applied,
+    // stamped with the record's LSN. The order matters — applying first
+    // could evict a dirty page stamped with an LSN the log does not hold
+    // yet, and the write-ahead gate would deadlock on it.
+
+    /// Creates an empty paged relation governed by `dict`. Rows live in
+    /// slotted pages behind the buffer pool, so the relation can grow
+    /// past the pool budget (and past RAM).
+    pub fn create_paged(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        dict: IndicatorDictionary,
+    ) -> DbResult<()> {
+        if self.paged.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_owned()));
+        }
+        let defs = flatten_dict(&dict);
+        self.wal.append(
+            &WalRecord::PagedCreate {
+                name: name.to_owned(),
+                schema: schema.clone(),
+                dict: defs,
+            },
+            self.epoch + 1,
+        );
+        let rel = PagedRelation::create(&mut self.pool, Arc::clone(&self.fs), name, schema, dict);
+        self.paged.insert(name.to_owned(), rel);
+        self.autocommit()
+    }
+
+    fn paged_ref(&self, name: &str) -> DbResult<&PagedRelation> {
+        self.paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+    }
+
+    /// Appends a row to a paged relation.
+    pub fn paged_push(&mut self, name: &str, row: TaggedRow) -> DbResult<()> {
+        let rel = self
+            .paged
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        rel.validate_push(&self.pool, &row)?;
+        let lsn = self.wal.append(
+            &WalRecord::PagedPush {
+                name: name.to_owned(),
+                row: row.clone(),
+            },
+            self.epoch + 1,
+        );
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.push(&mut self.pool, &mut gate, lsn, &row)?;
+        self.autocommit()
+    }
+
+    /// Tags one cell of a paged relation.
+    pub fn paged_tag_cell(
+        &mut self,
+        name: &str,
+        row: u64,
+        column: &str,
+        tag: IndicatorValue,
+    ) -> DbResult<()> {
+        let rel = self
+            .paged
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        rel.validate_tag(row, column, &tag)?;
+        let lsn = self.wal.append(
+            &WalRecord::PagedTagCell {
+                name: name.to_owned(),
+                row,
+                column: column.to_owned(),
+                tag: tag.clone(),
+            },
+            self.epoch + 1,
+        );
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.tag_cell(&mut self.pool, &mut gate, lsn, row, column, tag)?;
+        self.autocommit()
+    }
+
+    /// Removes row `row` from a paged relation (swap-remove), returning
+    /// the removed row.
+    pub fn paged_swap_remove(&mut self, name: &str, row: u64) -> DbResult<TaggedRow> {
+        let rel = self
+            .paged
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        rel.check_pos(row)?;
+        let lsn = self.wal.append(
+            &WalRecord::PagedRemove {
+                name: name.to_owned(),
+                row,
+            },
+            self.epoch + 1,
+        );
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        let removed = rel.swap_remove(&mut self.pool, &mut gate, lsn, row)?;
+        self.autocommit()?;
+        Ok(removed)
+    }
+
+    /// Row count of a paged relation.
+    pub fn paged_len(&self, name: &str) -> DbResult<u64> {
+        Ok(self.paged_ref(name)?.len())
+    }
+
+    /// One row of a paged relation. Needs `&mut self`: the read may pull
+    /// pages into the pool (and evict dirty ones through the WAL gate).
+    pub fn paged_row(&mut self, name: &str, row: u64) -> DbResult<TaggedRow> {
+        let rel = self
+            .paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.row(&mut self.pool, &mut gate, row)
+    }
+
+    /// Quality-predicate selection over a paged relation, streamed
+    /// through the pool; only matching rows are materialized.
+    pub fn paged_select(&mut self, name: &str, expr: &relstore::Expr) -> DbResult<TaggedRelation> {
+        let rel = self
+            .paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.select(&mut self.pool, &mut gate, expr)
+    }
+
+    /// Materializes a whole paged relation in memory (parity checks and
+    /// small relations — defeats the point at scale).
+    pub fn paged_to_relation(&mut self, name: &str) -> DbResult<TaggedRelation> {
+        let rel = self
+            .paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.to_relation(&mut self.pool, &mut gate)
+    }
+
+    /// Streams every row of a paged relation through `f` in positional
+    /// order without materializing the relation.
+    pub fn paged_for_each(
+        &mut self,
+        name: &str,
+        f: impl FnMut(u64, TaggedRow) -> DbResult<()>,
+    ) -> DbResult<()> {
+        let rel = self
+            .paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))?;
+        let mut gate = DbGate {
+            wal: &mut self.wal,
+            epoch: &mut self.epoch,
+        };
+        rel.for_each_row(&mut self.pool, &mut gate, f)
+    }
+
+    /// Names of all paged relations, sorted.
+    pub fn paged_names(&self) -> Vec<&str> {
+        self.paged.keys().map(String::as_str).collect()
+    }
+
+    /// Pages currently resident in the buffer pool (diagnostics).
+    pub fn pool_resident(&self) -> usize {
+        self.pool.resident().len()
+    }
+
+    /// `(heap, directory)` logical page counts of a paged relation —
+    /// what a pool budget is sized against.
+    pub fn paged_pages(&self, name: &str) -> DbResult<(u32, u32)> {
+        Ok(self.paged_ref(name)?.pages(&self.pool))
+    }
+
+    fn autocommit(&mut self) -> DbResult<()> {
+        if !self.group_commit {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
     // ---- audit trail ----------------------------------------------------
 
     /// Records an audit event on the durable trail, returning its
@@ -445,13 +769,32 @@ impl DurableDb {
     /// older checkpoints and fully-covered WAL segments, and returns the
     /// checkpoint file name. Pending group-commit frames are flushed
     /// first so the snapshot never claims an LSN it doesn't contain.
+    ///
+    /// Paged relations make this a **dirty-page checkpoint**: only pages
+    /// dirtied since the last checkpoint are written (to shadow slots —
+    /// never over a slot the previous manifest references), the files
+    /// are fsynced, and the new manifest rides inside the checkpoint
+    /// file. Cost is proportional to the dirty set, not the database.
+    /// Only after the checkpoint is durable does [`BufferPool::publish`]
+    /// commit the shadow slots and free the superseded ones.
     pub fn checkpoint(&mut self) -> DbResult<String> {
+        let _t = dq_obs::histogram!("storage.checkpoint.duration_us").start();
         self.commit()?;
+        let flushed = {
+            let mut gate = DbGate {
+                wal: &mut self.wal,
+                epoch: &mut self.epoch,
+            };
+            self.pool.flush_all(&mut gate)?
+        };
+        self.pool.sync_files()?;
+        dq_obs::counter!("storage.checkpoint.pages_flushed").add(flushed);
         let data = self.snapshot_data();
         let name = checkpoint::write(self.fs.as_ref(), &data)?;
         checkpoint::prune(self.fs.as_ref(), &name)?;
         self.wal.rotate()?;
         self.wal.prune_before_current()?;
+        self.pool.publish();
         Ok(name)
     }
 
@@ -479,11 +822,17 @@ impl DurableDb {
                 }
             })
             .collect();
+        let paged = self
+            .paged
+            .values()
+            .map(|rel| rel.snapshot(&self.pool))
+            .collect();
         CheckpointData {
             last_lsn: self.wal.last_lsn(),
             epoch: self.epoch,
             tables,
             tagged,
+            paged,
             audit_next_seq: self.audit.events().last().map_or(0, |e| e.seq + 1),
             audit_events: self.audit.events().to_vec(),
         }
@@ -723,6 +1072,263 @@ mod tests {
         let recovered = db.tagged("stock").unwrap();
         let scratch = IndexedTaggedRelation::from_relation(recovered.relation().clone());
         assert_eq!(recovered, &scratch);
+    }
+
+    // ---- paged relations ------------------------------------------------
+
+    use crate::buffer_pool::MIN_FRAMES;
+    use relstore::Expr;
+
+    /// Small pages + the minimum pool: every paged test runs under real
+    /// eviction pressure.
+    fn paged_opts(group_commit: bool) -> DurableOptions {
+        DurableOptions {
+            group_commit,
+            page_size: 512,
+            pool_pages: MIN_FRAMES,
+            ..Default::default()
+        }
+    }
+
+    fn trade_schema() -> Schema {
+        Schema::of(&[("id", DataType::Int), ("sym", DataType::Text)])
+    }
+
+    fn trade_row(i: i64) -> TaggedRow {
+        let mut cell = QualityCell::bare(format!("sym{}", i % 7));
+        if i % 3 == 0 {
+            cell.set_tag(IndicatorValue::new("source", "feed"));
+        }
+        vec![QualityCell::bare(i), cell]
+    }
+
+    fn open_paged(fs: &MemFs, group_commit: bool) -> DurableDb {
+        let (mut db, _) = DurableDb::open(Arc::new(fs.clone()), paged_opts(group_commit)).unwrap();
+        if !db.paged_names().contains(&"trades") {
+            db.create_paged(
+                "trades",
+                trade_schema(),
+                IndicatorDictionary::with_paper_defaults(),
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn paged_relation_survives_crash_under_pool_pressure() {
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, false);
+        let mut twin =
+            TaggedRelation::empty(trade_schema(), IndicatorDictionary::with_paper_defaults());
+        for i in 0..200i64 {
+            let row = trade_row(i);
+            db.paged_push("trades", row.clone()).unwrap();
+            twin.push(row).unwrap();
+            if i % 5 == 4 {
+                let pos = (i as u64 * 13) % db.paged_len("trades").unwrap();
+                let tag = IndicatorValue::new("source", "audit");
+                db.paged_tag_cell("trades", pos, "sym", tag.clone()).unwrap();
+                twin.tag_cell(pos as usize, "sym", tag).unwrap();
+            }
+            if i % 11 == 10 {
+                let pos = (i as u64 * 3) % db.paged_len("trades").unwrap();
+                let got = db.paged_swap_remove("trades", pos).unwrap();
+                let want = twin.swap_remove(pos as usize).unwrap();
+                assert_eq!(got, want);
+            }
+        }
+        assert!(db.pool_resident() <= MIN_FRAMES, "pool exceeded its budget");
+        drop(db);
+        fs.crash();
+
+        let (mut db, report) =
+            DurableDb::open(Arc::new(fs.clone()), paged_opts(false)).unwrap();
+        assert!(report.replayed_records > 0);
+        assert_eq!(db.paged_names(), vec!["trades"]);
+        assert_eq!(db.paged_len("trades").unwrap() as usize, twin.len());
+        assert_eq!(db.paged_to_relation("trades").unwrap(), twin);
+        // quality-predicate selection parity after recovery
+        let pred = Expr::col("sym@source").eq(Expr::lit("feed"));
+        assert_eq!(
+            db.paged_select("trades", &pred).unwrap(),
+            tagstore::algebra::select(&twin, &pred).unwrap()
+        );
+    }
+
+    #[test]
+    fn paged_checkpoint_then_tail_replay() {
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, false);
+        let mut twin =
+            TaggedRelation::empty(trade_schema(), IndicatorDictionary::with_paper_defaults());
+        for i in 0..60i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+            twin.push(trade_row(i)).unwrap();
+        }
+        db.checkpoint().unwrap();
+        let wals = fs
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| n.starts_with("wal-"))
+            .count();
+        assert_eq!(wals, 0, "covered WAL segments pruned");
+
+        // post-checkpoint tail
+        for i in 60..70i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+            twin.push(trade_row(i)).unwrap();
+        }
+        let tag = IndicatorValue::new("source", "audit");
+        db.paged_tag_cell("trades", 7, "sym", tag.clone()).unwrap();
+        twin.tag_cell(7, "sym", tag).unwrap();
+        db.paged_swap_remove("trades", 2).unwrap();
+        twin.swap_remove(2).unwrap();
+        drop(db);
+        fs.crash();
+
+        let (mut db, report) = DurableDb::open(Arc::new(fs.clone()), paged_opts(false)).unwrap();
+        assert!(report.checkpoint.is_some());
+        assert_eq!(report.replayed_records, 12);
+        assert_eq!(db.paged_to_relation("trades").unwrap(), twin);
+    }
+
+    /// Counts page slots that differ between two images of a paged file.
+    fn changed_slots(before: &[u8], after: &[u8], page: usize) -> usize {
+        let slots = after.len().div_ceil(page);
+        (0..slots)
+            .filter(|&s| {
+                let a = before.get(s * page..(s + 1) * page);
+                let b = after.get(s * page..(s + 1) * page);
+                a != b
+            })
+            .count()
+    }
+
+    #[test]
+    fn checkpoint_cost_is_proportional_to_dirty_pages() {
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, false);
+        for i in 0..300i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+        }
+        db.checkpoint().unwrap();
+        let heap_before = fs.read("pg-trades.heap").unwrap();
+        let dir_before = fs.read("pg-trades.dirx").unwrap();
+        assert!(
+            heap_before.len() / 512 > 20,
+            "need a many-page heap for this test to mean anything"
+        );
+
+        // one logical mutation → a handful of dirty pages, no more
+        db.paged_tag_cell("trades", 5, "sym", IndicatorValue::new("source", "late"))
+            .unwrap();
+        db.checkpoint().unwrap();
+        let heap_after = fs.read("pg-trades.heap").unwrap();
+        let dir_after = fs.read("pg-trades.dirx").unwrap();
+        // tag_cell dirties the old row's page, the tail page, and one
+        // directory page; shadow flushes touch at most one fresh slot per
+        // dirty page — far from the ~25+ pages a full rewrite would touch
+        assert!(
+            changed_slots(&heap_before, &heap_after, 512) <= 4,
+            "heap checkpoint rewrote more than the dirty pages"
+        );
+        assert!(
+            changed_slots(&dir_before, &dir_after, 512) <= 2,
+            "directory checkpoint rewrote more than the dirty pages"
+        );
+    }
+
+    #[test]
+    fn torn_checkpoint_flush_never_corrupts() {
+        // build a committed base once, then replay the same post-base
+        // mutations against byte-budgeted checkpoints: whatever the cut
+        // point (page flush, manifest write, rename), recovery must
+        // restore exactly the committed operations
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, false);
+        let mut twin =
+            TaggedRelation::empty(trade_schema(), IndicatorDictionary::with_paper_defaults());
+        for i in 0..80i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+            twin.push(trade_row(i)).unwrap();
+        }
+        drop(db);
+        let tag = IndicatorValue::new("source", "late");
+        let mut twin2 = twin.clone();
+        for p in [3usize, 40, 77] {
+            twin2.tag_cell(p, "sym", tag.clone()).unwrap();
+        }
+
+        for budget in [0usize, 1, 64, 511, 512, 513, 2000, 1 << 14] {
+            let disk = fs.durable_snapshot();
+            let (mut db, _) =
+                DurableDb::open(Arc::new(disk.clone()), paged_opts(false)).unwrap();
+            for p in [3u64, 40, 77] {
+                db.paged_tag_cell("trades", p, "sym", tag.clone()).unwrap();
+            }
+            disk.set_write_budget(budget);
+            let _ = db.checkpoint(); // may tear anywhere — that's the point
+            disk.clear_write_budget();
+            drop(db);
+            disk.crash();
+
+            let (mut db, _) =
+                DurableDb::open(Arc::new(disk.clone()), paged_opts(false)).unwrap();
+            assert_eq!(
+                db.paged_to_relation("trades").unwrap(),
+                twin2,
+                "divergence after torn checkpoint (budget {budget})"
+            );
+        }
+    }
+
+    #[test]
+    fn uncommitted_paged_group_is_lost_committed_survives() {
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, true);
+        let mut twin =
+            TaggedRelation::empty(trade_schema(), IndicatorDictionary::with_paper_defaults());
+        for i in 0..5i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+            twin.push(trade_row(i)).unwrap();
+        }
+        db.commit().unwrap();
+        // pending, never committed: must vanish at the crash
+        for i in 5..8i64 {
+            db.paged_push("trades", trade_row(i)).unwrap();
+        }
+        drop(db);
+        fs.crash();
+
+        let (mut db, _) = DurableDb::open(Arc::new(fs.clone()), paged_opts(true)).unwrap();
+        assert_eq!(db.paged_to_relation("trades").unwrap(), twin);
+    }
+
+    #[test]
+    fn paged_validation_failures_do_not_log() {
+        let fs = MemFs::new();
+        let mut db = open_paged(&fs, false);
+        db.paged_push("trades", trade_row(1)).unwrap();
+        let lsn = db.last_lsn();
+        // wrong arity, wrong type, ghost indicator, bad column, bad row
+        assert!(db.paged_push("trades", vec![QualityCell::bare(1i64)]).is_err());
+        assert!(db
+            .paged_push("trades", vec![QualityCell::bare("x"), QualityCell::bare("y")])
+            .is_err());
+        assert!(db
+            .paged_tag_cell("trades", 0, "sym", IndicatorValue::new("ghost", "x"))
+            .is_err());
+        assert!(db
+            .paged_tag_cell("trades", 0, "nope", IndicatorValue::new("source", "x"))
+            .is_err());
+        assert!(db
+            .paged_tag_cell("trades", 9, "sym", IndicatorValue::new("source", "x"))
+            .is_err());
+        assert!(db.paged_swap_remove("trades", 9).is_err());
+        assert!(db.create_paged("trades", trade_schema(), IndicatorDictionary::new()).is_err());
+        assert_eq!(db.last_lsn(), lsn, "rejected operation reached the WAL");
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Filesystem abstraction with fault injection.
 //!
-//! The WAL and checkpoint writers talk to storage only through [`Fs`],
-//! so recovery behaviour can be tested against *simulated* media faults
-//! — short writes, torn tails, dropped fsyncs — without touching a real
-//! disk. [`StdFs`] is the production implementation over a directory;
-//! [`MemFs`] is the in-memory fault-injection implementation whose
-//! [`MemFs::crash`] discards everything not yet fsynced, modelling
+//! The WAL, checkpoint, and page writers talk to storage only through
+//! [`Fs`], so recovery behaviour can be tested against *simulated* media
+//! faults — short writes, torn tails, dropped fsyncs — without touching
+//! a real disk. [`StdFs`] is the production implementation over a
+//! directory; [`MemFs`] is the in-memory fault-injection implementation
+//! whose [`MemFs::crash`] discards everything not yet fsynced, modelling
 //! process (or power) death.
 //!
-//! Durability model: `append` may be buffered by the OS; only `sync`
-//! makes appended bytes crash-durable. `write_file` + `rename` +
-//! `sync_dir` is the atomic-publish path used for checkpoints.
+//! Durability model: `append` and `write_at` may be buffered by the OS;
+//! only `sync` makes written bytes crash-durable. `write_file` +
+//! `rename` + `sync_dir` is the atomic-publish path used for
+//! checkpoints.
 //!
 //! Directory entries have their own durability: fsyncing a *file* makes
 //! its bytes — and, as a modelling simplification, its directory entry
@@ -19,7 +20,11 @@
 //! crash between `rename` and `sync_dir` may therefore resurface the
 //! file under its old (pre-rename) name, which is exactly the torn
 //! checkpoint-publish state recovery has to tolerate. `remove` is
-//! modelled as immediately durable (deleted files never resurrect).
+//! likewise volatile: a deleted file whose entry was durable
+//! *resurrects* on a crash unless a [`Fs::sync_dir`] persisted the
+//! unlink — which is why the WAL and checkpoint pruning paths fsync the
+//! directory after unlinking, and why recovery must tolerate stale
+//! segments and checkpoints reappearing.
 
 use relstore::{DbError, DbResult};
 use std::collections::BTreeMap;
@@ -39,7 +44,20 @@ pub trait Fs: Send + Sync {
     /// implementation may write fewer (a *short write*).
     fn append(&self, name: &str, bytes: &[u8]) -> DbResult<usize>;
 
-    /// Forces previously appended bytes of `name` to durable storage.
+    /// Writes `bytes` at absolute `offset` in `name` (creating it if
+    /// absent, zero-extending past the current end), returning how many
+    /// bytes were actually written — the page write-back path. Like
+    /// [`Fs::append`], nothing is crash-durable until [`Fs::sync`].
+    fn write_at(&self, name: &str, offset: u64, bytes: &[u8]) -> DbResult<usize>;
+
+    /// Reads exactly `len` bytes at absolute `offset` of `name` — the
+    /// page read path. An error if the range is past the end.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> DbResult<Vec<u8>>;
+
+    /// Current length of `name` in bytes (0 when absent).
+    fn file_len(&self, name: &str) -> u64;
+
+    /// Forces previously written bytes of `name` to durable storage.
     fn sync(&self, name: &str) -> DbResult<()>;
 
     /// Creates or replaces `name` with exactly `bytes`, synced.
@@ -50,13 +68,14 @@ pub trait Fs: Send + Sync {
     fn rename(&self, from: &str, to: &str) -> DbResult<()>;
 
     /// Forces the directory itself (the name → file mapping, including
-    /// renames) to durable storage.
+    /// renames and removals) to durable storage.
     fn sync_dir(&self) -> DbResult<()>;
 
     /// Reads the entire contents of `name`.
     fn read(&self, name: &str) -> DbResult<Vec<u8>>;
 
-    /// Deletes `name` (an error if absent).
+    /// Deletes `name` (an error if absent). The unlink is not
+    /// crash-durable until [`Fs::sync_dir`].
     fn remove(&self, name: &str) -> DbResult<()>;
 
     /// Truncates `name` to `len` bytes (recovery chops torn tails).
@@ -99,9 +118,35 @@ impl Fs for StdFs {
         Ok(bytes.len())
     }
 
+    fn write_at(&self, name: &str, offset: u64, bytes: &[u8]) -> DbResult<usize> {
+        use std::os::unix::fs::FileExt as _;
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false) // positional write into an existing image
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| io_err("open for write_at", e))?;
+        f.write_all_at(bytes, offset)
+            .map_err(|e| io_err("write_at", e))?;
+        Ok(bytes.len())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> DbResult<Vec<u8>> {
+        use std::os::unix::fs::FileExt as _;
+        let f = std::fs::File::open(self.path(name)).map_err(|e| io_err("open for read_at", e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact_at(&mut buf, offset)
+            .map_err(|e| io_err("read_at", e))?;
+        Ok(buf)
+    }
+
+    fn file_len(&self, name: &str) -> u64 {
+        std::fs::metadata(self.path(name)).map_or(0, |m| m.len())
+    }
+
     fn sync(&self, name: &str) -> DbResult<()> {
         let f = std::fs::OpenOptions::new()
-            .append(true)
+            .write(true)
             .open(self.path(name))
             .map_err(|e| io_err("open for sync", e))?;
         f.sync_all().map_err(|e| io_err("fsync", e))
@@ -156,28 +201,53 @@ impl Fs for StdFs {
     }
 }
 
-/// One in-memory file: its full byte content, how much of it has been
-/// fsynced, and the name under which its *directory entry* is durable
-/// (`None` until the first successful file fsync or a `sync_dir`; left
-/// at the old name across a `rename` until the next directory sync).
+/// One in-memory file: its full (possibly OS-buffered) byte content, the
+/// durable image a crash reverts to, and the name under which its
+/// *directory entry* is durable (`None` until the first successful file
+/// fsync or a `sync_dir`; left at the old name across a `rename` until
+/// the next directory sync).
 #[derive(Debug, Clone, Default)]
 struct MemFile {
     data: Vec<u8>,
-    synced_len: usize,
+    durable: Vec<u8>,
     durable_name: Option<String>,
 }
 
 #[derive(Debug, Default)]
 struct MemState {
     files: BTreeMap<String, MemFile>,
-    /// Remaining append budget in bytes; when it runs out, appends
-    /// become short writes and then fail — the torn-write injector.
+    /// Unlinked files whose directory entry was durable and whose
+    /// removal has not been persisted by a `sync_dir` yet — they
+    /// resurrect on a crash, keyed by their durable name.
+    unlinked: BTreeMap<String, MemFile>,
+    /// Remaining write budget in bytes; when it runs out, writes become
+    /// short and then fail — the torn-write injector.
     write_budget: Option<usize>,
     /// When set, `sync` silently does nothing — the dropped-fsync
     /// injector (a disk that lies about flushing its cache).
     drop_syncs: bool,
     fsyncs: u64,
     dir_fsyncs: u64,
+}
+
+impl MemState {
+    /// Consumes up to `want` bytes of the write budget, returning how
+    /// many may actually be written (`Err` once the budget is gone).
+    fn take_budget(&mut self, want: usize) -> DbResult<usize> {
+        let n = match self.write_budget {
+            None => want,
+            Some(0) => {
+                return Err(DbError::Storage(
+                    "injected write failure (budget exhausted)".into(),
+                ))
+            }
+            Some(budget) => want.min(budget),
+        };
+        if let Some(b) = self.write_budget.as_mut() {
+            *b -= n;
+        }
+        Ok(n)
+    }
 }
 
 /// In-memory [`Fs`] with fault injection. Cloning shares the underlying
@@ -198,8 +268,8 @@ impl MemFs {
         self.state.lock().expect("memfs poisoned")
     }
 
-    /// Arms the torn-write injector: after `bytes` more appended bytes,
-    /// writes are cut short and subsequent appends fail.
+    /// Arms the torn-write injector: after `bytes` more written bytes,
+    /// writes are cut short and subsequent writes fail.
     pub fn set_write_budget(&self, bytes: usize) {
         self.lock().write_budget = Some(bytes);
     }
@@ -214,21 +284,29 @@ impl MemFs {
         self.lock().drop_syncs = drop;
     }
 
-    /// Simulates process/power death: every byte not yet fsynced is
-    /// discarded, files whose directory entry was never made durable
-    /// disappear entirely, and files renamed without a subsequent
+    /// Simulates process/power death: file content reverts to its last
+    /// fsynced image, files whose directory entry was never made durable
+    /// disappear entirely, files renamed without a subsequent
     /// [`Fs::sync_dir`] reappear under the name their entry is durable
-    /// as (usually the pre-rename name).
+    /// as (usually the pre-rename name), and files unlinked without a
+    /// subsequent [`Fs::sync_dir`] resurrect.
     pub fn crash(&self) {
         let mut st = self.lock();
-        let survivors: BTreeMap<String, MemFile> = std::mem::take(&mut st.files)
+        let mut survivors: BTreeMap<String, MemFile> = std::mem::take(&mut st.files)
             .into_values()
             .filter_map(|mut f| {
                 let name = f.durable_name.clone()?;
-                f.data.truncate(f.synced_len);
+                f.data = f.durable.clone();
                 Some((name, f))
             })
             .collect();
+        // unlinks that never hit the directory: the entry is still on
+        // disk, so the file comes back with its durable content — unless
+        // a survivor has since claimed the same name
+        for (name, mut f) in std::mem::take(&mut st.unlinked) {
+            f.data = f.durable.clone();
+            survivors.entry(name).or_insert(f);
+        }
         st.files = survivors;
     }
 
@@ -245,14 +323,14 @@ impl MemFs {
 
     /// Total durable (fsynced) bytes of `name`; 0 when absent.
     pub fn synced_len(&self, name: &str) -> usize {
-        self.lock().files.get(name).map_or(0, |f| f.synced_len)
+        self.lock().files.get(name).map_or(0, |f| f.durable.len())
     }
 
     /// A deep snapshot of the current *durable* state, as a fresh
     /// independent [`MemFs`] — "what a crashed machine's disk holds".
     pub fn durable_snapshot(&self) -> MemFs {
         let st = self.lock();
-        let files = st
+        let mut files: BTreeMap<String, MemFile> = st
             .files
             .values()
             .filter_map(|f| {
@@ -260,13 +338,20 @@ impl MemFs {
                 Some((
                     name.clone(),
                     MemFile {
-                        data: f.data[..f.synced_len].to_vec(),
-                        synced_len: f.synced_len,
+                        data: f.durable.clone(),
+                        durable: f.durable.clone(),
                         durable_name: Some(name),
                     },
                 ))
             })
             .collect();
+        for (name, f) in &st.unlinked {
+            files.entry(name.clone()).or_insert_with(|| MemFile {
+                data: f.durable.clone(),
+                durable: f.durable.clone(),
+                durable_name: Some(name.clone()),
+            });
+        }
         MemFs {
             state: Arc::new(Mutex::new(MemState {
                 files,
@@ -279,19 +364,52 @@ impl MemFs {
 impl Fs for MemFs {
     fn append(&self, name: &str, bytes: &[u8]) -> DbResult<usize> {
         let mut st = self.lock();
-        let n = match st.write_budget {
-            None => bytes.len(),
-            Some(0) => {
-                return Err(DbError::Storage("injected write failure (budget exhausted)".into()))
-            }
-            Some(budget) => bytes.len().min(budget),
-        };
-        if let Some(b) = st.write_budget.as_mut() {
-            *b -= n;
-        }
+        let n = st.take_budget(bytes.len())?;
         let file = st.files.entry(name.to_owned()).or_default();
         file.data.extend_from_slice(&bytes[..n]);
         Ok(n)
+    }
+
+    fn write_at(&self, name: &str, offset: u64, bytes: &[u8]) -> DbResult<usize> {
+        let mut st = self.lock();
+        let n = st.take_budget(bytes.len())?;
+        let file = st.files.entry(name.to_owned()).or_default();
+        let offset = offset as usize;
+        let end = offset + n;
+        if file.data.len() < end {
+            file.data.resize(end, 0);
+        }
+        file.data[offset..end].copy_from_slice(&bytes[..n]);
+        if n < bytes.len() {
+            return Err(DbError::Storage(format!(
+                "injected short write_at: {n} of {} bytes",
+                bytes.len()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> DbResult<Vec<u8>> {
+        let st = self.lock();
+        let f = st
+            .files
+            .get(name)
+            .ok_or_else(|| DbError::Storage(format!("read_at: no such file `{name}`")))?;
+        let offset = offset as usize;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= f.data.len())
+            .ok_or_else(|| {
+                DbError::Storage(format!(
+                    "read_at: range {offset}+{len} past end of `{name}` ({} bytes)",
+                    f.data.len()
+                ))
+            })?;
+        Ok(f.data[offset..end].to_vec())
+    }
+
+    fn file_len(&self, name: &str) -> u64 {
+        self.lock().files.get(name).map_or(0, |f| f.data.len() as u64)
     }
 
     fn sync(&self, name: &str) -> DbResult<()> {
@@ -302,7 +420,7 @@ impl Fs for MemFs {
         }
         match st.files.get_mut(name) {
             Some(f) => {
-                f.synced_len = f.data.len();
+                f.durable = f.data.clone();
                 // file fsync also persists the entry under this name
                 f.durable_name = Some(name.to_owned());
                 Ok(())
@@ -317,13 +435,12 @@ impl Fs for MemFs {
             if budget < bytes.len() {
                 // a partial checkpoint write that never completes
                 let keep = bytes[..budget].to_vec();
-                let kept = keep.len();
                 st.write_budget = Some(0);
                 st.files.insert(
                     name.to_owned(),
                     MemFile {
-                        data: keep,
-                        synced_len: kept,
+                        data: keep.clone(),
+                        durable: keep,
                         // the write failed before the fsync: neither the
                         // bytes nor the entry ever became durable
                         durable_name: None,
@@ -337,7 +454,7 @@ impl Fs for MemFs {
             name.to_owned(),
             MemFile {
                 data: bytes.to_vec(),
-                synced_len: bytes.len(),
+                durable: bytes.to_vec(),
                 durable_name: Some(name.to_owned()),
             },
         );
@@ -362,6 +479,8 @@ impl Fs for MemFs {
         if st.drop_syncs {
             return Ok(()); // the lying disk drops directory syncs too
         }
+        // unlinks become durable: resurrection candidates are gone
+        st.unlinked.clear();
         let names: Vec<String> = st.files.keys().cloned().collect();
         for name in names {
             let f = st.files.get_mut(&name).expect("just listed");
@@ -384,11 +503,17 @@ impl Fs for MemFs {
     }
 
     fn remove(&self, name: &str) -> DbResult<()> {
-        self.lock()
+        let mut st = self.lock();
+        let f = st
             .files
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| DbError::Storage(format!("remove: no such file `{name}`")))
+            .ok_or_else(|| DbError::Storage(format!("remove: no such file `{name}`")))?;
+        // if the entry was durable somewhere, the unlink itself is not
+        // durable until the next sync_dir: park it for resurrection
+        if let Some(durable_as) = f.durable_name.clone() {
+            st.unlinked.insert(durable_as, f);
+        }
+        Ok(())
     }
 
     fn truncate(&self, name: &str, len: u64) -> DbResult<()> {
@@ -398,7 +523,8 @@ impl Fs for MemFs {
             .get_mut(name)
             .ok_or_else(|| DbError::Storage(format!("truncate: no such file `{name}`")))?;
         f.data.truncate(len as usize);
-        f.synced_len = f.synced_len.min(f.data.len());
+        let keep = f.durable.len().min(f.data.len());
+        f.durable.truncate(keep);
         Ok(())
     }
 
@@ -474,6 +600,41 @@ mod tests {
     }
 
     #[test]
+    fn write_at_overwrites_and_extends() {
+        let fs = MemFs::new();
+        fs.append("p.dat", b"0123456789").unwrap();
+        assert_eq!(fs.write_at("p.dat", 2, b"AB").unwrap(), 2);
+        assert_eq!(fs.read("p.dat").unwrap(), b"01AB456789");
+        // writing past the end zero-extends the gap
+        assert_eq!(fs.write_at("p.dat", 12, b"XY").unwrap(), 2);
+        assert_eq!(fs.read("p.dat").unwrap(), b"01AB456789\0\0XY");
+        assert_eq!(fs.file_len("p.dat"), 14);
+        assert_eq!(fs.read_at("p.dat", 2, 2).unwrap(), b"AB");
+        assert!(fs.read_at("p.dat", 13, 2).is_err()); // past the end
+    }
+
+    #[test]
+    fn unsynced_write_at_reverts_on_crash() {
+        let fs = MemFs::new();
+        fs.append("p.dat", b"0123456789").unwrap();
+        fs.sync("p.dat").unwrap();
+        fs.write_at("p.dat", 4, b"TORN").unwrap();
+        fs.crash();
+        assert_eq!(fs.read("p.dat").unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn short_write_at_leaves_a_torn_page() {
+        let fs = MemFs::new();
+        fs.append("p.dat", b"0000000000").unwrap();
+        fs.sync("p.dat").unwrap();
+        fs.set_write_budget(3);
+        assert!(fs.write_at("p.dat", 0, b"FULLPAGE").is_err());
+        fs.clear_write_budget();
+        assert_eq!(fs.read("p.dat").unwrap(), b"FUL0000000");
+    }
+
+    #[test]
     fn rename_without_dir_sync_resurfaces_the_old_name_on_crash() {
         let fs = MemFs::new();
         fs.write_file("c.tmp", b"ckpt").unwrap(); // synced under "c.tmp"
@@ -519,6 +680,47 @@ mod tests {
     }
 
     #[test]
+    fn remove_without_dir_sync_resurrects_on_crash() {
+        let fs = MemFs::new();
+        fs.write_file("wal-1.log", b"records").unwrap();
+        fs.remove("wal-1.log").unwrap();
+        assert!(!fs.exists("wal-1.log"));
+        fs.crash();
+        // the unlink never hit the directory: the segment is back
+        assert!(fs.exists("wal-1.log"));
+        assert_eq!(fs.read("wal-1.log").unwrap(), b"records");
+    }
+
+    #[test]
+    fn remove_plus_dir_sync_is_final() {
+        let fs = MemFs::new();
+        fs.write_file("wal-1.log", b"records").unwrap();
+        fs.remove("wal-1.log").unwrap();
+        fs.sync_dir().unwrap();
+        fs.crash();
+        assert!(!fs.exists("wal-1.log"));
+    }
+
+    #[test]
+    fn recreated_file_wins_over_resurrected_unlink() {
+        let fs = MemFs::new();
+        fs.write_file("seg", b"old").unwrap();
+        fs.remove("seg").unwrap();
+        fs.write_file("seg", b"new").unwrap(); // same name, fully synced
+        fs.crash();
+        assert_eq!(fs.read("seg").unwrap(), b"new");
+    }
+
+    #[test]
+    fn never_durable_remove_leaves_nothing() {
+        let fs = MemFs::new();
+        fs.append("tmp", b"x").unwrap(); // entry never durable
+        fs.remove("tmp").unwrap();
+        fs.crash();
+        assert!(!fs.exists("tmp"));
+    }
+
+    #[test]
     fn stdfs_roundtrip_in_tempdir() {
         let dir = std::env::temp_dir().join(format!("dq_storage_fs_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -534,6 +736,20 @@ mod tests {
         assert!(fs.exists("c.snap") && !fs.exists("c.tmp"));
         assert_eq!(fs.list().unwrap(), vec!["c.snap".to_string(), "w.log".to_string()]);
         fs.remove("c.snap").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stdfs_write_at_read_at() {
+        let dir = std::env::temp_dir().join(format!("dq_storage_fs_at_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = StdFs::open(&dir).unwrap();
+        fs.write_at("p.dat", 4, b"PAGE").unwrap();
+        assert_eq!(fs.file_len("p.dat"), 8);
+        assert_eq!(fs.read_at("p.dat", 4, 4).unwrap(), b"PAGE");
+        assert_eq!(fs.read_at("p.dat", 0, 4).unwrap(), vec![0u8; 4]);
+        fs.write_at("p.dat", 0, b"head").unwrap();
+        assert_eq!(fs.read("p.dat").unwrap(), b"headPAGE");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -91,6 +91,42 @@ pub enum WalRecord {
         /// The event, exactly as recorded on the trail.
         event: AuditEvent,
     },
+    /// Paged-relation DDL: a new relation in paged storage. Like every
+    /// paged record, this carries only the logical operation — page
+    /// placement is deterministic, so redo re-derives it.
+    PagedCreate {
+        /// Relation name.
+        name: String,
+        /// Application schema.
+        schema: Schema,
+        /// Declared indicators (the dictionary, flattened).
+        dict: Vec<IndicatorDef>,
+    },
+    /// Push of one tagged row into a paged relation.
+    PagedPush {
+        /// Target paged relation.
+        name: String,
+        /// The pushed row (cells with their tags).
+        row: TaggedRow,
+    },
+    /// Cell tagging in a paged relation.
+    PagedTagCell {
+        /// Target paged relation.
+        name: String,
+        /// Row position.
+        row: u64,
+        /// Column name.
+        column: String,
+        /// The tag set on the cell.
+        tag: IndicatorValue,
+    },
+    /// Positional swap-remove of a row from a paged relation.
+    PagedRemove {
+        /// Target paged relation.
+        name: String,
+        /// Row position removed.
+        row: u64,
+    },
 }
 
 impl WalRecord {
@@ -161,6 +197,37 @@ impl WalRecord {
                 enc.put_u8(9);
                 enc.put_audit_event(event);
             }
+            WalRecord::PagedCreate { name, schema, dict } => {
+                enc.put_u8(10);
+                enc.put_str(name);
+                enc.put_schema(schema);
+                enc.put_u32(dict.len() as u32);
+                for d in dict {
+                    enc.put_indicator_def(d);
+                }
+            }
+            WalRecord::PagedPush { name, row } => {
+                enc.put_u8(11);
+                enc.put_str(name);
+                enc.put_tagged_row(row);
+            }
+            WalRecord::PagedTagCell {
+                name,
+                row,
+                column,
+                tag,
+            } => {
+                enc.put_u8(12);
+                enc.put_str(name);
+                enc.put_u64(*row);
+                enc.put_str(column);
+                enc.put_tag(tag);
+            }
+            WalRecord::PagedRemove { name, row } => {
+                enc.put_u8(13);
+                enc.put_str(name);
+                enc.put_u64(*row);
+            }
         }
     }
 
@@ -219,6 +286,30 @@ impl WalRecord {
             },
             9 => WalRecord::Audit {
                 event: dec.get_audit_event()?,
+            },
+            10 => {
+                let name = dec.get_str()?;
+                let schema = dec.get_schema()?;
+                let n = dec.get_u32()? as usize;
+                let mut dict = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    dict.push(dec.get_indicator_def()?);
+                }
+                WalRecord::PagedCreate { name, schema, dict }
+            }
+            11 => WalRecord::PagedPush {
+                name: dec.get_str()?,
+                row: dec.get_tagged_row()?,
+            },
+            12 => WalRecord::PagedTagCell {
+                name: dec.get_str()?,
+                row: dec.get_u64()?,
+                column: dec.get_str()?,
+                tag: dec.get_tag()?,
+            },
+            13 => WalRecord::PagedRemove {
+                name: dec.get_str()?,
+                row: dec.get_u64()?,
             },
             t => return Err(DbError::Storage(format!("unknown WAL record tag {t}"))),
         })
@@ -302,6 +393,27 @@ mod tests {
                 column: Some("address".into()),
                 detail: "recorded 62 Lois Av".into(),
             },
+        });
+        roundtrip(WalRecord::PagedCreate {
+            name: "trades".into(),
+            schema: Schema::of(&[("qty", DataType::Int)]),
+            dict: vec![IndicatorDef::new("source", DataType::Text, "origin")],
+        });
+        roundtrip(WalRecord::PagedPush {
+            name: "trades".into(),
+            row: vec![
+                QualityCell::bare(500i64).with_tag(IndicatorValue::new("source", "feed")),
+            ],
+        });
+        roundtrip(WalRecord::PagedTagCell {
+            name: "trades".into(),
+            row: 99,
+            column: "qty".into(),
+            tag: IndicatorValue::new("source", "audit"),
+        });
+        roundtrip(WalRecord::PagedRemove {
+            name: "trades".into(),
+            row: 3,
         });
     }
 

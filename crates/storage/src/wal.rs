@@ -184,6 +184,11 @@ pub fn replay(fs: &dyn Fs) -> DbResult<ReplayOutcome> {
         for seg in &segments[si + 1..] {
             fs.remove(seg)?;
         }
+        if si + 1 < segments.len() {
+            // make the unlinks durable — a later crash must not
+            // resurrect segments the repair already discarded
+            fs.sync_dir()?;
+        }
         tail = Some((segments[si].clone(), fs.read(&segments[si])?.len()));
     }
     Ok(ReplayOutcome {
@@ -205,7 +210,13 @@ pub struct Wal {
     opts: WalOptions,
     current: String,
     current_len: usize,
+    /// False right after a rotation: the fresh segment's directory entry
+    /// still needs a `sync_dir` once its first commit lands.
+    current_entry_synced: bool,
     next_lsn: u64,
+    /// Highest LSN known durable (committed to a synced segment). The
+    /// buffer pool's flush gate compares page LSNs against this.
+    durable_lsn: u64,
     pending: Vec<u8>,
     pending_records: u64,
 }
@@ -235,8 +246,12 @@ impl Wal {
             fs,
             opts,
             current,
+            // a resumed tail already has a durable entry; a fresh
+            // segment 1 gets its dir fsync on the first commit
+            current_entry_synced: current_len > 0,
             current_len,
             next_lsn,
+            durable_lsn: next_lsn - 1,
             pending: Vec::new(),
             pending_records: 0,
         }
@@ -255,6 +270,13 @@ impl Wal {
     /// Number of records buffered but not yet committed.
     pub fn pending_records(&self) -> u64 {
         self.pending_records
+    }
+
+    /// Highest LSN known durable on disk. Records at or below this LSN
+    /// survived their commit fsync; the buffer pool must not flush a
+    /// page stamped with a higher LSN.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
     }
 
     /// Encodes and buffers one record, assigning its LSN and stamping
@@ -302,8 +324,16 @@ impl Wal {
             let _t = dq_obs::histogram!("wal.fsync_us").start();
             self.fs.sync(&self.current)?;
         }
+        if !self.current_entry_synced {
+            // first commit after a rotation: the segment's bytes are
+            // durable but its directory entry may not be — persist it so
+            // a crash cannot lose a whole fsynced segment
+            self.fs.sync_dir()?;
+            self.current_entry_synced = true;
+        }
         dq_obs::counter!("wal.fsync").incr();
         dq_obs::counter!("wal.commit.records").add(batch_records);
+        self.durable_lsn = self.next_lsn - 1;
         if self.current_len >= self.opts.segment_bytes {
             self.rotate()?;
         }
@@ -315,19 +345,27 @@ impl Wal {
         let seq = segment_seq(&self.current).unwrap_or(0) + 1;
         self.current = segment_name(seq);
         self.current_len = 0;
+        self.current_entry_synced = false;
         dq_obs::counter!("wal.rotate").incr();
         Ok(())
     }
 
-    /// Deletes every segment except the current one. Callers invoke this
-    /// after a checkpoint has captured all records up to the rotation
-    /// point, making the old segments redundant.
+    /// Deletes every segment except the current one, then fsyncs the
+    /// directory — without that, a crash could resurrect pruned segments
+    /// whose records recovery would replay on top of a newer checkpoint.
+    /// Callers invoke this after a checkpoint has captured all records
+    /// up to the rotation point, making the old segments redundant.
     pub fn prune_before_current(&self) -> DbResult<()> {
+        let mut removed = false;
         for seg in list_segments(self.fs.as_ref())? {
             if seg != self.current {
                 self.fs.remove(&seg)?;
                 dq_obs::counter!("wal.segments_pruned").incr();
+                removed = true;
             }
+        }
+        if removed {
+            self.fs.sync_dir()?;
         }
         Ok(())
     }
@@ -488,6 +526,79 @@ mod tests {
         wal.prune_before_current().unwrap();
         assert_eq!(list_segments(&fs).unwrap().len(), 1);
         assert_eq!(replay(&fs).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn pruned_segments_stay_gone_after_crash() {
+        // prune_before_current must fsync the directory — otherwise the
+        // crash resurrects old segments whose records replay on top of
+        // whatever checkpoint made them redundant
+        let fs = MemFs::new();
+        let mut wal = open(&fs);
+        wal.append(&rec(1), 1);
+        wal.commit().unwrap();
+        wal.rotate().unwrap();
+        wal.append(&rec(2), 2);
+        wal.commit().unwrap();
+        assert_eq!(list_segments(&fs).unwrap().len(), 2);
+        wal.prune_before_current().unwrap();
+        fs.crash();
+        assert_eq!(list_segments(&fs).unwrap(), vec![segment_name(2)]);
+        assert_eq!(replay(&fs).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn fresh_segment_entry_survives_crash_after_first_commit() {
+        // rotation creates a new file; its first commit must sync_dir so
+        // the fsynced segment's directory entry cannot vanish
+        let fs = MemFs::new();
+        let mut wal = open(&fs);
+        wal.append(&rec(1), 1);
+        wal.commit().unwrap();
+        let before = fs.dir_fsync_count();
+        wal.rotate().unwrap();
+        wal.append(&rec(2), 2);
+        wal.commit().unwrap();
+        assert!(fs.dir_fsync_count() > before, "first commit after rotate must sync_dir");
+        fs.crash();
+        let out = replay(&fs).unwrap();
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_repair_unlinks_survive_crash() {
+        // when replay deletes segments written after a tear, a crash
+        // must not bring them back (their records are past the tear and
+        // would replay as garbage or non-monotone LSNs)
+        let fs = MemFs::new();
+        let mut wal = open(&fs);
+        wal.append(&rec(1), 1);
+        wal.commit().unwrap();
+        wal.rotate().unwrap();
+        wal.append(&rec(2), 2);
+        wal.commit().unwrap();
+        // corrupt segment 1 so replay tears there and removes segment 2
+        let mut bytes = fs.read(&segment_name(1)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs.write_file(&segment_name(1), &bytes).unwrap();
+        let out = replay(&fs).unwrap();
+        assert_eq!(out.records.len(), 0);
+        fs.crash();
+        assert_eq!(list_segments(&fs).unwrap(), vec![segment_name(1)]);
+        assert_eq!(replay(&fs).unwrap().records.len(), 0);
+    }
+
+    #[test]
+    fn durable_lsn_tracks_commits() {
+        let fs = MemFs::new();
+        let mut wal = open(&fs);
+        assert_eq!(wal.durable_lsn(), 0);
+        wal.append(&rec(1), 1);
+        wal.append(&rec(2), 1);
+        assert_eq!(wal.durable_lsn(), 0); // buffered, not durable
+        wal.commit().unwrap();
+        assert_eq!(wal.durable_lsn(), 2);
     }
 
     #[test]

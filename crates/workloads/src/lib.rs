@@ -27,6 +27,6 @@ pub use errors::{default_profiles, inject_errors, InjectionStats, MethodProfile}
 pub use mailing::{generate_addresses, MailingGenConfig};
 pub use survey::{render_appendix, run_survey, FacetCount, SurveyConfig};
 pub use trading::{
-    figure3_schema, figure4_parameter_view, figure5_quality_view, generate_trading,
-    trading_dictionary, trading_quality_schema, TradingGenConfig, TradingWorkload,
+    figure3_schema, figure4_parameter_view, figure5_quality_view, generate_trading, trade_schema,
+    trade_stream, trading_dictionary, trading_quality_schema, TradingGenConfig, TradingWorkload,
 };

@@ -10,7 +10,9 @@ use er_model::{Cardinality, Correspondences, EntityType, ErAttribute, ErSchema, 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use relstore::{DataType, Date, DbError, DbResult, Schema, Value};
-use tagstore::{IndicatorDef, IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
+use tagstore::{
+    IndicatorDef, IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation, TaggedRow,
+};
 
 /// Figure 3's application view: client — trade — company_stock.
 pub fn figure3_schema() -> ErSchema {
@@ -324,34 +326,9 @@ pub fn generate_trading(cfg: &TradingGenConfig) -> DbResult<TradingWorkload> {
     }
 
     // trades
-    let trade_schema = Schema::of(&[
-        ("account_number", DataType::Int),
-        ("ticker_symbol", DataType::Text),
-        ("date", DataType::Date),
-        ("quantity", DataType::Int),
-        ("trade_price", DataType::Float),
-    ]);
-    let mut trades = TaggedRelation::empty(trade_schema, dict);
+    let mut trades = TaggedRelation::empty(trade_schema(), dict);
     for _ in 0..cfg.trades {
-        let acct = rng.gen_range(0..cfg.clients.max(1)) as i64;
-        let tkr = ticker(rng.gen_range(0..cfg.stocks.max(1)));
-        let date = cfg.today.plus_days(-rng.gen_range(0..365i64));
-        let qty = rng.gen_range(1..1000i64) * if rng.gen_bool(0.5) { 1 } else { -1 };
-        let price = (rng.gen_range(100..100_000) as f64) / 100.0;
-        let inspected = rng.gen_bool(0.8);
-        let mut qty_cell = QualityCell::bare(qty)
-            .with_tag(IndicatorValue::new("source", "order desk"))
-            .with_tag(IndicatorValue::new("creation_time", Value::Date(date)));
-        if inspected {
-            qty_cell.set_tag(IndicatorValue::new("inspection", "double entry"));
-        }
-        trades.push(vec![
-            QualityCell::bare(acct),
-            QualityCell::bare(tkr),
-            QualityCell::bare(Value::Date(date)),
-            qty_cell,
-            QualityCell::bare(price),
-        ])?;
+        trades.push(gen_trade_row(&mut rng, cfg))?;
     }
 
     Ok(TradingWorkload {
@@ -359,6 +336,51 @@ pub fn generate_trading(cfg: &TradingGenConfig) -> DbResult<TradingWorkload> {
         stocks,
         trades,
     })
+}
+
+/// Schema of the trade relation (`generate_trading`'s `trades` and every
+/// row [`trade_stream`] yields).
+pub fn trade_schema() -> Schema {
+    Schema::of(&[
+        ("account_number", DataType::Int),
+        ("ticker_symbol", DataType::Text),
+        ("date", DataType::Date),
+        ("quantity", DataType::Int),
+        ("trade_price", DataType::Float),
+    ])
+}
+
+fn gen_trade_row(rng: &mut StdRng, cfg: &TradingGenConfig) -> TaggedRow {
+    let acct = rng.gen_range(0..cfg.clients.max(1)) as i64;
+    let tkr = ticker(rng.gen_range(0..cfg.stocks.max(1)));
+    let date = cfg.today.plus_days(-rng.gen_range(0..365i64));
+    let qty = rng.gen_range(1..1000i64) * if rng.gen_bool(0.5) { 1 } else { -1 };
+    let price = (rng.gen_range(100..100_000) as f64) / 100.0;
+    let inspected = rng.gen_bool(0.8);
+    let mut qty_cell = QualityCell::bare(qty)
+        .with_tag(IndicatorValue::new("source", "order desk"))
+        .with_tag(IndicatorValue::new("creation_time", Value::Date(date)));
+    if inspected {
+        qty_cell.set_tag(IndicatorValue::new("inspection", "double entry"));
+    }
+    vec![
+        QualityCell::bare(acct),
+        QualityCell::bare(tkr),
+        QualityCell::bare(Value::Date(date)),
+        qty_cell,
+        QualityCell::bare(price),
+    ]
+}
+
+/// A seeded *streaming* generator of `cfg.trades` trade rows: identical
+/// rows every run, O(1) memory however large the count — this is how
+/// multi-million-row paged workloads are driven without materializing
+/// anything. Rows follow [`trade_schema`] and validate against
+/// [`trading_dictionary`].
+pub fn trade_stream(cfg: &TradingGenConfig) -> impl Iterator<Item = TaggedRow> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cfg = cfg.clone();
+    (0..cfg.trades).map(move |_| gen_trade_row(&mut rng, &cfg))
 }
 
 /// Extension trait adding the trading-domain indicators to the paper
@@ -451,6 +473,24 @@ mod tests {
         assert_eq!(a.clients.len(), 10);
         assert_eq!(a.stocks.len(), 5);
         assert_eq!(a.trades.len(), 50);
+    }
+
+    #[test]
+    fn trade_stream_is_deterministic_and_schema_valid() {
+        let cfg = TradingGenConfig {
+            trades: 200,
+            ..Default::default()
+        };
+        let a: Vec<_> = trade_stream(&cfg).collect();
+        let b: Vec<_> = trade_stream(&cfg).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        // every streamed row loads into a relation under the dictionary
+        let mut rel = TaggedRelation::empty(trade_schema(), trading_dictionary());
+        for row in a {
+            rel.push(row).unwrap();
+        }
+        assert_eq!(rel.len(), 200);
     }
 
     #[test]

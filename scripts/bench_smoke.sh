@@ -105,7 +105,23 @@ DQ_BENCH_MVCC_JSON="$DQ_BENCH_MVCC_JSON" DQ_MVCC_MS="${DQ_MVCC_MS:-$DQ_BENCH_MS}
 
 echo "wrote $(wc -l < "$DQ_BENCH_MVCC_JSON") records to $DQ_BENCH_MVCC_JSON"
 
+# B13: paged storage under a budget-capped buffer pool — streamed load,
+# point-read qps + hit rate at 5/25/100% pool budgets, and dirty-page
+# checkpoint cost vs dirty fraction. Pass DQ_POOL_TIERS=1000000,10000000
+# for the full larger-than-RAM ladder; the default 1M tier keeps the
+# smoke run's disk and time budget modest.
+DQ_BENCH_POOL_JSON="${DQ_BENCH_POOL_JSON:-$PWD/BENCH_pool.json}"
+DQ_BENCH_POOL_JSON="$DQ_BENCH_POOL_JSON" DQ_POOL_MS="${DQ_POOL_MS:-$DQ_BENCH_MS}" \
+    cargo run -q --offline --release -p dq-bench --bin pool_bench
+
+echo "wrote $(wc -l < "$DQ_BENCH_POOL_JSON") records to $DQ_BENCH_POOL_JSON"
+
 # Regression gate: forced-8-thread index build must not be slower than
 # serial at >=100k rows (fails the run; warn-only on single-CPU boxes;
 # always fails if the bench json is missing or empty).
 scripts/index_build_gate.sh "$DQ_BENCH_VECTOR_JSON"
+
+# Regression gate: dirty-page checkpoints must stay bounded by the pool
+# (O(dirty), not O(db)) and a full-budget pool must serve reads from
+# memory (fails the run; always fails if the json is missing or empty).
+scripts/pool_gate.sh "$DQ_BENCH_POOL_JSON"

@@ -86,8 +86,19 @@ DQ_MVCC_MS=100 DQ_MVCC_ROWS=64 DQ_MVCC_READERS=4 \
     DQ_BENCH_MVCC_JSON=/tmp/ci_bench_mvcc.json \
     cargo run -q --offline --release -p dq-bench --bin mvcc_burst >/dev/null
 
+# B13 smoke at the 20k tier: paged load + parity read-back, pool hit
+# rate vs budget, and dirty-page checkpoint bounds. The gate's
+# structural checks (missing json, checkpoint flushing more than the
+# pool holds) fail even in warn-only mode.
+DQ_POOL_TIERS=20000 DQ_POOL_MS=50 \
+    DQ_BENCH_POOL_JSON=/tmp/ci_bench_pool.json \
+    cargo run -q --offline --release -p dq-bench --bin pool_bench >/dev/null
+scripts/pool_gate.sh --warn-only /tmp/ci_bench_pool.json
+
 # Crash-recovery at a higher case count: random op sequences cut at
-# every prefix must recover to exactly the committed state.
+# every prefix must recover to exactly the committed state (including
+# the paged-relation crash-prefix, torn dirty-page flush, and torn
+# manifest-publish properties).
 PROPTEST_CASES=128 cargo test -q --offline -p dq-storage proptests
 
 # Recovery gate: write through the WAL into a temp directory, crash with

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Buffer-pool / dirty-page-checkpoint regression gate.
+#
+# Reads B13 records from a bench JSON file (one JSON object per line,
+# as written by pool_bench):
+#
+#   {"id":"B13/pool_read/1000000/budget25","qps":...,"hit_rate":0.53,"pool_pages":52,"total_pages":211}
+#   {"id":"B13/checkpoint/1000000/dirty1","ms":...,"pages_flushed":52,"pages_total":211,"pool_pages":52}
+#
+# Policy:
+#   * bench json missing or empty                -> FAIL (exit 1) always,
+#     even under --warn-only: a gate that silently passes when its input
+#     never got written is not a gate (same rule as index_build_gate.sh)
+#   * no B13/pool_read or no B13/checkpoint rows -> FAIL (exit 1) always
+#   * checkpoint pages_flushed > pool_pages      -> FAIL: the dirty-page
+#     checkpoint flushed more than the pool can even hold resident, so
+#     it cannot be O(dirty) (structural; exact, never noisy)
+#   * checkpoint pages_flushed >= pages_total while pages_total > 2 *
+#     pool_pages                                 -> FAIL: a supposedly
+#     incremental checkpoint rewrote the whole database
+#   * full-budget hit_rate < 0.9                 -> FAIL (warn under
+#     --warn-only): a pool holding every page must serve reads from
+#     memory; anything else means pins/eviction bookkeeping is broken
+#
+# Usage: pool_gate.sh [--warn-only] [BENCH_pool.json]
+set -euo pipefail
+
+warn_only=0
+if [ "${1:-}" = "--warn-only" ]; then
+    warn_only=1
+    shift
+fi
+json="${1:-BENCH_pool.json}"
+
+if [ ! -s "$json" ]; then
+    echo "pool_gate: FAIL: $json missing or empty — the bench never ran or wrote nothing" >&2
+    exit 1
+fi
+
+if ! grep -q '"id":"B13/pool_read/' "$json"; then
+    echo "pool_gate: FAIL: no B13/pool_read records in $json" >&2
+    exit 1
+fi
+if ! grep -q '"id":"B13/checkpoint/' "$json"; then
+    echo "pool_gate: FAIL: no B13/checkpoint records in $json" >&2
+    exit 1
+fi
+
+status=0
+
+# Dirty-page checkpoints: flushed pages bounded by the pool (resident
+# dirty set), and never a whole-database rewrite once the database is
+# meaningfully larger than the pool.
+while read -r id flushed total pool; do
+    if [ "$flushed" -gt "$pool" ]; then
+        echo "pool_gate: FAIL: $id flushed $flushed pages with a $pool-frame pool" >&2
+        status=1
+    elif [ "$total" -gt $((2 * pool)) ] && [ "$flushed" -ge "$total" ]; then
+        echo "pool_gate: FAIL: $id rewrote all $total pages — checkpoint is O(db), not O(dirty)" >&2
+        status=1
+    else
+        echo "pool_gate: ok: $id flushed $flushed of $total pages (pool $pool)"
+    fi
+done < <(grep '"id":"B13/checkpoint/' "$json" |
+    sed -E 's|.*"id":"(B13/checkpoint/[^"]+)".*"pages_flushed":([0-9]+).*"pages_total":([0-9]+).*"pool_pages":([0-9]+).*|\1 \2 \3 \4|')
+
+# Full-budget reads must be effectively all pool hits.
+while read -r id rate; do
+    ok="$(awk -v r="$rate" 'BEGIN { print (r >= 0.9) ? 1 : 0 }')"
+    if [ "$ok" -eq 1 ]; then
+        echo "pool_gate: ok: $id hit rate $rate"
+    elif [ "$warn_only" -eq 1 ]; then
+        echo "pool_gate: WARNING: $id hit rate $rate below 0.9 at full budget" >&2
+    else
+        echo "pool_gate: FAIL: $id hit rate $rate below 0.9 at full budget" >&2
+        status=1
+    fi
+done < <(grep '"id":"B13/pool_read/[0-9]*/budget100"' "$json" |
+    sed -E 's|.*"id":"(B13/pool_read/[^"]+)".*"hit_rate":([0-9.]+).*|\1 \2|')
+
+exit "$status"
