@@ -14,6 +14,48 @@ use tagstore::{
     select_indexed_columnar, select_vectorized, QualityCell, TaggedRelation,
 };
 
+/// Page-level I/O counters a [`PagedProvider`] reports for one indexed
+/// select: how many pages were fetched, how many of those were already
+/// resident in the buffer pool, and how many heap pages held candidate
+/// rows (the page-skipping denominator). Surfaces in `EXPLAIN ANALYZE`
+/// as `pages_read=`/`pool_hits=` annotations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagedScanStats {
+    /// Pages fetched from disk or found resident during the select.
+    pub pages_read: u64,
+    /// Of those, pages served from the buffer pool without I/O.
+    pub pool_hits: u64,
+    /// Heap pages holding at least one candidate row.
+    pub candidate_pages: u64,
+}
+
+/// A base table living in paged (larger-than-RAM) storage, served
+/// through whatever owns the buffer pool — typically the `dq-server`
+/// session layer wrapping a `DurableDb`. The executor never sees pages;
+/// it asks for whole (small) results and page-level stats.
+///
+/// Registered via [`QueryCatalog::register_paged`]; the planner routes
+/// index-eligible filters to [`Plan::PagedIndexScan`] and everything
+/// else to streaming scans.
+pub trait PagedProvider: Send + Sync + std::fmt::Debug {
+    /// Application schema of the paged relation.
+    fn schema(&self) -> DbResult<Schema>;
+    /// Current row count.
+    fn row_count(&self) -> DbResult<u64>;
+    /// Full materialization (streamed through the pool with
+    /// scan-resistant admission).
+    fn scan(&self) -> DbResult<TaggedRelation>;
+    /// Streaming σ: every page visited once, rows filtered on the fly.
+    fn select(&self, predicate: &Expr) -> DbResult<TaggedRelation>;
+    /// Index-driven σ: bitmap candidates → sorted page fetch with
+    /// readahead → residual re-check. Byte-identical to
+    /// [`PagedProvider::select`].
+    fn select_indexed(&self, predicate: &Expr) -> DbResult<(TaggedRelation, PagedScanStats)>;
+    /// Planner estimate: rendered index-answerable atoms plus the
+    /// estimated matching fraction, `None` when nothing is sargable.
+    fn access_estimate(&self, predicate: &Expr) -> Option<(Vec<String>, f64)>;
+}
+
 /// One registered table and **all** of its physical access paths, bound
 /// together so they can never go stale against each other: the columnar
 /// layout, the quality bitmap index, and the per-key hash indexes are
@@ -106,6 +148,11 @@ impl TableEntry {
 #[derive(Debug, Clone, Default)]
 pub struct QueryCatalog {
     tables: Arc<HashMap<String, Arc<TableEntry>>>,
+    /// Paged (larger-than-RAM) tables, served through a
+    /// [`PagedProvider`] instead of a resident [`TableEntry`]. Disjoint
+    /// from `tables` by construction: registering a name in one map
+    /// removes it from the other.
+    paged: Arc<HashMap<String, Arc<dyn PagedProvider>>>,
     generation: u64,
 }
 
@@ -120,10 +167,46 @@ impl QueryCatalog {
     /// swap, and the catalog generation advances so plan caches keyed on
     /// it know to re-plan. Existing clones (snapshots) are unaffected.
     pub fn register(&mut self, name: impl Into<String>, rel: TaggedRelation) {
+        let name = name.into();
+        if self.paged.contains_key(&name) {
+            let mut paged: HashMap<String, Arc<dyn PagedProvider>> = (*self.paged).clone();
+            paged.remove(&name);
+            self.paged = Arc::new(paged);
+        }
         let mut tables: HashMap<String, Arc<TableEntry>> = (*self.tables).clone();
-        tables.insert(name.into(), Arc::new(TableEntry::new(rel)));
+        tables.insert(name, Arc::new(TableEntry::new(rel)));
         self.tables = Arc::new(tables);
         self.generation += 1;
+    }
+
+    /// Registers (or replaces) a **paged** table served through
+    /// `provider`. Queries route through [`Plan::PagedIndexScan`] /
+    /// streaming paged scans instead of the resident access paths; the
+    /// generation advances just like [`QueryCatalog::register`] so plan
+    /// caches re-plan against the new entry.
+    pub fn register_paged(&mut self, name: impl Into<String>, provider: Arc<dyn PagedProvider>) {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            let mut tables: HashMap<String, Arc<TableEntry>> = (*self.tables).clone();
+            tables.remove(&name);
+            self.tables = Arc::new(tables);
+        }
+        let mut paged: HashMap<String, Arc<dyn PagedProvider>> = (*self.paged).clone();
+        paged.insert(name, provider);
+        self.paged = Arc::new(paged);
+        self.generation += 1;
+    }
+
+    /// True iff `name` is registered as a paged table.
+    pub fn is_paged_table(&self, name: &str) -> bool {
+        self.paged.contains_key(name)
+    }
+
+    /// The provider behind a paged table.
+    fn paged_provider(&self, name: &str) -> DbResult<&Arc<dyn PagedProvider>> {
+        self.paged
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
     }
 
     /// Monotone registration counter: bumped by every
@@ -160,10 +243,16 @@ impl QueryCatalog {
             .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
     }
 
-    /// Registered names, sorted.
+    /// Registered names — resident and paged — sorted.
     pub fn names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        let mut v: Vec<&str> = self
+            .tables
+            .keys()
+            .chain(self.paged.keys())
+            .map(String::as_str)
+            .collect();
         v.sort_unstable();
+        v.dedup();
         v
     }
 
@@ -193,12 +282,18 @@ impl QueryCatalog {
 
 impl SchemaProvider for QueryCatalog {
     fn schema_of(&self, name: &str) -> DbResult<Schema> {
+        if let Some(p) = self.paged.get(name) {
+            return p.schema();
+        }
         self.get(name).map(|r| r.schema().clone())
     }
 }
 
 impl AccessPathStats for QueryCatalog {
     fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)> {
+        if let Some(p) = self.paged.get(table) {
+            return p.access_estimate(predicate);
+        }
         let entry = self.tables.get(table)?;
         let (atoms, _residual) = extract_atoms(&entry.rel, predicate);
         if atoms.is_empty() {
@@ -206,6 +301,10 @@ impl AccessPathStats for QueryCatalog {
         }
         let est = entry.quality_index().estimate(&atoms)?;
         Some((atoms.iter().map(|a| a.to_string()).collect(), est))
+    }
+
+    fn is_paged(&self, table: &str) -> bool {
+        self.paged.contains_key(table)
     }
 }
 
@@ -306,6 +405,11 @@ pub struct OpTrace {
     /// column arrays + tag runs), `None` for row-at-a-time and
     /// row-gather vectorized operators.
     pub layout: Option<&'static str>,
+    /// Pages fetched through the buffer pool (paged operators only;
+    /// `None` for resident tables).
+    pub pages_read: Option<u64>,
+    /// Of `pages_read`, pages served without I/O (paged operators only).
+    pub pool_hits: Option<u64>,
     /// Child traces in plan order.
     pub children: Vec<OpTrace>,
 }
@@ -349,6 +453,12 @@ impl OpTrace {
         }
         if let Some(layout) = self.layout {
             let _ = write!(out, " layout={layout}");
+        }
+        if let Some(pages) = self.pages_read {
+            let _ = write!(out, " pages_read={pages}");
+        }
+        if let Some(hits) = self.pool_hits {
+            let _ = write!(out, " pool_hits={hits}");
         }
         out.push('\n');
         for child in &self.children {
@@ -523,6 +633,12 @@ fn prepare_tag(catalog: &QueryCatalog, stmt: Statement) -> DbResult<TagWrite> {
             "TAG cannot set meta tags directly; tag the indicator value instead".into(),
         ));
     }
+    if catalog.is_paged_table(&table) {
+        return Err(DbError::InvalidExpression(format!(
+            "table `{table}` lives in paged storage; TAG it through the \
+             durable writer (paged_tag_cell), not the query layer"
+        )));
+    }
     let rel = catalog.get(&table)?.clone();
     let mask = match &filter {
         Some(f) => algebra::evaluate_mask(&rel, f)?,
@@ -558,19 +674,30 @@ fn prepare_tag(catalog: &QueryCatalog, stmt: Statement) -> DbResult<TagWrite> {
 /// the `query.op_us` histogram only gets samples from traced runs.
 pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> {
     let rel = match plan {
-        Plan::Scan(name) => catalog.get(name)?.clone(),
+        Plan::Scan(name) => {
+            if let Some(p) = catalog.paged.get(name) {
+                p.scan()?
+            } else {
+                catalog.get(name)?.clone()
+            }
+        }
         // σ over a base table: columnar kernels against the catalog's
         // cached layout, rows materialize only at the operator boundary.
+        // Paged tables stream through their provider instead.
         Plan::Filter { input, predicate } if matches!(&**input, Plan::Scan(_)) => {
             let Plan::Scan(name) = &**input else {
                 unreachable!()
             };
-            match try_point_lookup(catalog, name, predicate)? {
-                Some(out) => out,
-                None => {
-                    let crel = catalog.columnar(name)?;
-                    let (out, _stats) = select_columnar(&crel, predicate, exec_batch_size())?;
-                    out.to_tagged()
+            if let Some(p) = catalog.paged.get(name) {
+                p.select(predicate)?
+            } else {
+                match try_point_lookup(catalog, name, predicate)? {
+                    Some(out) => out,
+                    None => {
+                        let crel = catalog.columnar(name)?;
+                        let (out, _stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+                        out.to_tagged()
+                    }
                 }
             }
         }
@@ -638,12 +765,18 @@ pub fn execute(catalog: &QueryCatalog, plan: &Plan) -> DbResult<TaggedRelation> 
                 }
             }
         }
+        Plan::PagedIndexScan {
+            table, predicate, ..
+        } => {
+            let (out, _stats) = catalog.paged_provider(table)?.select_indexed(predicate)?;
+            out
+        }
         Plan::IndexJoin {
             left,
             right_table,
             left_key,
             right_key,
-        } if matches!(&**left, Plan::Scan(_)) => {
+        } if matches!(&**left, Plan::Scan(n) if !catalog.is_paged_table(n)) => {
             let Plan::Scan(lname) = &**left else {
                 unreachable!()
             };
@@ -750,13 +883,31 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
     // Per arm: result, rows-in, planner estimate, whether an observed
     // selectivity is meaningful, (batches, batch width) for vectorized
     // operators, child traces, local elapsed time, physical layout.
+    // Paged operators additionally record their page I/O in `io`
+    // (pages fetched, pool hits).
+    let mut io: Option<(u64, u64)> = None;
     let (rel, rows_in, est_selectivity, selective, batch, children, elapsed, layout) = match plan
     {
         Plan::Scan(name) => {
             let t0 = Instant::now();
-            let rel = catalog.get(name)?.clone();
-            let n = rel.len();
-            (rel, n, None, false, None, Vec::new(), t0.elapsed(), None)
+            if let Some(p) = catalog.paged.get(name) {
+                let rel = p.scan()?;
+                let n = rel.len();
+                (
+                    rel,
+                    n,
+                    None,
+                    false,
+                    None,
+                    Vec::new(),
+                    t0.elapsed(),
+                    Some("paged"),
+                )
+            } else {
+                let rel = catalog.get(name)?.clone();
+                let n = rel.len();
+                (rel, n, None, false, None, Vec::new(), t0.elapsed(), None)
+            }
         }
         // σ directly over a base table runs the columnar kernels against
         // the catalog's cached columnar layout — no row clone of the
@@ -767,22 +918,40 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
                 unreachable!()
             };
             let t0 = Instant::now();
-            let crel = catalog.columnar(name)?;
-            let (out, stats) = select_columnar(&crel, predicate, exec_batch_size())?;
-            let rel = out.to_tagged();
-            let n = crel.len();
-            let child = synth_scan_trace(input, n);
-            let batch = Some((stats.batches, stats.batch_size));
-            (
-                rel,
-                n,
-                None,
-                true,
-                batch,
-                vec![child],
-                t0.elapsed(),
-                Some("columnar"),
-            )
+            if let Some(p) = catalog.paged.get(name) {
+                // streaming σ through the paged provider: the scan is
+                // absorbed (pages never materialize as a relation)
+                let rel = p.select(predicate)?;
+                let n = p.row_count()? as usize;
+                let child = synth_scan_trace(input, n, Some("paged"));
+                (
+                    rel,
+                    n,
+                    None,
+                    true,
+                    None,
+                    vec![child],
+                    t0.elapsed(),
+                    Some("paged"),
+                )
+            } else {
+                let crel = catalog.columnar(name)?;
+                let (out, stats) = select_columnar(&crel, predicate, exec_batch_size())?;
+                let rel = out.to_tagged();
+                let n = crel.len();
+                let child = synth_scan_trace(input, n, Some("columnar"));
+                let batch = Some((stats.batches, stats.batch_size));
+                (
+                    rel,
+                    n,
+                    None,
+                    true,
+                    batch,
+                    vec![child],
+                    t0.elapsed(),
+                    Some("columnar"),
+                )
+            }
         }
         Plan::Filter { input, predicate } => {
             let (input_rel, child) = execute_traced(catalog, input)?;
@@ -883,6 +1052,28 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
                 Some("columnar"),
             )
         }
+        Plan::PagedIndexScan {
+            table,
+            predicate,
+            est_selectivity,
+            ..
+        } => {
+            let t0 = Instant::now();
+            let p = catalog.paged_provider(table)?;
+            let n = p.row_count()? as usize;
+            let (out, stats) = p.select_indexed(predicate)?;
+            io = Some((stats.pages_read, stats.pool_hits));
+            (
+                out,
+                n,
+                Some(*est_selectivity),
+                true,
+                None,
+                Vec::new(),
+                t0.elapsed(),
+                Some("paged"),
+            )
+        }
         // ⋈ probing straight out of a base-table scan runs the columnar
         // probe over both cached columnar relations: key reads touch only
         // the key column, and the gather assembles output columns run by
@@ -892,7 +1083,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             right_table,
             left_key,
             right_key,
-        } if matches!(&**left, Plan::Scan(_)) => {
+        } if matches!(&**left, Plan::Scan(n) if !catalog.is_paged_table(n)) => {
             let Plan::Scan(lname) = &**left else {
                 unreachable!()
             };
@@ -908,7 +1099,7 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
             let n = cl.len() + cr.len();
             let (out, stats) =
                 hash_join_probe_columnar(&cl, &cr, left_key, right_key, &idx, exec_batch_size())?;
-            let lt = synth_scan_trace(left, cl.len());
+            let lt = synth_scan_trace(left, cl.len(), Some("columnar"));
             let batch = Some((stats.batches, stats.batch_size));
             (
                 out.to_tagged(),
@@ -960,16 +1151,19 @@ pub fn execute_traced(catalog: &QueryCatalog, plan: &Plan) -> DbResult<(TaggedRe
         batches: batch.map(|(b, _)| b),
         batch_size: batch.map(|(_, s)| s),
         layout,
+        pages_read: io.map(|(p, _)| p),
+        pool_hits: io.map(|(_, h)| h),
         children,
     };
     Ok((rel, trace))
 }
 
-/// Trace line for a base-table scan a columnar parent absorbed: the
+/// Trace line for a base-table scan a parent operator absorbed: the
 /// scan never materialized rows (the parent read the catalog's cached
-/// columnar layout directly), so it reports the table's row count and
-/// zero local time.
-fn synth_scan_trace(scan: &Plan, rows: usize) -> OpTrace {
+/// columnar layout, or streamed the paged heap, directly), so it
+/// reports the table's row count and zero local time under the parent's
+/// physical layout.
+fn synth_scan_trace(scan: &Plan, rows: usize, layout: Option<&'static str>) -> OpTrace {
     OpTrace {
         label: scan.node_line(),
         rows_out: rows,
@@ -979,7 +1173,9 @@ fn synth_scan_trace(scan: &Plan, rows: usize) -> OpTrace {
         actual_selectivity: None,
         batches: None,
         batch_size: None,
-        layout: Some("columnar"),
+        layout,
+        pages_read: None,
+        pool_hits: None,
         children: Vec::new(),
     }
 }
@@ -1762,5 +1958,221 @@ mod mutation_tests {
         let mut c = catalog();
         // type error inside the value expression surfaces
         assert!(run_mut(&mut c, "TAG customer SET employees@source = name + 1").is_err());
+    }
+}
+
+#[cfg(test)]
+mod paged_tests {
+    use super::*;
+    use relstore::{Date, Value};
+    use tagstore::{IndicatorDictionary, IndicatorValue};
+
+    /// In-memory stand-in for the server's DurableDb-backed provider:
+    /// answers from a held relation and reports canned page stats, so
+    /// the planner/executor/EXPLAIN wiring is testable without a disk.
+    #[derive(Debug)]
+    struct MemPaged {
+        rel: TaggedRelation,
+        stats: PagedScanStats,
+    }
+
+    impl PagedProvider for MemPaged {
+        fn schema(&self) -> DbResult<Schema> {
+            Ok(self.rel.schema().clone())
+        }
+        fn row_count(&self) -> DbResult<u64> {
+            Ok(self.rel.len() as u64)
+        }
+        fn scan(&self) -> DbResult<TaggedRelation> {
+            Ok(self.rel.clone())
+        }
+        fn select(&self, predicate: &Expr) -> DbResult<TaggedRelation> {
+            algebra::select(&self.rel, predicate)
+        }
+        fn select_indexed(&self, predicate: &Expr) -> DbResult<(TaggedRelation, PagedScanStats)> {
+            Ok((algebra::select(&self.rel, predicate)?, self.stats))
+        }
+        fn access_estimate(&self, predicate: &Expr) -> Option<(Vec<String>, f64)> {
+            let (atoms, _) = extract_atoms(&self.rel, predicate);
+            if atoms.is_empty() {
+                return None;
+            }
+            let est = QualityIndex::build(&self.rel).estimate(&atoms)?;
+            Some((atoms.iter().map(|a| a.to_string()).collect(), est))
+        }
+    }
+
+    fn stocks() -> TaggedRelation {
+        let dict = IndicatorDictionary::with_paper_defaults();
+        let mk = |t: &str, p: f64, src: &str| {
+            vec![
+                QualityCell::bare(t),
+                QualityCell::bare(p)
+                    .with_tag(IndicatorValue::new("creation_time", Value::Date(Date::parse("10-1-91").unwrap())))
+                    .with_tag(IndicatorValue::new("source", src)),
+            ]
+        };
+        TaggedRelation::new(
+            Schema::of(&[("ticker", DataType::Text), ("price", DataType::Float)]),
+            dict,
+            vec![
+                mk("FRT", 10.0, "NYSE feed"),
+                mk("NUT", 20.0, "NYSE feed"),
+                mk("BLT", 30.0, "manual entry"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn trades() -> TaggedRelation {
+        TaggedRelation::new(
+            Schema::of(&[("tkr", DataType::Text), ("qty", DataType::Int)]),
+            IndicatorDictionary::with_paper_defaults(),
+            vec![
+                vec![QualityCell::bare("FRT"), QualityCell::bare(100i64)],
+                vec![QualityCell::bare("NUT"), QualityCell::bare(10i64)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn paged_catalog(stats: PagedScanStats) -> QueryCatalog {
+        let mut c = QueryCatalog::new();
+        c.register_paged("stocks", Arc::new(MemPaged { rel: stocks(), stats }));
+        c.register("trades", trades());
+        c
+    }
+
+    #[test]
+    fn paged_table_plans_paged_index_scan_and_matches_inmemory() {
+        let paged = paged_catalog(PagedScanStats::default());
+        let mut resident = QueryCatalog::new();
+        resident.register("stocks", stocks());
+        resident.register("trades", trades());
+        for sql in [
+            "SELECT * FROM stocks",
+            "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')",
+            "SELECT ticker FROM stocks WHERE price > 5 \
+             WITH QUALITY (price@source <> 'manual entry')",
+            "SELECT * FROM stocks WHERE price > 15",
+            "SELECT tkr, price FROM trades JOIN stocks ON tkr = ticker",
+        ] {
+            let a = run(&paged, sql).unwrap();
+            let b = run(&resident, sql).unwrap();
+            assert_eq!(a.relation().strip(), b.relation().strip(), "{sql}");
+        }
+        // the selective quality σ takes the paged index path…
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
+        let e = explain(&paged, sql, &Planner::default()).unwrap();
+        assert!(
+            e.contains("PagedIndexScan table=stocks access=bitmap[price@source=manual entry]"),
+            "{e}"
+        );
+        assert!(e.contains("est_selectivity=0.3333"), "{e}");
+        // …the same query over the resident copy takes the in-memory one
+        let e = explain(&resident, sql, &Planner::default()).unwrap();
+        assert!(e.contains("IndexScan table=stocks"), "{e}");
+        // a value-only σ has no sargable atoms: streaming paged filter
+        let e = explain(&paged, "SELECT * FROM stocks WHERE price > 15", &Planner::default())
+            .unwrap();
+        assert!(e.contains("Filter predicate="), "{e}");
+        assert!(e.contains("TableScan table=stocks access=scan"), "{e}");
+    }
+
+    #[test]
+    fn explain_analyze_annotates_paged_operators() {
+        let c = paged_catalog(PagedScanStats {
+            pages_read: 7,
+            pool_hits: 3,
+            candidate_pages: 5,
+        });
+        let sql = "SELECT * FROM stocks WITH QUALITY (price@source = 'manual entry')";
+        let r = run(&c, &format!("EXPLAIN ANALYZE {sql}")).unwrap();
+        assert_eq!(r.relation().len(), 1);
+        let report = r.report().unwrap();
+        let line = report
+            .lines()
+            .find(|l| l.contains("PagedIndexScan"))
+            .unwrap_or_else(|| panic!("no PagedIndexScan line in:\n{report}"));
+        for needle in [
+            "rows=1",
+            "est_selectivity=0.3333 actual_selectivity=0.3333 err=+0.0000",
+            "layout=paged",
+            "pages_read=7",
+            "pool_hits=3",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in: {line}");
+        }
+        // streaming σ over the paged heap: layout=paged, no page stats
+        // (the provider visits every page; nothing was skipped)
+        let report =
+            explain_analyze(&c, "SELECT * FROM stocks WHERE price > 15", &Planner::default())
+                .unwrap();
+        let line = report.lines().find(|l| l.starts_with("Filter")).unwrap();
+        assert!(line.contains("layout=paged"), "{report}");
+        assert!(!line.contains("pages_read="), "{report}");
+        // operator text still matches plain EXPLAIN, line for line
+        let plain = explain(&c, sql, &Planner::default()).unwrap();
+        let analyzed = explain_analyze(&c, sql, &Planner::default()).unwrap();
+        let ops: Vec<&str> = analyzed
+            .lines()
+            .map(|l| l.split(" | ").next().unwrap())
+            .collect();
+        assert_eq!(plain.lines().collect::<Vec<_>>(), ops);
+    }
+
+    #[test]
+    fn joins_never_probe_a_paged_right_side() {
+        let c = paged_catalog(PagedScanStats::default());
+        // stocks (paged) on the right: the IndexJoin rewrite must not
+        // fire — there is no resident key index to probe
+        let e = explain(
+            &c,
+            "SELECT * FROM trades JOIN stocks ON tkr = ticker",
+            &Planner::default(),
+        )
+        .unwrap();
+        assert!(e.contains("HashJoin on=tkr=ticker access=build"), "{e}");
+        assert!(!e.contains("IndexJoin"), "{e}");
+        // trades (resident) on the right still probes its index
+        let e = explain(
+            &c,
+            "SELECT * FROM stocks JOIN trades ON ticker = tkr",
+            &Planner::default(),
+        )
+        .unwrap();
+        assert!(e.contains("IndexJoin on=ticker=tkr right=trades"), "{e}");
+        // and the analyzed paged-left probe still executes correctly
+        let r = run(
+            &c,
+            "EXPLAIN ANALYZE SELECT * FROM stocks JOIN trades ON ticker = tkr",
+        )
+        .unwrap();
+        assert_eq!(r.relation().len(), 2);
+    }
+
+    #[test]
+    fn paged_catalog_surface() {
+        let mut c = paged_catalog(PagedScanStats::default());
+        assert!(c.is_paged_table("stocks"));
+        assert!(!c.is_paged_table("trades"));
+        assert_eq!(c.names(), vec!["stocks", "trades"]);
+        assert_eq!(
+            c.schema_of("stocks").unwrap().names(),
+            vec!["ticker", "price"]
+        );
+        // TAG routes writers to the storage layer
+        let err = run_mut(&mut c, "TAG stocks SET price@source = 'x'").unwrap_err();
+        assert!(
+            err.to_string().contains("paged storage"),
+            "unhelpful error: {err}"
+        );
+        // re-registering as resident flips the table out of the paged map
+        let g0 = c.generation();
+        c.register("stocks", stocks());
+        assert!(!c.is_paged_table("stocks"));
+        assert!(c.generation() > g0);
+        assert_eq!(c.names(), vec!["stocks", "trades"]);
+        assert!(run_mut(&mut c, "TAG stocks SET price@source = 'x'").is_ok());
     }
 }

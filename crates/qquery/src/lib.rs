@@ -43,7 +43,8 @@ pub use cache::{
 };
 pub use exec::{
     default_agg_policies, exec_batch_size, execute, execute_traced, explain, explain_analyze,
-    prepare_write, run, run_mut, run_with, OpTrace, QueryCatalog, QueryResult, TagWrite,
+    prepare_write, run, run_mut, run_with, OpTrace, PagedProvider, PagedScanStats, QueryCatalog,
+    QueryResult, TagWrite,
 };
 pub use parser::parse;
 pub use plan::{AccessPathStats, Plan, Planner, SchemaProvider};

@@ -84,6 +84,23 @@ pub enum Plan {
         /// row count at plan time).
         est_selectivity: f64,
     },
+    /// Index-assisted σ over a **paged** base table: the bitmap index
+    /// answer shrinks to the set of heap pages holding candidate rows,
+    /// only those pages are fetched through the buffer pool (sorted,
+    /// with readahead), and the residual predicate re-checks each
+    /// fetched row. Chosen by the same selectivity cutoff as
+    /// [`Plan::IndexScan`] when the table lives in paged storage.
+    PagedIndexScan {
+        /// Paged base table name.
+        table: String,
+        /// Full predicate (atoms + residual); the storage layer
+        /// re-derives the split against its live index.
+        predicate: Expr,
+        /// Rendered sargable atoms, for EXPLAIN output.
+        atoms: Vec<String>,
+        /// Estimated matching fraction in `[0, 1]`.
+        est_selectivity: f64,
+    },
     /// Equi-join where the right side is a bare base table probed through
     /// a prebuilt hash index instead of building one per execution.
     IndexJoin {
@@ -103,7 +120,7 @@ impl Plan {
     /// pushdown changed the shape).
     pub fn operator_count(&self) -> usize {
         match self {
-            Plan::Scan(_) | Plan::IndexScan { .. } => 1,
+            Plan::Scan(_) | Plan::IndexScan { .. } | Plan::PagedIndexScan { .. } => 1,
             Plan::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
             Plan::IndexJoin { left, .. } => 1 + left.operator_count(),
             Plan::Filter { input, .. }
@@ -136,7 +153,7 @@ impl Plan {
     pub fn has_filter_below_join(&self) -> bool {
         fn contains_filter(p: &Plan) -> bool {
             match p {
-                Plan::Filter { .. } | Plan::IndexScan { .. } => true,
+                Plan::Filter { .. } | Plan::IndexScan { .. } | Plan::PagedIndexScan { .. } => true,
                 Plan::Scan(_) => false,
                 Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
                 Plan::IndexJoin { left, .. } => contains_filter(left),
@@ -150,7 +167,7 @@ impl Plan {
         match self {
             Plan::Join { left, right, .. } => contains_filter(left) || contains_filter(right),
             Plan::IndexJoin { left, .. } => contains_filter(left),
-            Plan::Scan(_) | Plan::IndexScan { .. } => false,
+            Plan::Scan(_) | Plan::IndexScan { .. } | Plan::PagedIndexScan { .. } => false,
             Plan::Filter { input, .. }
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
@@ -192,6 +209,15 @@ impl Plan {
                 est_selectivity,
             } => format!(
                 "IndexScan table={table} access=bitmap[{}] est_selectivity={est_selectivity:.4} predicate={predicate}",
+                atoms.join(" AND ")
+            ),
+            Plan::PagedIndexScan {
+                table,
+                predicate,
+                atoms,
+                est_selectivity,
+            } => format!(
+                "PagedIndexScan table={table} access=bitmap[{}] est_selectivity={est_selectivity:.4} predicate={predicate}",
                 atoms.join(" AND ")
             ),
             Plan::Filter { predicate, .. } => format!("Filter predicate={predicate}"),
@@ -244,7 +270,7 @@ impl Plan {
     /// Child operators in render order.
     pub(crate) fn children(&self) -> Vec<&Plan> {
         match self {
-            Plan::Scan(_) | Plan::IndexScan { .. } => vec![],
+            Plan::Scan(_) | Plan::IndexScan { .. } | Plan::PagedIndexScan { .. } => vec![],
             Plan::Join { left, right, .. } => vec![left, right],
             Plan::IndexJoin { left, .. } => vec![left],
             Plan::Filter { input, .. }
@@ -279,6 +305,16 @@ pub trait AccessPathStats {
     /// estimated matching fraction (bitmap popcount / row count).
     /// `None` means no usable index path — keep the scan.
     fn access_estimate(&self, table: &str, predicate: &Expr) -> Option<(Vec<String>, f64)>;
+
+    /// True when `table` lives in paged storage: an index-eligible
+    /// filter over it becomes a [`Plan::PagedIndexScan`] (page-skipping
+    /// fetch through the buffer pool) instead of an in-memory
+    /// [`Plan::IndexScan`], and joins never probe it as an
+    /// [`Plan::IndexJoin`] right side (there is no resident hash index
+    /// to probe).
+    fn is_paged(&self, _table: &str) -> bool {
+        false
+    }
 }
 
 /// Test/small-scale provider: builds a [`QualityIndex`] per call. Real
@@ -634,11 +670,20 @@ impl Planner {
                         // define its estimate as 0.0.
                         let est = if est.is_finite() { est } else { 0.0 };
                         if est < INDEX_SELECTIVITY_CUTOFF {
-                            return Plan::IndexScan {
-                                table: table.clone(),
-                                predicate,
-                                atoms,
-                                est_selectivity: est,
+                            return if stats.is_paged(table) {
+                                Plan::PagedIndexScan {
+                                    table: table.clone(),
+                                    predicate,
+                                    atoms,
+                                    est_selectivity: est,
+                                }
+                            } else {
+                                Plan::IndexScan {
+                                    table: table.clone(),
+                                    predicate,
+                                    atoms,
+                                    est_selectivity: est,
+                                }
                             };
                         }
                     }
@@ -656,12 +701,23 @@ impl Planner {
             } => {
                 let left = Box::new(self.optimize(*left, stats));
                 let right = self.optimize(*right, stats);
+                // A paged right side has no resident key index to probe;
+                // the hash join builds from its scan instead.
                 if let Plan::Scan(table) = right {
-                    Plan::IndexJoin {
-                        left,
-                        right_table: table,
-                        left_key,
-                        right_key,
+                    if stats.is_paged(&table) {
+                        Plan::Join {
+                            left,
+                            right: Box::new(Plan::Scan(table)),
+                            left_key,
+                            right_key,
+                        }
+                    } else {
+                        Plan::IndexJoin {
+                            left,
+                            right_table: table,
+                            left_key,
+                            right_key,
+                        }
                     }
                 } else {
                     Plan::Join {
@@ -696,7 +752,10 @@ impl Planner {
                 input: Box::new(self.optimize(*input, stats)),
                 n,
             },
-            leaf @ (Plan::Scan(_) | Plan::IndexScan { .. } | Plan::IndexJoin { .. }) => leaf,
+            leaf @ (Plan::Scan(_)
+            | Plan::IndexScan { .. }
+            | Plan::PagedIndexScan { .. }
+            | Plan::IndexJoin { .. }) => leaf,
         }
     }
 }

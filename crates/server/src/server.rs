@@ -20,9 +20,10 @@
 //! published epoch, so a restart resumes the same epoch line.
 
 use crate::session::Session;
-use dq_query::{QueryCatalog, QueryResult, TagWrite};
+use dq_query::{PagedProvider, PagedScanStats, QueryCatalog, QueryResult, TagWrite};
 use dq_storage::DurableDb;
-use relstore::DbResult;
+use relstore::{DbResult, Expr, Schema};
+use tagstore::TaggedRelation;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -75,10 +76,66 @@ impl Default for ServerConfig {
 
 /// The single mutable state writers serialize on: the master catalog
 /// copy and, for durable servers, the WAL-backed database it mirrors.
+///
+/// The database sits behind its own mutex (shared with every
+/// registered [`PagedTable`] provider) so paged reads need only the
+/// db lock, never the master lock. Writers take master → db in that
+/// order; providers take db alone, so the ordering is acyclic.
 #[derive(Debug)]
 struct WriterState {
     catalog: QueryCatalog,
-    db: Option<DurableDb>,
+    db: Option<Arc<Mutex<DurableDb>>>,
+}
+
+/// A paged relation served straight off the durable database's buffer
+/// pool. Registered into the catalog by [`SharedCatalog::with_db`] for
+/// every `db.paged_names()` entry; each call locks the shared database
+/// for exactly one storage operation, so sessions on other workers
+/// interleave page-at-a-time rather than query-at-a-time.
+#[derive(Debug)]
+struct PagedTable {
+    name: String,
+    db: Arc<Mutex<DurableDb>>,
+}
+
+impl PagedProvider for PagedTable {
+    fn schema(&self) -> DbResult<Schema> {
+        Ok(self.db.lock().unwrap().paged_schema(&self.name)?.clone())
+    }
+
+    fn row_count(&self) -> DbResult<u64> {
+        self.db.lock().unwrap().paged_len(&self.name)
+    }
+
+    fn scan(&self) -> DbResult<TaggedRelation> {
+        self.db.lock().unwrap().paged_to_relation(&self.name)
+    }
+
+    fn select(&self, predicate: &Expr) -> DbResult<TaggedRelation> {
+        self.db.lock().unwrap().paged_select(&self.name, predicate)
+    }
+
+    fn select_indexed(&self, predicate: &Expr) -> DbResult<(TaggedRelation, PagedScanStats)> {
+        let mut db = self.db.lock().unwrap();
+        let (rel, stats) = db.paged_select_indexed(&self.name, predicate)?;
+        Ok((
+            rel,
+            PagedScanStats {
+                pages_read: stats.pages_read,
+                pool_hits: stats.pool_hits,
+                candidate_pages: stats.candidate_pages,
+            },
+        ))
+    }
+
+    fn access_estimate(&self, predicate: &Expr) -> Option<(Vec<String>, f64)> {
+        self.db
+            .lock()
+            .unwrap()
+            .paged_access_estimate(&self.name, predicate)
+            .ok()
+            .flatten()
+    }
 }
 
 /// The master catalog plus its published epoch snapshot.
@@ -121,8 +178,26 @@ impl SharedCatalog {
             let rel = db.tagged(&name)?.relation().clone();
             catalog.register(name, rel);
         }
+        let epoch = db.epoch();
+        let db = Arc::new(Mutex::new(db));
+        // Paged relations stay on disk: the catalog gets a provider
+        // that routes each access through the shared buffer pool.
+        let paged: Vec<String> = db
+            .lock()
+            .unwrap()
+            .paged_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        for name in paged {
+            let provider = PagedTable {
+                name: name.clone(),
+                db: Arc::clone(&db),
+            };
+            catalog.register_paged(name, Arc::new(provider));
+        }
         let generation = AtomicU64::new(catalog.generation());
-        let published = EpochCell::with_epoch(db.epoch(), catalog.snapshot());
+        let published = EpochCell::with_epoch(epoch, catalog.snapshot());
         Ok(SharedCatalog {
             master: Mutex::new(WriterState {
                 catalog,
@@ -192,8 +267,8 @@ impl SharedCatalog {
         let wait = Instant::now();
         let mut ws = self.master.lock().unwrap();
         dq_obs::histogram!("mvcc.writer_wait_us").record(wait.elapsed());
-        let result = match ws.db.take() {
-            Some(mut db) => {
+        let result = match ws.db.clone() {
+            Some(db) => {
                 // Durable path: stage the catalog apply on a scratch
                 // copy first, then WAL-log the same cell tags, so a
                 // WAL error publishes nothing.
@@ -202,6 +277,7 @@ impl SharedCatalog {
                 let mut next = ws.catalog.clone();
                 let staged = write.apply(&mut next);
                 let logged = staged.and_then(|res| {
+                    let mut db = db.lock().unwrap();
                     let len = db.tagged(&table)?.relation().len();
                     for (row, column, tag) in tags {
                         // Rows past the end were skipped by the
@@ -213,7 +289,6 @@ impl SharedCatalog {
                     db.commit()?;
                     Ok(res)
                 });
-                ws.db = Some(db);
                 if logged.is_ok() {
                     ws.catalog = next;
                 }
@@ -231,7 +306,11 @@ impl SharedCatalog {
     /// epoch (when present) floors the published epoch so the two
     /// counters stay on one line across restarts.
     fn publish_locked(&self, ws: &WriterState) {
-        let floor = ws.db.as_ref().map(|db| db.epoch()).unwrap_or(0);
+        let floor = ws
+            .db
+            .as_ref()
+            .map(|db| db.lock().unwrap().epoch())
+            .unwrap_or(0);
         self.published.publish_at(ws.catalog.snapshot(), floor);
         self.generation
             .store(ws.catalog.generation(), Ordering::Release);

@@ -2,8 +2,10 @@
 
 use dq_core::profiles::{QualityStandard, StandardOp, UserProfile};
 use dq_query::{run, QueryCatalog};
-use dq_server::{render_result, start, Client, ClientError, ServerConfig, WriteMode};
+use dq_server::{render_result, start, start_durable, Client, ClientError, ServerConfig, WriteMode};
+use dq_storage::{DurableDb, DurableOptions, MemFs};
 use relstore::{DataType, Date, Schema, Value};
+use std::sync::Arc;
 use tagstore::{IndicatorDictionary, IndicatorValue, QualityCell, TaggedRelation};
 
 fn stocks() -> TaggedRelation {
@@ -150,6 +152,67 @@ fn many_clients_on_few_workers() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+#[test]
+fn paged_tables_are_served_like_resident_ones() {
+    let fs: Arc<MemFs> = Arc::new(MemFs::default());
+    let opts = DurableOptions {
+        group_commit: true,
+        page_size: 512,
+        pool_pages: 8,
+        ..Default::default()
+    };
+    let schema = Schema::of(&[("id", DataType::Int), ("sym", DataType::Text)]);
+    let dict = IndicatorDictionary::with_paper_defaults();
+    let mut twin = TaggedRelation::empty(schema.clone(), dict.clone());
+    {
+        let (mut db, _) = DurableDb::open(fs.clone(), opts.clone()).unwrap();
+        db.create_paged("trades", schema, dict).unwrap();
+        for i in 0..120i64 {
+            let mut cell = QualityCell::bare(format!("sym{}", i % 7));
+            if i % 40 == 0 {
+                cell.set_tag(IndicatorValue::new("source", "audit"));
+            }
+            let row = vec![QualityCell::bare(i), cell];
+            db.paged_push("trades", row.clone()).unwrap();
+            twin.push(row).unwrap();
+        }
+        db.commit().unwrap();
+    }
+    let (db, _) = DurableDb::open(fs, opts).unwrap();
+    let server = start_durable(test_config(), db).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // the on-disk relation renders exactly like its in-memory twin
+    let sql = "SELECT id FROM trades WITH QUALITY (sym@source = 'audit')";
+    let over_wire = client.query(sql).unwrap();
+    let mut cat = QueryCatalog::new();
+    cat.register("trades", twin);
+    assert_eq!(over_wire, render_result(&run(&cat, sql).unwrap()));
+    assert!(over_wire.contains("80"), "got: {over_wire}");
+
+    // the planner picks the bitmap path and annotates the pool I/O
+    let plan = client.query(&format!("EXPLAIN {sql}")).unwrap();
+    assert!(plan.contains("PagedIndexScan"), "plan: {plan}");
+    let analyzed = client.query(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    assert!(
+        analyzed.contains("layout=paged") && analyzed.contains("pages_read="),
+        "analyzed: {analyzed}"
+    );
+
+    // repeated sends hit the statement cache like any resident table
+    let hits = dq_obs::counter!("server.stmt_cache.hits");
+    let h0 = hits.get();
+    assert_eq!(client.query(sql).unwrap(), over_wire);
+    assert!(hits.get() > h0, "re-send must be a stmt-cache hit");
+
+    // TAG is routed to the durable writer, not the query layer
+    match client.query("TAG trades SET sym@inspection = 'A' WHERE id = 1") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("paged storage"), "{msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    server.shutdown();
 }
 
 #[test]

@@ -31,11 +31,25 @@
 //! manifest references — the previous checkpoint's image stays intact
 //! byte for byte, which is what makes crash recovery exact without
 //! per-page redo tracking.
+//!
+//! ## Scan resistance
+//!
+//! Bulk reads (full materializations, index-driven page fetches) admit
+//! pages through [`BufferPool::pin_scan`] / [`BufferPool::fetch_pages`]
+//! instead of [`BufferPool::pin`]. Scan-admitted frames are tagged
+//! *evict-soon*: they enter an eviction FIFO and are recycled before the
+//! clock ever considers the hot set, so a cold σ streaming the whole
+//! relation cannot flush the working set a point-read workload built up.
+//! A later targeted [`BufferPool::pin`] of the same page promotes the
+//! frame to the normal second-chance regime. [`BufferPool::fetch_pages`]
+//! additionally coalesces physically-contiguous runs of a sorted page
+//! list into single reads (sorted readahead), counted by
+//! `storage.pool.{prefetches,readahead_pages,scan_evictions}`.
 
 use crate::fs::Fs;
 use crate::page::Page;
 use relstore::{DbError, DbResult};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Map value for a logical page that has never been flushed (it exists
@@ -45,6 +59,31 @@ pub const NO_PHYS: u32 = u32::MAX;
 /// Fewest frames a pool will run with — enough for the deepest
 /// single-operation pin chain with room for the clock to turn.
 pub const MIN_FRAMES: usize = 8;
+
+/// Longest physically-contiguous run one coalesced [`BufferPool::fetch_pages`]
+/// read pulls in (further capped at half the pool so a single readahead
+/// can never dominate the frame budget).
+pub const MAX_READAHEAD_RUN: usize = 64;
+
+/// Per-call I/O accounting returned by [`BufferPool::fetch_pages`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Pages read from disk by this call (readahead pages included).
+    pub pages_read: u64,
+    /// Pages served from frames that were already resident.
+    pub pool_hits: u64,
+    /// Coalesced multi-page reads issued (each covers ≥ 2 pages).
+    pub prefetches: u64,
+}
+
+impl FetchStats {
+    /// Field-wise accumulation across calls.
+    pub fn absorb(&mut self, other: FetchStats) {
+        self.pages_read += other.pages_read;
+        self.pool_hits += other.pool_hits;
+        self.prefetches += other.prefetches;
+    }
+}
 
 /// The write-ahead gate: called by the pool before a dirty page is
 /// written out, with the page's LSN. Implementations commit the WAL up
@@ -118,6 +157,9 @@ struct Frame {
     dirty: bool,
     pins: u32,
     referenced: bool,
+    /// Scan-admitted (evict-soon) frame: preferred eviction victim until
+    /// a targeted pin promotes it into the clock's second-chance regime.
+    scan: bool,
 }
 
 /// The pool: frames + frame table + the paged files they cache.
@@ -129,6 +171,12 @@ pub struct BufferPool {
     /// `(file, logical page) → frame index`.
     table: HashMap<(FileId, u32), usize>,
     clock: usize,
+    /// FIFO of scan-admitted frame indices — the evict-soon queue.
+    /// Entries go stale when a frame is promoted or re-used; eviction
+    /// revalidates against the frame's current `scan` tag.
+    scan_queue: VecDeque<usize>,
+    /// Whether [`BufferPool::fetch_pages`] may coalesce contiguous runs.
+    readahead: bool,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -153,12 +201,26 @@ impl BufferPool {
             frames: Vec::new(),
             table: HashMap::new(),
             clock: 0,
+            scan_queue: VecDeque::new(),
+            readahead: true,
         }
     }
 
     /// Page size every frame (and file) uses.
     pub fn page_size(&self) -> usize {
         self.page_size
+    }
+
+    /// Enables or disables readahead coalescing in
+    /// [`BufferPool::fetch_pages`] (on by default; the off position is a
+    /// bench/CI knob for isolating the coalescing win).
+    pub fn set_readahead(&mut self, on: bool) {
+        self.readahead = on;
+    }
+
+    /// Whether readahead coalescing is enabled.
+    pub fn readahead(&self) -> bool {
+        self.readahead
     }
 
     /// Registers a brand-new (empty) paged file.
@@ -215,7 +277,7 @@ impl BufferPool {
         };
         let frame = self.free_frame(gate)?;
         let page = Page::new(self.page_size);
-        self.install(frame, (file, logical), page, true);
+        self.install(frame, (file, logical), page, true, false);
         self.frames[frame].pins = 0;
         Ok(logical)
     }
@@ -223,29 +285,44 @@ impl BufferPool {
     /// Pins `(file, logical)` into a frame, loading it from disk on a
     /// miss. The caller must [`BufferPool::unpin`] the returned frame.
     pub fn pin(&mut self, file: FileId, logical: u32, gate: &mut dyn LogGate) -> DbResult<usize> {
+        self.pin_with(file, logical, gate, false)
+    }
+
+    /// [`BufferPool::pin`] with scan-resistant (evict-soon) admission:
+    /// a miss installs the page tagged for preferred eviction, and a hit
+    /// on a hot frame leaves its clock state untouched — one-touch bulk
+    /// reads neither displace nor artificially refresh the hot set.
+    pub fn pin_scan(
+        &mut self,
+        file: FileId,
+        logical: u32,
+        gate: &mut dyn LogGate,
+    ) -> DbResult<usize> {
+        self.pin_with(file, logical, gate, true)
+    }
+
+    fn pin_with(
+        &mut self,
+        file: FileId,
+        logical: u32,
+        gate: &mut dyn LogGate,
+        scan: bool,
+    ) -> DbResult<usize> {
         if let Some(&idx) = self.table.get(&(file, logical)) {
             dq_obs::counter!("storage.pool.hits").incr();
             let fr = &mut self.frames[idx];
             fr.pins += 1;
-            fr.referenced = true;
+            if !scan {
+                // a targeted re-reference promotes scan frames to hot
+                fr.referenced = true;
+                fr.scan = false;
+            }
             return Ok(idx);
         }
         dq_obs::counter!("storage.pool.misses").incr();
         let page = {
             let f = &self.files[file as usize];
-            let phys = *f.map.get(logical as usize).ok_or_else(|| {
-                DbError::Storage(format!(
-                    "page {logical} out of range in `{}` ({} pages)",
-                    f.name,
-                    f.map.len()
-                ))
-            })?;
-            if phys == NO_PHYS {
-                return Err(DbError::Storage(format!(
-                    "page {logical} of `{}` was never flushed and is not resident",
-                    f.name
-                )));
-            }
+            let phys = self.phys_of(file, logical)?;
             let bytes =
                 f.fs.read_at(&f.name, phys as u64 * self.page_size as u64, self.page_size)?;
             dq_obs::counter!("storage.pool.page_reads").incr();
@@ -253,8 +330,102 @@ impl BufferPool {
                 .map_err(|e| DbError::Storage(format!("`{}` page {logical}: {e}", f.name)))?
         };
         let frame = self.free_frame(gate)?;
-        self.install(frame, (file, logical), page, false);
+        self.install(frame, (file, logical), page, false, scan);
         Ok(frame)
+    }
+
+    /// Visits every page in `pages` (sorted ascending, deduplicated) in
+    /// order, loading misses with scan-resistant admission and coalescing
+    /// physically-contiguous miss runs into single reads (sorted
+    /// readahead) when [`BufferPool::readahead`] is on. Resident pages
+    /// are served from their frames without demoting them. This is the
+    /// batch fetch behind index-driven page-skipping scans.
+    pub fn fetch_pages(
+        &mut self,
+        file: FileId,
+        pages: &[u32],
+        gate: &mut dyn LogGate,
+        mut visit: impl FnMut(u32, &Page) -> DbResult<()>,
+    ) -> DbResult<FetchStats> {
+        debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be sorted unique");
+        let mut stats = FetchStats::default();
+        let run_cap = if self.readahead {
+            MAX_READAHEAD_RUN.min((self.capacity / 2).max(1))
+        } else {
+            1
+        };
+        let mut i = 0;
+        while i < pages.len() {
+            let lp = pages[i];
+            if self.table.contains_key(&(file, lp)) {
+                stats.pool_hits += 1;
+                let frame = self.pin_scan(file, lp, gate)?;
+                let out = visit(lp, self.page(frame));
+                self.unpin(frame);
+                out?;
+                i += 1;
+                continue;
+            }
+            // extend a miss run while the *logical* successors in the
+            // request sit on physically consecutive slots and aren't
+            // already resident (re-reading a resident page would waste
+            // the I/O and shadow the fresher frame)
+            let phys0 = self.phys_of(file, lp)?;
+            let mut run = 1usize;
+            while i + run < pages.len() && run < run_cap {
+                let next = pages[i + run];
+                if self.table.contains_key(&(file, next)) {
+                    break;
+                }
+                match self.phys_of(file, next) {
+                    Ok(p) if p == phys0 + run as u32 => run += 1,
+                    // non-contiguous or unmapped: let its own iteration
+                    // handle (or report) it
+                    _ => break,
+                }
+            }
+            let bytes = {
+                let f = &self.files[file as usize];
+                f.fs.read_at(
+                    &f.name,
+                    phys0 as u64 * self.page_size as u64,
+                    run * self.page_size,
+                )?
+            };
+            if bytes.len() < run * self.page_size {
+                return Err(DbError::Storage(format!(
+                    "short readahead: {} of {} bytes",
+                    bytes.len(),
+                    run * self.page_size
+                )));
+            }
+            if run > 1 {
+                dq_obs::counter!("storage.pool.prefetches").incr();
+                dq_obs::counter!("storage.pool.readahead_pages").add(run as u64 - 1);
+                stats.prefetches += 1;
+            }
+            for k in 0..run {
+                let lp_k = pages[i + k];
+                dq_obs::counter!("storage.pool.misses").incr();
+                dq_obs::counter!("storage.pool.page_reads").incr();
+                let page = Page::from_bytes(
+                    bytes[k * self.page_size..(k + 1) * self.page_size].to_vec(),
+                    self.page_size,
+                )
+                .map_err(|e| {
+                    let name = &self.files[file as usize].name;
+                    DbError::Storage(format!("`{name}` page {lp_k}: {e}"))
+                })?;
+                let frame = self.free_frame(gate)?;
+                self.install(frame, (file, lp_k), page, false, true);
+                let out = visit(lp_k, self.page(frame));
+                self.unpin(frame);
+                out?;
+                stats.pages_read += 1;
+            }
+            i += run;
+        }
+        Ok(stats)
     }
 
     /// Releases one pin on `frame`.
@@ -287,6 +458,21 @@ impl BufferPool {
         f: impl FnOnce(&Page) -> DbResult<R>,
     ) -> DbResult<R> {
         let frame = self.pin(file, logical, gate)?;
+        let out = f(self.page(frame));
+        self.unpin(frame);
+        out
+    }
+
+    /// Pin (scan admission) → read → unpin in one call — the streaming
+    /// form bulk scans use so one-touch pages stay evict-soon.
+    pub fn with_page_scan<R>(
+        &mut self,
+        file: FileId,
+        logical: u32,
+        gate: &mut dyn LogGate,
+        f: impl FnOnce(&Page) -> DbResult<R>,
+    ) -> DbResult<R> {
+        let frame = self.pin_scan(file, logical, gate)?;
         let out = f(self.page(frame));
         self.unpin(frame);
         out
@@ -343,6 +529,11 @@ impl BufferPool {
         }
     }
 
+    /// True iff `(file, logical)` currently occupies a frame.
+    pub fn is_resident(&self, file: FileId, logical: u32) -> bool {
+        self.table.contains_key(&(file, logical))
+    }
+
     /// Number of currently pinned frames (test/debug aid).
     pub fn pinned_frames(&self) -> usize {
         self.frames.iter().filter(|f| f.pins > 0).count()
@@ -357,33 +548,74 @@ impl BufferPool {
 
     // ---- internals ------------------------------------------------------
 
-    fn install(&mut self, frame: usize, key: (FileId, u32), page: Page, dirty: bool) {
+    fn phys_of(&self, file: FileId, logical: u32) -> DbResult<u32> {
+        let f = &self.files[file as usize];
+        let phys = *f.map.get(logical as usize).ok_or_else(|| {
+            DbError::Storage(format!(
+                "page {logical} out of range in `{}` ({} pages)",
+                f.name,
+                f.map.len()
+            ))
+        })?;
+        if phys == NO_PHYS {
+            return Err(DbError::Storage(format!(
+                "page {logical} of `{}` was never flushed and is not resident",
+                f.name
+            )));
+        }
+        Ok(phys)
+    }
+
+    fn install(&mut self, frame: usize, key: (FileId, u32), page: Page, dirty: bool, scan: bool) {
+        let fr = Frame {
+            key,
+            page,
+            dirty,
+            pins: 1,
+            referenced: !scan,
+            scan,
+        };
         if frame == self.frames.len() {
-            self.frames.push(Frame {
-                key,
-                page,
-                dirty,
-                pins: 1,
-                referenced: true,
-            });
+            self.frames.push(fr);
         } else {
-            self.frames[frame] = Frame {
-                key,
-                page,
-                dirty,
-                pins: 1,
-                referenced: true,
-            };
+            self.frames[frame] = fr;
+        }
+        if scan {
+            self.scan_queue.push_back(frame);
         }
         self.table.insert(key, frame);
     }
 
     /// Index of a frame ready to be overwritten: a never-used slot while
-    /// the pool is below capacity, otherwise a clock victim (flushed
-    /// first if dirty, and never a pinned frame).
+    /// the pool is below capacity, then the oldest still-unpromoted
+    /// scan-admitted frame (evict-soon FIFO), otherwise a clock victim
+    /// (flushed first if dirty, and never a pinned frame).
     fn free_frame(&mut self, gate: &mut dyn LogGate) -> DbResult<usize> {
         if self.frames.len() < self.capacity {
             return Ok(self.frames.len());
+        }
+        // evict-soon pass: one-touch scan pages go first, in admission
+        // order, so a bulk read recycles its own frames instead of
+        // clocking out the hot set
+        for _ in 0..self.scan_queue.len() {
+            let Some(idx) = self.scan_queue.pop_front() else {
+                break;
+            };
+            let fr = &mut self.frames[idx];
+            if !fr.scan {
+                continue; // promoted to hot (or frame re-used): stale entry
+            }
+            if fr.pins > 0 {
+                self.scan_queue.push_back(idx);
+                continue;
+            }
+            if fr.dirty {
+                Self::flush_frame(&mut self.files, fr, self.page_size, gate)?;
+            }
+            self.table.remove(&fr.key);
+            dq_obs::counter!("storage.pool.evictions").incr();
+            dq_obs::counter!("storage.pool.scan_evictions").incr();
+            return Ok(idx);
         }
         // clock sweep: first pass clears reference bits, so within two
         // laps every unpinned frame has been offered up
@@ -403,6 +635,11 @@ impl BufferPool {
             }
             self.table.remove(&fr.key);
             dq_obs::counter!("storage.pool.evictions").incr();
+            if fr.scan {
+                // scan frame whose FIFO entry went stale — still a scan
+                // eviction for accounting purposes
+                dq_obs::counter!("storage.pool.scan_evictions").incr();
+            }
             return Ok(idx);
         }
         Err(DbError::Storage(format!(
@@ -630,6 +867,122 @@ mod tests {
         let before = pool2.file_map(fid2)[0];
         pool2.flush_all(&mut NoGate).unwrap();
         assert_ne!(pool2.file_map(fid2)[0], before);
+    }
+
+    /// Builds an N-page file with a sequential physical layout and hands
+    /// back a cold pool of `cap` frames restored over it (page `i`'s
+    /// record is `[i as u8 + 1; 16]`).
+    fn cold_pool(pages: u32, cap: usize) -> (BufferPool, FileId) {
+        let fs = MemFs::new();
+        let mut pool = BufferPool::new(PS, pages as usize + MIN_FRAMES);
+        let fid = pool.register_file(Arc::new(fs.clone()), "heap.pg");
+        for i in 0..pages {
+            let lp = pool.alloc_page(fid, &mut NoGate).unwrap();
+            fill_page(&mut pool, fid, lp, i as u8 + 1);
+        }
+        pool.flush_all(&mut NoGate).unwrap();
+        pool.sync_files().unwrap();
+        let map = pool.file_map(fid).to_vec();
+        let mut cold = BufferPool::new(PS, cap);
+        let fid = cold.restore_file(Arc::new(fs), "heap.pg", map);
+        (cold, fid)
+    }
+
+    #[test]
+    fn scan_reads_do_not_evict_the_hot_set() {
+        let (mut pool, fid) = cold_pool(4 * MIN_FRAMES as u32 + 4, MIN_FRAMES);
+        // build a hot set of 4 pages with targeted pins
+        let hot = [0u32, 1, 2, 3];
+        for &lp in &hot {
+            pool.with_page(fid, lp, &mut NoGate, |_| Ok(())).unwrap();
+        }
+        let scan_ev0 = dq_obs::registry().counter("storage.pool.scan_evictions").get();
+        // a cold sweep several times the pool size, via scan admission
+        for lp in 4..4 + 4 * MIN_FRAMES as u32 {
+            pool.with_page_scan(fid, lp, &mut NoGate, |p| {
+                assert_eq!(p.get(0)?, Some(&[lp as u8 + 1; 16][..]));
+                Ok(())
+            })
+            .unwrap();
+        }
+        // the sweep recycled its own frames...
+        assert!(
+            dq_obs::registry().counter("storage.pool.scan_evictions").get() > scan_ev0,
+            "scan sweep should evict scan-admitted frames"
+        );
+        // ...and every hot page is still resident
+        for &lp in &hot {
+            assert!(
+                pool.table.contains_key(&(fid, lp)),
+                "hot page {lp} evicted by a one-touch scan"
+            );
+        }
+    }
+
+    #[test]
+    fn targeted_pin_promotes_a_scan_frame() {
+        let (mut pool, fid) = cold_pool(2 * MIN_FRAMES as u32, MIN_FRAMES);
+        // admit page 0 as scan, then promote it with a targeted pin
+        pool.with_page_scan(fid, 0, &mut NoGate, |_| Ok(())).unwrap();
+        pool.with_page(fid, 0, &mut NoGate, |_| Ok(())).unwrap();
+        let idx = pool.table[&(fid, 0)];
+        assert!(!pool.frames[idx].scan, "targeted pin must clear the scan tag");
+        // a subsequent sweep must not treat it as evict-soon
+        for lp in 1..2 * MIN_FRAMES as u32 {
+            pool.with_page_scan(fid, lp, &mut NoGate, |_| Ok(())).unwrap();
+        }
+        assert!(pool.table.contains_key(&(fid, 0)), "promoted frame evicted as scan");
+    }
+
+    #[test]
+    fn fetch_pages_coalesces_sorted_runs() {
+        // big pool first, so flush order (= physical layout) is logical
+        let fs = MemFs::new();
+        let mut pool = BufferPool::new(PS, 32);
+        let fid = pool.register_file(Arc::new(fs.clone()), "heap.pg");
+        for i in 0..12u32 {
+            let lp = pool.alloc_page(fid, &mut NoGate).unwrap();
+            fill_page(&mut pool, fid, lp, i as u8 + 1);
+        }
+        pool.flush_all(&mut NoGate).unwrap();
+        pool.sync_files().unwrap();
+        let map = pool.file_map(fid).to_vec();
+        assert_eq!(map, (0..12).collect::<Vec<u32>>(), "layout must be sequential");
+
+        // fresh pool: nothing resident, fetch a page set with two runs
+        // and one isolated page
+        let mut pool2 = BufferPool::new(PS, MIN_FRAMES);
+        let fid2 = pool2.restore_file(Arc::new(fs.clone()), "heap.pg", map.clone());
+        let want = [0u32, 1, 2, 3, 7, 9, 10, 11];
+        let mut seen = Vec::new();
+        let stats = pool2
+            .fetch_pages(fid2, &want, &mut NoGate, |lp, p| {
+                assert_eq!(p.get(0)?, Some(&[lp as u8 + 1; 16][..]));
+                seen.push(lp);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, want, "visit order must follow the request");
+        assert_eq!(stats.pages_read, 8);
+        assert_eq!(stats.pool_hits, 0);
+        assert_eq!(stats.prefetches, 2, "runs 0..=3 and 9..=11 must coalesce");
+
+        // second fetch of a resident subset is all pool hits
+        let stats = pool2
+            .fetch_pages(fid2, &[9, 10, 11], &mut NoGate, |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(stats.pool_hits, 3);
+        assert_eq!(stats.pages_read, 0);
+
+        // readahead off: same pages, no coalescing
+        let mut pool3 = BufferPool::new(PS, MIN_FRAMES);
+        pool3.set_readahead(false);
+        let fid3 = pool3.restore_file(Arc::new(fs), "heap.pg", map);
+        let stats = pool3
+            .fetch_pages(fid3, &want, &mut NoGate, |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(stats.pages_read, 8);
+        assert_eq!(stats.prefetches, 0, "readahead disabled must not coalesce");
     }
 
     #[test]

@@ -30,8 +30,28 @@ use crate::codec::{Decoder, Encoder};
 use crate::fs::Fs;
 use crate::page::{Page, PAGE_HEADER, PAGE_TRAILER, SLOT_SIZE};
 use relstore::{DbError, DbResult, Schema};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tagstore::{IndicatorDictionary, IndicatorValue, TaggedRelation, TaggedRow};
+
+/// I/O and page-skipping accounting for one indexed paged read — the
+/// numbers EXPLAIN ANALYZE surfaces as `pages_read=` / `pool_hits=` and
+/// the structural evidence that an indexed σ skipped the pages its
+/// candidates don't live on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagedReadStats {
+    /// Pages (heap + directory) read from disk during the operation.
+    pub pages_read: u64,
+    /// Pages served from already-resident pool frames.
+    pub pool_hits: u64,
+    /// Candidate rows proposed by the caller (before residual re-check).
+    pub candidate_rows: u64,
+    /// Distinct heap pages those candidates live on — everything else
+    /// was skipped.
+    pub candidate_pages: u64,
+    /// Rows surviving the residual re-check.
+    pub rows_out: u64,
+}
 
 /// Encoded size of one directory entry.
 const RID_BYTES: usize = 8;
@@ -160,6 +180,11 @@ impl PagedRelation {
     /// True iff no rows.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// Pool file id of the heap — residency probes in tests and benches.
+    pub fn heap_id(&self) -> FileId {
+        self.heap
     }
 
     /// `(heap, directory)` logical page counts.
@@ -312,7 +337,9 @@ impl PagedRelation {
 
     /// Streams every row through `f` in positional order. Directory
     /// pages are walked sequentially, so a scan touches each dir page
-    /// once; heap locality follows insertion order.
+    /// once; heap locality follows insertion order. All page loads use
+    /// scan-resistant admission: a full pass cannot evict the pool's
+    /// hot set, only recycle its own one-touch frames.
     pub fn for_each_row(
         &self,
         pool: &mut BufferPool,
@@ -321,12 +348,100 @@ impl PagedRelation {
     ) -> DbResult<()> {
         for pos in 0..self.rows {
             let row = {
-                let (hp, hs) = self.read_rid(pool, gate, pos)?;
-                self.read_record(pool, gate, hp, hs)?
+                let (hp, hs) = self.read_rid_scan(pool, gate, pos)?;
+                self.read_record_scan(pool, gate, hp, hs)?
             };
             f(pos, row)?;
         }
         Ok(())
+    }
+
+    /// Fetches the rows at `positions` (sorted ascending, deduplicated),
+    /// optionally re-checking `expr` against each — the indexed access
+    /// path. Directory pages are pinned once per run of candidate
+    /// positions, candidate heap pages are visited as one sorted batch
+    /// through [`BufferPool::fetch_pages`] (coalesced readahead +
+    /// scan-resistant admission), every *other* heap page is skipped,
+    /// and the result is restored to positional order (tag re-appends
+    /// break pos ↔ heap-page monotonicity) so it is byte-identical to
+    /// the full-scan σ over the same predicate.
+    pub fn select_at(
+        &self,
+        pool: &mut BufferPool,
+        gate: &mut dyn LogGate,
+        positions: &[u64],
+        expr: Option<&relstore::Expr>,
+    ) -> DbResult<(TaggedRelation, PagedReadStats)> {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions must be sorted unique"
+        );
+        if let Some(&last) = positions.last() {
+            self.check_pos(last)?; // sorted ⇒ bounds-checks every position
+        }
+        let compiled = expr
+            .map(|e| tagstore::algebra::CompiledTagExpr::compile_schema(&self.schema, e))
+            .transpose()?;
+        let mut stats = PagedReadStats {
+            candidate_rows: positions.len() as u64,
+            ..Default::default()
+        };
+        // phase 1: positions → RIDs, one dir-page pin per position run
+        let per = Self::dir_entries_per_page(pool);
+        let mut rids: Vec<(u64, u32, u16)> = Vec::with_capacity(positions.len());
+        let mut i = 0;
+        while i < positions.len() {
+            let dp = (positions[i] / per) as u32;
+            let end = i + positions[i..].partition_point(|&p| (p / per) as u32 == dp);
+            if pool.is_resident(self.dir, dp) {
+                stats.pool_hits += 1;
+            } else {
+                stats.pages_read += 1;
+            }
+            pool.with_page_scan(self.dir, dp, gate, |p| {
+                for &pos in &positions[i..end] {
+                    let e = p.get((pos % per) as u16)?.ok_or_else(|| {
+                        DbError::Storage(format!("directory entry {pos} tombstoned"))
+                    })?;
+                    let (hp, hs) = decode_rid(e)?;
+                    rids.push((pos, hp, hs));
+                }
+                Ok(())
+            })?;
+            i = end;
+        }
+        // phase 2: distinct candidate heap pages, ascending
+        let mut by_page: BTreeMap<u32, Vec<(u64, u16)>> = BTreeMap::new();
+        for &(pos, hp, hs) in &rids {
+            by_page.entry(hp).or_default().push((pos, hs));
+        }
+        let pages: Vec<u32> = by_page.keys().copied().collect();
+        stats.candidate_pages = pages.len() as u64;
+        // phase 3: coalesced batch fetch + residual re-check
+        let mut hits: Vec<(u64, TaggedRow)> = Vec::new();
+        let fstats = pool.fetch_pages(self.heap, &pages, gate, |hp, p| {
+            for &(pos, hs) in &by_page[&hp] {
+                let bytes = p.get(hs)?.ok_or_else(|| {
+                    DbError::Storage(format!("heap record {hp}/{hs} tombstoned"))
+                })?;
+                let row = decode_row(bytes)?;
+                let keep = match &compiled {
+                    Some(c) => c.matches(&row)?,
+                    None => true,
+                };
+                if keep {
+                    hits.push((pos, row));
+                }
+            }
+            Ok(())
+        })?;
+        stats.pages_read += fstats.pages_read;
+        stats.pool_hits += fstats.pool_hits;
+        hits.sort_unstable_by_key(|&(pos, _)| pos);
+        stats.rows_out = hits.len() as u64;
+        let rows = hits.into_iter().map(|(_, r)| r).collect();
+        let rel = TaggedRelation::new(self.schema.clone(), self.dict.clone(), rows)?;
+        Ok((rel, stats))
     }
 
     /// Materializes the whole relation in memory (small relations,
@@ -414,6 +529,40 @@ impl PagedRelation {
         slot: u16,
     ) -> DbResult<TaggedRow> {
         pool.with_page(self.heap, page, gate, |p| {
+            let bytes = p.get(slot)?.ok_or_else(|| {
+                DbError::Storage(format!("heap record {page}/{slot} tombstoned"))
+            })?;
+            decode_row(bytes)
+        })
+    }
+
+    /// [`PagedRelation::read_rid`] with scan-resistant admission — the
+    /// bulk-read form.
+    fn read_rid_scan(
+        &self,
+        pool: &mut BufferPool,
+        gate: &mut dyn LogGate,
+        pos: u64,
+    ) -> DbResult<(u32, u16)> {
+        let (dp, ds) = self.dir_locate(pool, pos);
+        pool.with_page_scan(self.dir, dp, gate, |p| {
+            let e = p.get(ds)?.ok_or_else(|| {
+                DbError::Storage(format!("directory entry {pos} tombstoned"))
+            })?;
+            decode_rid(e)
+        })
+    }
+
+    /// [`PagedRelation::read_record`] with scan-resistant admission — the
+    /// bulk-read form.
+    fn read_record_scan(
+        &self,
+        pool: &mut BufferPool,
+        gate: &mut dyn LogGate,
+        page: u32,
+        slot: u16,
+    ) -> DbResult<TaggedRow> {
+        pool.with_page_scan(self.heap, page, gate, |p| {
             let bytes = p.get(slot)?.ok_or_else(|| {
                 DbError::Storage(format!("heap record {page}/{slot} tombstoned"))
             })?;
@@ -574,6 +723,68 @@ mod tests {
         let twin = rel.to_relation(&mut pool, &mut NoGate).unwrap();
         let want = tagstore::algebra::select(&twin, &pred).unwrap();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn select_at_matches_full_scan_and_skips_pages() {
+        let (mut pool, mut rel, _fs) = setup();
+        for i in 0..400i64 {
+            push(
+                &mut pool,
+                &mut rel,
+                row(i, "x", if i % 40 == 0 { Some("nexis") } else { Some("feed") }),
+            );
+        }
+        // retag a few rows so heap order no longer follows position order
+        for pos in [3u64, 77, 200] {
+            rel.tag_cell(
+                &mut pool,
+                &mut NoGate,
+                2,
+                pos,
+                "v",
+                IndicatorValue::new("source", "nexis"),
+            )
+            .unwrap();
+        }
+        let pred = Expr::col("v@source").eq(Expr::lit("nexis"));
+        let want = rel.select(&mut pool, &mut NoGate, &pred).unwrap();
+
+        // exact candidate set (what the bitmap index would hand over)
+        let mut exact: Vec<u64> = (0..400u64).filter(|p| p % 40 == 0).collect();
+        exact.extend([3u64, 77, 200]);
+        exact.sort_unstable();
+        exact.dedup();
+        let (got, stats) = rel
+            .select_at(&mut pool, &mut NoGate, &exact, Some(&pred))
+            .unwrap();
+        assert_eq!(got, want, "indexed path must be byte-identical to the scan");
+        assert_eq!(stats.rows_out, want.len() as u64);
+        let (heap_pages, _) = rel.pages(&pool);
+        assert!(
+            stats.candidate_pages < heap_pages as u64 / 2,
+            "sparse candidates must skip most heap pages \
+             ({} candidate vs {heap_pages} total)",
+            stats.candidate_pages
+        );
+
+        // a superset candidate list with residual re-check converges to
+        // the same answer
+        let all: Vec<u64> = (0..400u64).collect();
+        let (got, stats) = rel
+            .select_at(&mut pool, &mut NoGate, &all, Some(&pred))
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.candidate_rows, 400);
+
+        // no predicate: positions fetch positionally
+        let (got, _) = rel
+            .select_at(&mut pool, &mut NoGate, &[0, 77, 399], None)
+            .unwrap();
+        let twin = rel.to_relation(&mut pool, &mut NoGate).unwrap();
+        assert_eq!(got.rows()[0], twin.rows()[0]);
+        assert_eq!(got.rows()[1], twin.rows()[77]);
+        assert_eq!(got.rows()[2], twin.rows()[399]);
     }
 
     #[test]

@@ -116,6 +116,17 @@ DQ_BENCH_POOL_JSON="$DQ_BENCH_POOL_JSON" DQ_POOL_MS="${DQ_POOL_MS:-$DQ_BENCH_MS}
 
 echo "wrote $(wc -l < "$DQ_BENCH_POOL_JSON") records to $DQ_BENCH_POOL_JSON"
 
+# B14: indexed access paths over paged relations — bitmap-driven σ vs
+# full paged scan at ~0.1/1/10% selectivity × 5/25/100% pool budgets,
+# sorted readahead on and off. The bench is its own parity gate: every
+# cell's indexed result is compared byte-for-byte against the full scan
+# and an in-memory twin before timing (fatal).
+DQ_BENCH_PAGED_INDEX_JSON="${DQ_BENCH_PAGED_INDEX_JSON:-$PWD/BENCH_paged_index.json}"
+DQ_BENCH_PAGED_INDEX_JSON="$DQ_BENCH_PAGED_INDEX_JSON" DQ_PIDX_MS="${DQ_PIDX_MS:-$DQ_BENCH_MS}" \
+    cargo run -q --offline --release -p dq-bench --bin paged_index_bench
+
+echo "wrote $(wc -l < "$DQ_BENCH_PAGED_INDEX_JSON") records to $DQ_BENCH_PAGED_INDEX_JSON"
+
 # Regression gate: forced-8-thread index build must not be slower than
 # serial at >=100k rows (fails the run; warn-only on single-CPU boxes;
 # always fails if the bench json is missing or empty).
@@ -125,3 +136,9 @@ scripts/index_build_gate.sh "$DQ_BENCH_VECTOR_JSON"
 # (O(dirty), not O(db)) and a full-budget pool must serve reads from
 # memory (fails the run; always fails if the json is missing or empty).
 scripts/pool_gate.sh "$DQ_BENCH_POOL_JSON"
+
+# Regression gate: the paged bitmap path must skip pages (cold
+# pages_read ≈ matching pages, structural) and must beat the full scan
+# at ≤1% selectivity on the 5% pool budget (fails the run on
+# multi-core; always fails if the json is missing or empty).
+scripts/paged_index_gate.sh "$DQ_BENCH_PAGED_INDEX_JSON"

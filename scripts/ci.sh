@@ -95,6 +95,16 @@ DQ_POOL_TIERS=20000 DQ_POOL_MS=50 \
     cargo run -q --offline --release -p dq-bench --bin pool_bench >/dev/null
 scripts/pool_gate.sh --warn-only /tmp/ci_bench_pool.json
 
+# B14 smoke at the 20k tier: paged indexed σ vs full scan with the
+# in-memory-twin parity check inside the bench (fatal before timing).
+# The gate's structural page-skipping check (cold pages_read ≈ matching
+# pages) fails even in warn-only mode; the qps comparison is warn-only
+# here because the tiny window and shared CPU make it noisy.
+DQ_PIDX_ROWS=20000 DQ_PIDX_MS=50 \
+    DQ_BENCH_PAGED_INDEX_JSON=/tmp/ci_bench_paged_index.json \
+    cargo run -q --offline --release -p dq-bench --bin paged_index_bench >/dev/null
+scripts/paged_index_gate.sh --warn-only /tmp/ci_bench_paged_index.json
+
 # Crash-recovery at a higher case count: random op sequences cut at
 # every prefix must recover to exactly the committed state (including
 # the paged-relation crash-prefix, torn dirty-page flush, and torn

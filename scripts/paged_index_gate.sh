@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Paged indexed-access-path regression gate.
+#
+# Reads B14 records from a bench JSON file (one JSON object per line,
+# as written by paged_index_bench):
+#
+#   {"id":"B14/paged_index/200000/budget5/sel10pm/ra1","scan_qps":...,
+#    "indexed_qps":...,"speedup":...,"pages_read":12,"match_pages":11,
+#    "pool_hits":0,...}
+#
+# Policy:
+#   * bench json missing or empty                -> FAIL (exit 1) always,
+#     even under --warn-only: a gate that silently passes when its input
+#     never got written is not a gate (same rule as pool_gate.sh)
+#   * no B14/paged_index rows                    -> FAIL (exit 1) always
+#   * cold pages_read + pool_hits > 2*match_pages + 16
+#                                                -> FAIL always: the
+#     "indexed" path touched far more pages than hold matches, so it is
+#     not skipping pages (structural; exact, never noisy)
+#   * indexed_qps <= scan_qps at <=1% selectivity (sel1pm/sel10pm rows)
+#     on the 5% pool budget                      -> FAIL: the bitmap
+#     path lost to the full scan exactly where it must win. Downgraded
+#     to a WARNING under --warn-only or on a single-CPU box (timing
+#     there is a floor, not a capability).
+#
+# Usage: paged_index_gate.sh [--warn-only] [BENCH_paged_index.json]
+set -euo pipefail
+
+warn_only=0
+if [ "${1:-}" = "--warn-only" ]; then
+    warn_only=1
+    shift
+fi
+json="${1:-BENCH_paged_index.json}"
+
+if [ ! -s "$json" ]; then
+    echo "paged_index_gate: FAIL: $json missing or empty — the bench never ran or wrote nothing" >&2
+    exit 1
+fi
+if ! grep -q '"id":"B14/paged_index/' "$json"; then
+    echo "paged_index_gate: FAIL: no B14/paged_index records in $json" >&2
+    exit 1
+fi
+
+if [ "$(nproc 2>/dev/null || echo 1)" -lt 2 ]; then
+    warn_only=1
+    echo "paged_index_gate: single CPU detected; qps comparisons downgraded to warnings"
+fi
+
+# Order-independent field extraction; NA marks a missing field and is a
+# hard parse failure below (same contract as pool_gate.sh).
+AWK_FIELDS='
+function num(key,    m) {
+    if (!match($0, "\"" key "\":[-+]?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?"))
+        return "NA"
+    m = substr($0, RSTART, RLENGTH)
+    sub(/^.*:/, "", m)
+    return m
+}
+function rowid(    m) {
+    if (!match($0, /"id":"[^"]+"/)) return "NA"
+    m = substr($0, RSTART + 6, RLENGTH - 7)
+    return m
+}
+'
+
+status=0
+
+# Structural page-skipping check on every row: a cold indexed query may
+# touch the matching pages (read or hit) plus directory overhead, never
+# the whole heap.
+while read -r id touched match; do
+    if [ "$touched" = NA ] || [ "$match" = NA ]; then
+        echo "paged_index_gate: FAIL: $id missing pages_read/pool_hits/match_pages" >&2
+        status=1
+        continue
+    fi
+    bad="$(awk -v t="$touched" -v m="$match" 'BEGIN { print (t > 2 * m + 16) ? 1 : 0 }')"
+    if [ "$bad" -eq 1 ]; then
+        echo "paged_index_gate: FAIL: $id touched $touched pages for $match matching pages — not skipping" >&2
+        status=1
+    else
+        echo "paged_index_gate: ok: $id touched $touched pages for $match matching pages"
+    fi
+done < <(awk "$AWK_FIELDS"'
+index($0, "\"id\":\"B14/paged_index/") {
+    pr = num("pages_read"); ph = num("pool_hits")
+    print rowid(), (pr == "NA" || ph == "NA") ? "NA" : pr + ph, num("match_pages")
+}' "$json")
+
+# At <=1% selectivity on the tight (5%) budget the bitmap path must
+# beat the full scan outright.
+low_sel_rows=0
+while read -r id indexed scan speedup; do
+    if [ "$indexed" = NA ] || [ "$scan" = NA ]; then
+        echo "paged_index_gate: FAIL: $id missing indexed_qps/scan_qps" >&2
+        status=1
+        continue
+    fi
+    low_sel_rows=$((low_sel_rows + 1))
+    ok="$(awk -v i="$indexed" -v s="$scan" 'BEGIN { print (i + 0 > s + 0) ? 1 : 0 }')"
+    if [ "$ok" -eq 1 ]; then
+        echo "paged_index_gate: ok: $id indexed $indexed q/s vs scan $scan q/s (${speedup}x)"
+    elif [ "$warn_only" -eq 1 ]; then
+        echo "paged_index_gate: WARNING: $id indexed $indexed q/s did not beat scan $scan q/s" >&2
+    else
+        echo "paged_index_gate: FAIL: $id indexed $indexed q/s did not beat scan $scan q/s at <=1% selectivity on a 5% pool" >&2
+        status=1
+    fi
+done < <(awk "$AWK_FIELDS"'
+$0 ~ /"id":"B14\/paged_index\/[0-9]+\/budget5\/sel(1|10)pm\// {
+    print rowid(), num("indexed_qps"), num("scan_qps"), num("speedup")
+}' "$json")
+
+if [ "$low_sel_rows" -eq 0 ]; then
+    echo "paged_index_gate: FAIL: no budget5 sel1pm/sel10pm rows — the tight-budget low-selectivity cell never ran" >&2
+    status=1
+fi
+
+exit "$status"

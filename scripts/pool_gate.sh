@@ -48,25 +48,69 @@ fi
 
 status=0
 
+# Field extraction is order-independent and numeral-shape-agnostic: the
+# bench's JSON writer emits `1` for whole numbers and `1.0000`/`0.5300`
+# otherwise, and earlier sed pipelines silently mis-parsed the former
+# (and depended on key order). `num` pulls a named field wherever it
+# sits on the line and prints NA when absent, which the loops below
+# treat as a hard parse failure rather than a silent pass.
+AWK_FIELDS='
+function num(key,    m) {
+    if (!match($0, "\"" key "\":[-+]?[0-9]+(\\.[0-9]+)?([eE][-+]?[0-9]+)?"))
+        return "NA"
+    m = substr($0, RSTART, RLENGTH)
+    sub(/^.*:/, "", m)
+    return m
+}
+function rowid(    m) {
+    if (!match($0, /"id":"[^"]+"/)) return "NA"
+    m = substr($0, RSTART + 6, RLENGTH - 7)
+    return m
+}
+'
+
 # Dirty-page checkpoints: flushed pages bounded by the pool (resident
 # dirty set), and never a whole-database rewrite once the database is
-# meaningfully larger than the pool.
+# meaningfully larger than the pool. Comparisons go through awk so a
+# float-rendered count compares numerically, not lexically.
 while read -r id flushed total pool; do
-    if [ "$flushed" -gt "$pool" ]; then
+    if [ "$flushed" = NA ] || [ "$total" = NA ] || [ "$pool" = NA ]; then
+        echo "pool_gate: FAIL: $id missing pages_flushed/pages_total/pool_pages" >&2
+        status=1
+        continue
+    fi
+    verdict="$(awk -v f="$flushed" -v t="$total" -v p="$pool" 'BEGIN {
+        if (f > p) print "overpool";
+        else if (t > 2 * p && f >= t) print "rewrite";
+        else print "ok";
+    }')"
+    case "$verdict" in
+    overpool)
         echo "pool_gate: FAIL: $id flushed $flushed pages with a $pool-frame pool" >&2
         status=1
-    elif [ "$total" -gt $((2 * pool)) ] && [ "$flushed" -ge "$total" ]; then
+        ;;
+    rewrite)
         echo "pool_gate: FAIL: $id rewrote all $total pages — checkpoint is O(db), not O(dirty)" >&2
         status=1
-    else
+        ;;
+    *)
         echo "pool_gate: ok: $id flushed $flushed of $total pages (pool $pool)"
-    fi
-done < <(grep '"id":"B13/checkpoint/' "$json" |
-    sed -E 's|.*"id":"(B13/checkpoint/[^"]+)".*"pages_flushed":([0-9]+).*"pages_total":([0-9]+).*"pool_pages":([0-9]+).*|\1 \2 \3 \4|')
+        ;;
+    esac
+done < <(awk "$AWK_FIELDS"'
+index($0, "\"id\":\"B13/checkpoint/") {
+    print rowid(), num("pages_flushed"), num("pages_total"), num("pool_pages")
+}' "$json")
 
-# Full-budget reads must be effectively all pool hits.
+# Full-budget reads must be effectively all pool hits. `r + 0 >= 0.9`
+# coerces both `1` and `1.0000` to the same number.
 while read -r id rate; do
-    ok="$(awk -v r="$rate" 'BEGIN { print (r >= 0.9) ? 1 : 0 }')"
+    if [ "$rate" = NA ]; then
+        echo "pool_gate: FAIL: $id missing hit_rate" >&2
+        status=1
+        continue
+    fi
+    ok="$(awk -v r="$rate" 'BEGIN { print (r + 0 >= 0.9) ? 1 : 0 }')"
     if [ "$ok" -eq 1 ]; then
         echo "pool_gate: ok: $id hit rate $rate"
     elif [ "$warn_only" -eq 1 ]; then
@@ -75,7 +119,9 @@ while read -r id rate; do
         echo "pool_gate: FAIL: $id hit rate $rate below 0.9 at full budget" >&2
         status=1
     fi
-done < <(grep '"id":"B13/pool_read/[0-9]*/budget100"' "$json" |
-    sed -E 's|.*"id":"(B13/pool_read/[^"]+)".*"hit_rate":([0-9.]+).*|\1 \2|')
+done < <(awk "$AWK_FIELDS"'
+$0 ~ /"id":"B13\/pool_read\/[0-9]+\/budget100"/ {
+    print rowid(), num("hit_rate")
+}' "$json")
 
 exit "$status"
